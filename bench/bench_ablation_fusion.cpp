@@ -1,0 +1,160 @@
+// Ablation study (beyond the paper): what each front-end transformation and
+// code-generation feature buys, measured on the Q-criterion —
+//   * limited CSE on/off (duplicate decompose/filter folding),
+//   * constant deduplication on/off,
+//   * commutative canonicalization (folds the Q-criterion's s_1/s_3 pair,
+//     which the paper's limited CSE keeps separate),
+//   * register-pressure spill penalty at artificially small budgets.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "kernels/generator.hpp"
+
+namespace {
+
+struct AblationResult {
+  std::size_t filters = 0;
+  std::size_t kernel_execs = 0;
+  double staged_sim = 0.0;
+  double fusion_sim = 0.0;
+  std::size_t fused_instructions = 0;
+};
+
+AblationResult run_variant(const dfg::dataflow::SpecOptions& options) {
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform(catalog[1].dims);
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfgbench::scaled_cpu());
+
+  AblationResult result;
+  {
+    dfg::Engine engine(device,
+                       {dfg::runtime::StrategyKind::staged, options});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const auto report = engine.evaluate(dfg::expressions::kQCriterion);
+    result.kernel_execs = report.kernel_execs;
+    result.staged_sim = report.sim_seconds;
+  }
+  {
+    dfg::Engine engine(device,
+                       {dfg::runtime::StrategyKind::fusion, options});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const auto report = engine.evaluate(dfg::expressions::kQCriterion);
+    result.fusion_sim = report.sim_seconds;
+  }
+  const auto spec =
+      dfg::dataflow::build_network(dfg::expressions::kQCriterion, options);
+  result.filters = spec.filter_count();
+  const dfg::dataflow::Network network(
+      dfg::dataflow::build_network(dfg::expressions::kQCriterion, options));
+  result.fused_instructions =
+      dfg::kernels::generate_fused(network).code().size();
+  return result;
+}
+
+void print_frontend_ablation() {
+  std::printf(
+      "=== Ablation: front-end transformations on the Q-criterion ===\n");
+  std::printf("%-34s %8s %8s %12s %12s %10s\n", "variant", "filters", "K-Exe",
+              "staged[s]", "fusion[s]", "fused-ops");
+  struct Variant {
+    const char* name;
+    dfg::dataflow::SpecOptions options;
+  };
+  dfg::dataflow::SpecOptions base;
+  dfg::dataflow::SpecOptions no_cse = base;
+  no_cse.cse = false;
+  dfg::dataflow::SpecOptions no_const = base;
+  no_const.dedup_constants = false;
+  dfg::dataflow::SpecOptions neither = base;
+  neither.cse = false;
+  neither.dedup_constants = false;
+  dfg::dataflow::SpecOptions commutative = base;
+  commutative.canonicalize_commutative = true;
+  const Variant variants[] = {
+      {"paper (limited CSE + const dedup)", base},
+      {"no CSE", no_cse},
+      {"no constant dedup", no_const},
+      {"no CSE, no constant dedup", neither},
+      {"+ commutative canonicalization", commutative},
+  };
+  for (const Variant& v : variants) {
+    const AblationResult r = run_variant(v.options);
+    std::printf("%-34s %8zu %8zu %12.5f %12.5f %10zu\n", v.name, r.filters,
+                r.kernel_execs, r.staged_sim, r.fusion_sim,
+                r.fused_instructions);
+  }
+  std::printf("\n");
+}
+
+void print_register_ablation() {
+  std::printf(
+      "=== Ablation: register budget vs fused Q-criterion cost ===\n");
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform(catalog[1].dims);
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+
+  const dfg::dataflow::Network network(
+      dfg::dataflow::build_network(dfg::expressions::kQCriterion));
+  const int pressure = dfg::kernels::generate_fused(network)
+                           .max_live_scalar_registers();
+  std::printf("fused kernel peak live scalar registers: %d\n", pressure);
+  std::printf("%-18s %14s %8s\n", "register budget", "fusion sim [s]",
+              "spills");
+  for (const int budget : {63, 32, 16, 8}) {
+    dfg::vcl::DeviceSpec spec = dfgbench::scaled_gpu();
+    spec.register_budget = budget;
+    dfg::vcl::Device device(spec);
+    dfg::Engine engine(device, {dfg::runtime::StrategyKind::fusion, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const auto report = engine.evaluate(dfg::expressions::kQCriterion);
+    std::printf("%-18d %14.5f %8d\n", budget, report.sim_seconds,
+                pressure > budget ? pressure - budget : 0);
+  }
+  std::printf("\n");
+}
+
+void BM_QCritStrategy(benchmark::State& state) {
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform(catalog[0].dims);
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfgbench::scaled_cpu());
+  const auto execution = static_cast<dfgbench::Execution>(state.range(0));
+  double sim = 0.0;
+  for (auto _ : state) {
+    const auto result =
+        dfgbench::run_case(mesh, field, dfgbench::paper_expressions()[2],
+                           execution, device);
+    sim = result.sim_seconds;
+  }
+  state.counters["sim_ms"] = sim * 1e3;
+  state.SetLabel(dfgbench::execution_name(execution));
+}
+BENCHMARK(BM_QCritStrategy)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_frontend_ablation();
+  print_register_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

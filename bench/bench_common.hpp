@@ -1,0 +1,184 @@
+// Shared helpers for the reproduction benchmarks: evaluation-scale grids,
+// scaled devices, and a single-case runner that mirrors the paper's timing
+// protocol (N identical runs, drop fastest and slowest, average the rest —
+// the paper uses N=7; the simulated device time is deterministic, so the
+// default here is N=1, overridable with DFGEN_RUNS for wall-time studies).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "mesh/catalog.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/reference.hpp"
+#include "runtime/strategy.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace dfgbench {
+
+/// Axis scale of the evaluation grids (192 -> 48 per transverse axis).
+inline constexpr std::size_t kAxisScale = dfg::mesh::kEvaluationAxisScale;
+
+inline int run_count() {
+  if (const char* env = std::getenv("DFGEN_RUNS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+struct ExpressionCase {
+  const char* short_name;  // "VelMag"
+  const char* expression;
+};
+
+inline const std::vector<ExpressionCase>& paper_expressions() {
+  static const std::vector<ExpressionCase> cases = {
+      {"VelMag", dfg::expressions::kVelocityMagnitude},
+      {"VortMag", dfg::expressions::kVorticityMagnitude},
+      {"Q-Crit", dfg::expressions::kQCriterion},
+  };
+  return cases;
+}
+
+/// Execution modes of the runtime study: the three strategies plus the
+/// hand-written reference kernel.
+enum class Execution { roundtrip, staged, fusion, reference };
+
+inline const char* execution_name(Execution e) {
+  switch (e) {
+    case Execution::roundtrip:
+      return "roundtrip";
+    case Execution::staged:
+      return "staged";
+    case Execution::fusion:
+      return "fusion";
+    case Execution::reference:
+      return "reference";
+  }
+  return "?";
+}
+
+struct CaseResult {
+  bool failed = false;  ///< device out of memory (the paper's gray series)
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::size_t high_water_bytes = 0;
+  std::size_t dev_writes = 0;
+  std::size_t dev_reads = 0;
+  std::size_t kernel_execs = 0;
+};
+
+inline const dfg::kernels::Program& reference_program(
+    const ExpressionCase& expr) {
+  static const dfg::kernels::Program velmag =
+      dfg::runtime::reference_velocity_magnitude();
+  static const dfg::kernels::Program vortmag =
+      dfg::runtime::reference_vorticity_magnitude();
+  static const dfg::kernels::Program qcrit =
+      dfg::runtime::reference_q_criterion();
+  if (std::string(expr.short_name) == "VelMag") return velmag;
+  if (std::string(expr.short_name) == "VortMag") return vortmag;
+  return qcrit;
+}
+
+/// Runs one (expression, execution, device) case following the paper's
+/// protocol and returns averaged timings plus the profiling snapshot.
+inline CaseResult run_case(const dfg::mesh::RectilinearMesh& mesh,
+                           const dfg::mesh::VectorField& field,
+                           const ExpressionCase& expr, Execution execution,
+                           dfg::vcl::Device& device) {
+  const int runs = run_count();
+  std::vector<CaseResult> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    CaseResult sample;
+    try {
+      if (execution == Execution::reference) {
+        dfg::runtime::FieldBindings bindings;
+        bindings.bind_mesh(mesh);
+        bindings.bind("u", field.u);
+        bindings.bind("v", field.v);
+        bindings.bind("w", field.w);
+        dfg::vcl::ProfilingLog log;
+        device.memory().reset_high_water();
+        dfg::runtime::run_reference(reference_program(expr), bindings,
+                                    mesh.cell_count(), device, log);
+        sample.sim_seconds = log.total_sim_seconds();
+        sample.wall_seconds = log.total_wall_seconds();
+        sample.high_water_bytes = device.memory().high_water();
+        sample.dev_writes = log.count(dfg::vcl::EventKind::host_to_device);
+        sample.dev_reads = log.count(dfg::vcl::EventKind::device_to_host);
+        sample.kernel_execs = log.count(dfg::vcl::EventKind::kernel_exec);
+      } else {
+        const auto kind = execution == Execution::roundtrip
+                              ? dfg::runtime::StrategyKind::roundtrip
+                          : execution == Execution::staged
+                              ? dfg::runtime::StrategyKind::staged
+                              : dfg::runtime::StrategyKind::fusion;
+        dfg::Engine engine(device, {kind, {}});
+        engine.bind_mesh(mesh);
+        engine.bind("u", field.u);
+        engine.bind("v", field.v);
+        engine.bind("w", field.w);
+        const dfg::EvaluationReport report = engine.evaluate(expr.expression);
+        sample.sim_seconds = report.sim_seconds;
+        sample.wall_seconds = report.wall_seconds;
+        sample.high_water_bytes = report.memory_high_water_bytes;
+        sample.dev_writes = report.dev_writes;
+        sample.dev_reads = report.dev_reads;
+        sample.kernel_execs = report.kernel_execs;
+      }
+    } catch (const dfg::DeviceOutOfMemory&) {
+      sample.failed = true;
+    }
+    samples.push_back(sample);
+    if (sample.failed) break;  // deterministic: repeats would fail too
+  }
+
+  CaseResult result = samples.front();
+  if (result.failed || samples.size() < 3) {
+    if (samples.size() > 1) {
+      double sim = 0.0, wall = 0.0;
+      for (const CaseResult& s : samples) {
+        sim += s.sim_seconds;
+        wall += s.wall_seconds;
+      }
+      result.sim_seconds = sim / static_cast<double>(samples.size());
+      result.wall_seconds = wall / static_cast<double>(samples.size());
+    }
+    return result;
+  }
+  // Drop fastest and slowest (by wall time), average the rest.
+  std::size_t fastest = 0, slowest = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].wall_seconds < samples[fastest].wall_seconds) fastest = i;
+    if (samples[i].wall_seconds > samples[slowest].wall_seconds) slowest = i;
+  }
+  double sim = 0.0, wall = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i == fastest || i == slowest) continue;
+    sim += samples[i].sim_seconds;
+    wall += samples[i].wall_seconds;
+    ++kept;
+  }
+  result.sim_seconds = sim / static_cast<double>(kept);
+  result.wall_seconds = wall / static_cast<double>(kept);
+  return result;
+}
+
+/// Device specs scaled to the benchmark grids (capacity / kAxisScale^3).
+inline dfg::vcl::DeviceSpec scaled_cpu() {
+  return dfg::vcl::xeon_x5660_scaled();
+}
+inline dfg::vcl::DeviceSpec scaled_gpu() {
+  return dfg::vcl::tesla_m2050_scaled();
+}
+
+}  // namespace dfgbench

@@ -1,0 +1,162 @@
+// Figure 5 reproduction: single-device runtime of the three expressions on
+// data sets of increasing size (the twelve scaled Table I sub-grids), for
+// the three execution strategies and the hand-written reference kernel, on
+// the virtual Xeon X5660 (CPU series) and virtual Tesla M2050 (GPU series).
+// Failed GPU cases — allocations beyond the device's scaled 48 MiB — are
+// reported as FAILED, the paper's gray series.
+//
+// Reported runtimes are the cost model's simulated device seconds, which
+// include all host-to-device transfers, kernel executions, and
+// device-to-host transfers, exactly as the paper's timing methodology
+// prescribes. Set DFGEN_RUNS=7 to follow the paper's 7-run
+// drop-min/max-average protocol on wall time as well.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct SweepPoint {
+  std::size_t cells;
+  dfgbench::CaseResult cpu;
+  dfgbench::CaseResult gpu;
+};
+
+using Series =
+    std::vector<std::pair<dfgbench::Execution, std::vector<SweepPoint>>>;
+
+Series run_sweep(const dfgbench::ExpressionCase& expr) {
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  Series series;
+  for (const auto execution :
+       {dfgbench::Execution::roundtrip, dfgbench::Execution::staged,
+        dfgbench::Execution::fusion, dfgbench::Execution::reference}) {
+    series.emplace_back(execution, std::vector<SweepPoint>{});
+  }
+  dfg::vcl::Device cpu(dfgbench::scaled_cpu());
+  dfg::vcl::Device gpu(dfgbench::scaled_gpu());
+  for (const auto& info : catalog) {
+    const dfg::mesh::RectilinearMesh mesh =
+        dfg::mesh::RectilinearMesh::uniform(info.dims);
+    const dfg::mesh::VectorField field =
+        dfg::mesh::rayleigh_taylor_flow(mesh);
+    for (auto& [execution, points] : series) {
+      SweepPoint point;
+      point.cells = info.cells;
+      point.cpu = dfgbench::run_case(mesh, field, expr, execution, cpu);
+      point.gpu = dfgbench::run_case(mesh, field, expr, execution, gpu);
+      points.push_back(point);
+    }
+  }
+  return series;
+}
+
+void print_series(const dfgbench::ExpressionCase& expr, const Series& series) {
+  std::printf("--- %s: simulated device seconds vs cells ---\n",
+              expr.short_name);
+  std::printf("%12s", "cells");
+  for (const auto& [execution, points] : series) {
+    std::printf(" %13s-CPU %13s-GPU", dfgbench::execution_name(execution),
+                dfgbench::execution_name(execution));
+  }
+  std::printf("\n");
+  const std::size_t rows = series.front().second.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("%12zu", series.front().second[r].cells);
+    for (const auto& [execution, points] : series) {
+      const SweepPoint& p = points[r];
+      std::printf(" %17.5f", p.cpu.sim_seconds);
+      if (p.gpu.failed) {
+        std::printf(" %17s", "FAILED");
+      } else {
+        std::printf(" %17.5f", p.gpu.sim_seconds);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void check_shapes(const dfgbench::ExpressionCase& expr, const Series& series,
+                  int& violations, int& gpu_failures, int& gpu_cases) {
+  const auto& roundtrip = series[0].second;
+  const auto& staged = series[1].second;
+  const auto& fusion = series[2].second;
+  const auto& reference = series[3].second;
+  for (std::size_t r = 0; r < roundtrip.size(); ++r) {
+    // CPU never fails; strategy ordering must hold on it.
+    if (!(fusion[r].cpu.sim_seconds <= staged[r].cpu.sim_seconds &&
+          staged[r].cpu.sim_seconds <= roundtrip[r].cpu.sim_seconds)) {
+      ++violations;
+      std::printf("shape violation (%s row %zu): CPU ordering\n",
+                  expr.short_name, r);
+    }
+    if (reference[r].cpu.sim_seconds > fusion[r].cpu.sim_seconds * 1.001) {
+      ++violations;
+      std::printf("shape violation (%s row %zu): reference slower than "
+                  "fusion on CPU\n",
+                  expr.short_name, r);
+    }
+    for (const auto& pts : {&roundtrip, &staged, &fusion, &reference}) {
+      ++gpu_cases;
+      if ((*pts)[r].gpu.failed) {
+        ++gpu_failures;
+      } else if ((*pts)[r].gpu.sim_seconds >
+                 (*pts)[r].cpu.sim_seconds * 1.001) {
+        // "The GPU ran faster or on-par with the CPU for all test cases
+        // that the GPU executed successfully."
+        ++violations;
+        std::printf("shape violation (%s row %zu): GPU slower than CPU\n",
+                    expr.short_name, r);
+      }
+    }
+  }
+}
+
+void BM_FusedQCritDispatch(benchmark::State& state) {
+  // Wall-clock cost of one fused Q-criterion dispatch at a mid-sweep size,
+  // for tracking the virtual machine's execution overhead.
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  const auto& info = catalog[3];
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform(info.dims);
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfgbench::scaled_cpu());
+  for (auto _ : state) {
+    const auto result = dfgbench::run_case(
+        mesh, field, dfgbench::paper_expressions()[2],
+        dfgbench::Execution::fusion, device);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(info.cells));
+}
+BENCHMARK(BM_FusedQCritDispatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Figure 5: single-device runtime performance (simulated) ===\n");
+  std::printf("devices: %s | %s\n\n", dfgbench::scaled_cpu().name.c_str(),
+              dfgbench::scaled_gpu().name.c_str());
+  int violations = 0, gpu_failures = 0, gpu_cases = 0;
+  for (const auto& expr : dfgbench::paper_expressions()) {
+    const Series series = run_sweep(expr);
+    print_series(expr, series);
+    check_shapes(expr, series, violations, gpu_failures, gpu_cases);
+  }
+  std::printf("GPU completed %d of %d test cases (paper: 106 of 144)\n",
+              gpu_cases - gpu_failures, gpu_cases);
+  std::printf("shape checks: %s (%d violations)\n\n",
+              violations == 0 ? "ALL HOLD" : "VIOLATED", violations);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Figure 6 reproduction: maximum global device memory reserved for buffers
+// during the Figure 5 runs, against the scaled M2050 capacity line
+// (48 MiB = 3 GiB / 64). Cases whose high-water would exceed the capacity
+// fail on the GPU (gray series); the CPU column shows the memory a device
+// would need to succeed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+void run_figure6(int& violations) {
+  const auto catalog = dfg::mesh::subgrid_catalog(dfgbench::kAxisScale);
+  const std::size_t gpu_capacity = dfgbench::scaled_gpu().global_mem_bytes;
+  std::printf("GPU capacity line: %s\n\n",
+              dfg::support::format_bytes(gpu_capacity).c_str());
+
+  dfg::vcl::Device cpu(dfgbench::scaled_cpu());
+  dfg::vcl::Device gpu(dfgbench::scaled_gpu());
+
+  for (const auto& expr : dfgbench::paper_expressions()) {
+    std::printf("--- %s: device memory high-water (bytes) vs cells ---\n",
+                expr.short_name);
+    std::printf("%12s %14s %14s %14s %14s %6s\n", "cells", "roundtrip",
+                "staged", "fusion", "reference", "GPU");
+    for (const auto& info : catalog) {
+      const dfg::mesh::RectilinearMesh mesh =
+          dfg::mesh::RectilinearMesh::uniform(info.dims);
+      const dfg::mesh::VectorField field =
+          dfg::mesh::rayleigh_taylor_flow(mesh);
+
+      std::size_t high_water[4] = {0, 0, 0, 0};
+      bool gpu_ok[4] = {false, false, false, false};
+      int idx = 0;
+      for (const auto execution :
+           {dfgbench::Execution::roundtrip, dfgbench::Execution::staged,
+            dfgbench::Execution::fusion, dfgbench::Execution::reference}) {
+        const auto cpu_result =
+            dfgbench::run_case(mesh, field, expr, execution, cpu);
+        const auto gpu_result =
+            dfgbench::run_case(mesh, field, expr, execution, gpu);
+        high_water[idx] = cpu_result.high_water_bytes;
+        gpu_ok[idx] = !gpu_result.failed;
+        // Consistency: GPU succeeds iff the CPU-measured working set fits
+        // (for successful runs both devices reserve identical buffers).
+        const bool fits = cpu_result.high_water_bytes <= gpu_capacity;
+        if (fits != gpu_ok[idx]) ++violations;
+        if (!gpu_result.failed &&
+            gpu_result.high_water_bytes != cpu_result.high_water_bytes) {
+          ++violations;  // "GPU results are identical to the CPU results"
+        }
+        ++idx;
+      }
+      std::printf("%12zu %14zu %14zu %14zu %14zu %s%s%s%s\n", info.cells,
+                  high_water[0], high_water[1], high_water[2], high_water[3],
+                  gpu_ok[0] ? "." : "F", gpu_ok[1] ? "." : "F",
+                  gpu_ok[2] ? "." : "F", gpu_ok[3] ? "." : "F");
+    }
+    std::printf("(GPU column: roundtrip/staged/fusion/reference, "
+                "'.'=ran, 'F'=failed)\n\n");
+  }
+}
+
+void BM_MemoryTrackedAllocation(benchmark::State& state) {
+  // Allocation-path overhead of the capacity-enforcing tracker.
+  dfg::vcl::Device device(dfgbench::scaled_cpu());
+  const auto elements = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dfg::vcl::Buffer buffer = device.allocate(elements);
+    benchmark::DoNotOptimize(buffer.device_view().data());
+  }
+}
+BENCHMARK(BM_MemoryTrackedAllocation)->Arg(1 << 10)->Arg(1 << 18);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 6: single-device memory usage ===\n");
+  int violations = 0;
+  run_figure6(violations);
+  std::printf("memory consistency checks: %s (%d violations)\n\n",
+              violations == 0 ? "ALL HOLD" : "VIOLATED", violations);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return violations == 0 ? 0 : 1;
+}

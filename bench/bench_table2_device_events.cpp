@@ -1,0 +1,135 @@
+// Table II reproduction: host-to-device transfers (Dev-W), device-to-host
+// transfers (Dev-R) and kernel executions (K-Exe) per expression and
+// strategy, printed next to the paper's values. Also prints the Q-criterion
+// network summary (Figure 4's dataflow) and, as google-benchmarks, the cost
+// of the front-end work each evaluation performs (parse, network build,
+// fusion codegen).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "dataflow/dot.hpp"
+#include "expr/parser.hpp"
+#include "kernels/generator.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* expr;
+  const char* strategy;
+  std::size_t w, r, k;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"VelMag", "roundtrip", 11, 6, 6},   {"VelMag", "staged", 3, 1, 6},
+    {"VelMag", "fusion", 3, 1, 1},       {"VortMag", "roundtrip", 32, 12, 12},
+    {"VortMag", "staged", 7, 1, 18},     {"VortMag", "fusion", 7, 1, 1},
+    {"Q-Crit", "roundtrip", 123, 57, 57}, {"Q-Crit", "staged", 7, 1, 67},
+    {"Q-Crit", "fusion", 7, 1, 1},
+};
+
+void print_table2() {
+  std::printf(
+      "=== Table II: device events per expression and strategy ===\n");
+  std::printf("%-10s %-10s | %6s %6s %6s | paper:  %5s %5s %5s | %s\n",
+              "Expression", "Strategy", "Dev-W", "Dev-R", "K-Exe", "Dev-W",
+              "Dev-R", "K-Exe", "match");
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({8, 8, 8});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfgbench::scaled_cpu());
+
+  std::size_t row_index = 0;
+  bool all_match = true;
+  for (const auto& expr : dfgbench::paper_expressions()) {
+    for (const auto execution :
+         {dfgbench::Execution::roundtrip, dfgbench::Execution::staged,
+          dfgbench::Execution::fusion}) {
+      const auto result =
+          dfgbench::run_case(mesh, field, expr, execution, device);
+      const PaperRow& paper = kPaper[row_index++];
+      const bool match = result.dev_writes == paper.w &&
+                         result.dev_reads == paper.r &&
+                         result.kernel_execs == paper.k;
+      all_match = all_match && match;
+      std::printf(
+          "%-10s %-10s | %6zu %6zu %6zu | paper:  %5zu %5zu %5zu | %s\n",
+          expr.short_name, dfgbench::execution_name(execution),
+          result.dev_writes, result.dev_reads, result.kernel_execs, paper.w,
+          paper.r, paper.k, match ? "yes" : "NO");
+    }
+  }
+  std::printf("Table II reproduction: %s\n\n",
+              all_match ? "EXACT MATCH" : "MISMATCH");
+}
+
+void print_figure4() {
+  std::printf("=== Figure 4: Q-criterion dataflow network summary ===\n");
+  const auto spec =
+      dfg::dataflow::build_network(dfg::expressions::kQCriterion);
+  std::printf("sources: %zu (fields + constants), filters: %zu\n",
+              spec.source_count(), spec.filter_count());
+  std::printf(
+      "network definition script (first lines, full dump available via "
+      "EvaluationReport::network_script):\n");
+  const std::string script = spec.to_script();
+  std::size_t printed = 0, pos = 0;
+  while (printed < 12 && pos < script.size()) {
+    const std::size_t next = script.find('\n', pos);
+    std::printf("  %s\n", script.substr(pos, next - pos).c_str());
+    pos = next + 1;
+    ++printed;
+  }
+  std::printf("  ... (%zu nodes total)\n", spec.nodes().size());
+  // Render the actual Figure 4 diagram as Graphviz DOT.
+  std::FILE* dot = std::fopen("q_criterion_network.dot", "w");
+  if (dot != nullptr) {
+    const std::string rendered =
+        dfg::dataflow::to_dot(spec, {"q_criterion", true});
+    std::fwrite(rendered.data(), 1, rendered.size(), dot);
+    std::fclose(dot);
+    std::printf("wrote q_criterion_network.dot (render with `dot -Tsvg`)\n");
+  }
+  std::printf("\n");
+}
+
+void BM_ParseQCriterion(benchmark::State& state) {
+  for (auto _ : state) {
+    auto script = dfg::expr::parse(dfg::expressions::kQCriterion);
+    benchmark::DoNotOptimize(&script);
+  }
+}
+BENCHMARK(BM_ParseQCriterion);
+
+void BM_BuildNetworkQCriterion(benchmark::State& state) {
+  const auto ast = dfg::expr::parse(dfg::expressions::kQCriterion);
+  for (auto _ : state) {
+    auto spec = dfg::dataflow::build_network(ast);
+    benchmark::DoNotOptimize(&spec);
+  }
+}
+BENCHMARK(BM_BuildNetworkQCriterion);
+
+void BM_GenerateFusedQCriterion(benchmark::State& state) {
+  const dfg::dataflow::Network network(
+      dfg::dataflow::build_network(dfg::expressions::kQCriterion));
+  for (auto _ : state) {
+    auto program = dfg::kernels::generate_fused(network);
+    benchmark::DoNotOptimize(&program);
+  }
+}
+BENCHMARK(BM_GenerateFusedQCriterion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  print_figure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

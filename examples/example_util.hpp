@@ -1,0 +1,74 @@
+// Shared helpers for the example applications: a tiny PPM pseudocolor
+// writer (used to render derived-field slices, echoing the paper's
+// Figure 7 rendering) and a console report printer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "mesh/mesh.hpp"
+#include "support/string_util.hpp"
+
+namespace dfgex {
+
+/// Maps a normalized value in [0, 1] to a blue-white-red pseudocolor.
+inline void pseudocolor(float t, unsigned char rgb[3]) {
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float r = std::clamp(2.0f * t, 0.0f, 1.0f);
+  const float b = std::clamp(2.0f * (1.0f - t), 0.0f, 1.0f);
+  const float g = 1.0f - std::fabs(2.0f * t - 1.0f);
+  rgb[0] = static_cast<unsigned char>(255.0f * r);
+  rgb[1] = static_cast<unsigned char>(255.0f * g);
+  rgb[2] = static_cast<unsigned char>(255.0f * b);
+}
+
+/// Writes a z-slice of a cell-centered scalar field as a binary PPM image.
+/// Returns true on success.
+inline bool write_slice_ppm(const std::string& path,
+                            const std::vector<float>& values,
+                            const dfg::mesh::Dims& dims, std::size_t k_slice) {
+  if (k_slice >= dims.nz || values.size() < dims.cell_count()) return false;
+  float lo = values[0], hi = values[0];
+  for (std::size_t j = 0; j < dims.ny; ++j) {
+    for (std::size_t i = 0; i < dims.nx; ++i) {
+      const float v = values[i + dims.nx * (j + dims.ny * k_slice)];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const float span = hi > lo ? hi - lo : 1.0f;
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << dims.nx << " " << dims.ny << "\n255\n";
+  for (std::size_t j = 0; j < dims.ny; ++j) {
+    for (std::size_t i = 0; i < dims.nx; ++i) {
+      const float v = values[i + dims.nx * (j + dims.ny * k_slice)];
+      unsigned char rgb[3];
+      pseudocolor((v - lo) / span, rgb);
+      out.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+/// Prints the interesting parts of an evaluation report.
+inline void print_report(const dfg::EvaluationReport& report) {
+  std::printf("  strategy        : %s\n", report.strategy.c_str());
+  std::printf("  derived field   : %s (%zu values)\n",
+              report.output_name.c_str(), report.elements);
+  std::printf("  device events   : Dev-W %zu, Dev-R %zu, K-Exe %zu\n",
+              report.dev_writes, report.dev_reads, report.kernel_execs);
+  std::printf("  simulated time  : %.6f s (wall %.6f s)\n",
+              report.sim_seconds, report.wall_seconds);
+  std::printf("  device memory   : %s high water\n",
+              dfg::support::format_bytes(report.memory_high_water_bytes)
+                  .c_str());
+}
+
+}  // namespace dfgex

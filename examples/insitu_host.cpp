@@ -1,0 +1,94 @@
+// In-situ embedding: a miniature "simulation" advances a velocity field in
+// time and uses the engine as an in-situ analysis plugin, the way the paper
+// embeds its framework inside VisIt as a Python Expression.
+//
+// The key in-situ properties demonstrated:
+//   * the engine operates on the simulation's own arrays (bound views),
+//   * rebinding per time step is free; only device transfers are profiled,
+//   * the expression is parsed and the network rebuilt per evaluation, so
+//     users can change the analysis between steps without recompiling.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "example_util.hpp"
+#include "mesh/generators.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+/// A toy "solver": rotates the ABC flow's phase each step. Stands in for a
+/// real simulation advancing its state arrays in place.
+void advance(const dfg::mesh::RectilinearMesh& mesh,
+             dfg::mesh::VectorField& field, float time) {
+  const auto& d = mesh.dims();
+  for (std::size_t k = 0; k < d.nz; ++k) {
+    const float z = mesh.z_center(k) + time;
+    for (std::size_t j = 0; j < d.ny; ++j) {
+      const float y = mesh.y_center(j) + 0.5f * time;
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        const float x = mesh.x_center(i) - time;
+        const std::size_t idx = mesh.cell_index(i, j, k);
+        field.u[idx] = std::sin(z) + std::cos(y);
+        field.v[idx] = std::sin(x) + std::cos(z);
+        field.w[idx] = std::sin(y) + std::cos(x);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const float two_pi = 6.2831853f;
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({32, 32, 32}, two_pi, two_pi,
+                                          two_pi);
+  dfg::mesh::VectorField field;
+  field.u.resize(mesh.cell_count());
+  field.v.resize(mesh.cell_count());
+  field.w.resize(mesh.cell_count());
+
+  dfg::vcl::Device device(dfg::vcl::tesla_m2050_scaled());
+  dfg::Engine engine(device, {dfg::runtime::StrategyKind::fusion, {}});
+  engine.bind_mesh(mesh);
+  // Bind once: the views track the simulation arrays in place.
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  std::printf("step |  max |v|  | vortex fraction | sim time [s]\n");
+  for (int step = 0; step < 8; ++step) {
+    const float time = 0.2f * static_cast<float>(step);
+    advance(mesh, field, time);  // the "solver"
+
+    // In-situ analysis on the fresh state.
+    const auto vmag = engine.evaluate(dfg::expressions::kVelocityMagnitude);
+    const auto qcrit = engine.evaluate(dfg::expressions::kQCriterion);
+
+    float max_mag = 0.0f;
+    for (const float m : vmag.values) max_mag = std::max(max_mag, m);
+    std::size_t vortex = 0;
+    for (const float q : qcrit.values) {
+      if (q > 0.0f) ++vortex;
+    }
+    std::printf("%4d | %9.4f | %14.1f%% | %.6f\n", step, max_mag,
+                100.0 * static_cast<double>(vortex) /
+                    static_cast<double>(qcrit.values.size()),
+                vmag.sim_seconds + qcrit.sim_seconds);
+  }
+
+  std::printf("\nlast step's fused Q-criterion kernel was generated at "
+              "runtime; first lines:\n");
+  const auto report = engine.evaluate(dfg::expressions::kQCriterion);
+  const std::string& src = report.kernel_source;
+  std::size_t pos = 0;
+  for (int line = 0; line < 6 && pos < src.size(); ++line) {
+    const std::size_t next = src.find('\n', pos);
+    std::printf("  %s\n", src.substr(pos, next - pos).c_str());
+    pos = next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Strategy exploration under device memory constraints: the trade-off the
+// paper's discussion (§V-D) highlights. Two selection mechanisms are
+// demonstrated:
+//   * analytical — the planner predicts each strategy's device footprint
+//     without executing (runtime::estimate_high_water) and picks the
+//     fastest one that fits (runtime::select_strategy);
+//   * empirical — try the fastest strategy and fall back on
+//     DeviceOutOfMemory, which the analytical path makes unnecessary.
+#include <cstdio>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "example_util.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/planner.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+std::optional<dfg::EvaluationReport> try_strategy(
+    dfg::Engine& engine, dfg::runtime::StrategyKind kind,
+    const char* expression) {
+  engine.set_strategy(kind);
+  try {
+    return engine.evaluate(expression);
+  } catch (const dfg::DeviceOutOfMemory& err) {
+    std::printf("  %-10s: FAILED (%s)\n",
+                dfg::runtime::strategy_name(kind), err.what());
+    return std::nullopt;
+  }
+}
+
+void explore(dfg::vcl::Device& device, const dfg::mesh::RectilinearMesh& mesh,
+             const dfg::mesh::VectorField& field, const char* name,
+             const char* expression) {
+  std::printf("\n=== %s on %s ===\n", name, device.spec().name.c_str());
+
+  // Analytical selection: predict every strategy's footprint up front.
+  const dfg::dataflow::Network network(
+      dfg::dataflow::build_network(expression));
+  dfg::runtime::FieldBindings bindings;
+  bindings.bind_mesh(mesh);
+  bindings.bind("u", field.u);
+  bindings.bind("v", field.v);
+  bindings.bind("w", field.w);
+  for (const auto kind : {dfg::runtime::StrategyKind::roundtrip,
+                          dfg::runtime::StrategyKind::staged,
+                          dfg::runtime::StrategyKind::fusion,
+                          dfg::runtime::StrategyKind::streamed}) {
+    try {
+      const std::size_t predicted = dfg::runtime::estimate_high_water(
+          network, bindings, mesh.cell_count(), kind);
+      std::printf("  %-10s predicted footprint: %10s (%s)\n",
+                  dfg::runtime::strategy_name(kind),
+                  dfg::support::format_bytes(predicted).c_str(),
+                  predicted <= device.memory().available() ? "fits"
+                                                           : "too big");
+    } catch (const dfg::KernelError&) {
+      std::printf("  %-10s not applicable to this network\n",
+                  dfg::runtime::strategy_name(kind));
+    }
+  }
+
+  dfg::Engine engine(device);
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+  try {
+    const auto kind = dfg::runtime::select_strategy(
+        network, bindings, mesh.cell_count(), device);
+    engine.set_strategy(kind);
+    const auto report = engine.evaluate(expression);
+    std::printf("  planner selected '%s': sim %.5f s, high water %s\n",
+                report.strategy.c_str(), report.sim_seconds,
+                dfg::support::format_bytes(report.memory_high_water_bytes)
+                    .c_str());
+  } catch (const dfg::DeviceOutOfMemory&) {
+    std::printf("  no strategy fits this device\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({48, 48, 320});
+  std::printf("grid: %s (%zu cells)\n",
+              dfg::mesh::to_string(mesh.dims()).c_str(), mesh.cell_count());
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  const std::size_t array_bytes = mesh.cell_count() * sizeof(float);
+
+  // A device with plenty of memory: fusion wins outright.
+  dfg::vcl::Device roomy(dfg::vcl::xeon_x5660_scaled());
+  explore(roomy, mesh, field, "Q-criterion", dfg::expressions::kQCriterion);
+
+  // A device that fits fusion's 8 arrays but not staged's ~28.
+  dfg::vcl::DeviceSpec mid = dfg::vcl::tesla_m2050_scaled();
+  mid.name = "constrained GPU (12 problem arrays)";
+  mid.global_mem_bytes = 12 * array_bytes;
+  dfg::vcl::Device mid_device(mid);
+  explore(mid_device, mesh, field, "Q-criterion",
+          dfg::expressions::kQCriterion);
+
+  // A wide fan-in expression over six distinct inputs on a device that
+  // holds only five problem arrays: fusion needs all six inputs plus the
+  // output resident (7), staged peaks at 6 while the (e + f) operands join
+  // the still-live a, b and intermediates, but roundtrip — which keeps
+  // intermediates in host memory — never needs more than 3. This is why
+  // the paper keeps the "slow" strategy around.
+  dfg::vcl::DeviceSpec tiny = dfg::vcl::tesla_m2050_scaled();
+  tiny.name = "tiny GPU (5 problem arrays)";
+  tiny.global_mem_bytes = 5 * array_bytes + 1024;
+  dfg::vcl::Device tiny_device(tiny);
+  std::printf("\n=== wide fan-in composite on %s ===\n", tiny.name.c_str());
+  dfg::Engine engine(tiny_device);
+  engine.bind("a", field.u);
+  engine.bind("b", field.v);
+  engine.bind("c", field.w);
+  engine.bind("d", field.u);
+  engine.bind("e", field.v);
+  engine.bind("f", field.w);
+  for (const auto kind : {dfg::runtime::StrategyKind::fusion,
+                          dfg::runtime::StrategyKind::staged,
+                          dfg::runtime::StrategyKind::roundtrip}) {
+    if (const auto report = try_strategy(
+            engine, kind, "r = (a+b)*(c+d) + (e+f)*(a-b)")) {
+      std::printf("  %-10s: OK, sim %.5f s, high water %s\n",
+                  report->strategy.c_str(), report->sim_seconds,
+                  dfg::support::format_bytes(report->memory_high_water_bytes)
+                      .c_str());
+      std::printf("  selected '%s'\n", report->strategy.c_str());
+      break;
+    }
+  }
+  return 0;
+}

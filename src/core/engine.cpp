@@ -1,0 +1,84 @@
+#include "core/engine.hpp"
+
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "kernels/generator.hpp"
+#include "kernels/source_printer.hpp"
+#include "support/error.hpp"
+
+namespace dfg {
+
+Engine::Engine(vcl::Device& device, EngineOptions options)
+    : device_(&device), options_(options) {}
+
+void Engine::bind(const std::string& name, std::span<const float> values) {
+  bindings_.bind(name, values);
+}
+
+void Engine::bind_mesh(const mesh::RectilinearMesh& mesh) {
+  bindings_.bind_mesh(mesh);
+  default_elements_ = mesh.cell_count();
+}
+
+void Engine::set_strategy(runtime::StrategyKind kind) {
+  options_.strategy = kind;
+}
+
+EvaluationReport Engine::evaluate(std::string_view expression,
+                                  std::size_t elements) {
+  if (elements == 0) {
+    throw Error("evaluate requires a positive element count");
+  }
+  dataflow::Network network(
+      dataflow::build_network(expression, options_.spec_options));
+
+  log_.clear();
+  device_->memory().reset_high_water();
+
+  const auto strategy = runtime::make_strategy(
+      options_.strategy, options_.streamed_chunk_cells);
+  EvaluationReport report;
+  report.values =
+      strategy->execute(network, bindings_, elements, *device_, log_);
+  report.output_name = network.spec().node(network.output_id()).label;
+  report.elements = elements;
+  report.strategy = strategy->name();
+  report.dev_writes = log_.count(vcl::EventKind::host_to_device);
+  report.dev_reads = log_.count(vcl::EventKind::device_to_host);
+  report.kernel_execs = log_.count(vcl::EventKind::kernel_exec);
+  report.sim_seconds = log_.total_sim_seconds();
+  report.wall_seconds = log_.total_wall_seconds();
+  report.memory_high_water_bytes = device_->memory().high_water();
+  report.network_script = network.spec().to_script();
+  if (options_.strategy == runtime::StrategyKind::fusion ||
+      options_.strategy == runtime::StrategyKind::streamed) {
+    const kernels::FusedPipeline pipeline =
+        kernels::generate_fused_pipeline(network);
+    for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+      if (!report.kernel_source.empty()) report.kernel_source += "\n";
+      report.kernel_source += kernels::to_opencl_source(stage.program);
+    }
+  }
+  return report;
+}
+
+EvaluationReport Engine::evaluate(std::string_view expression) {
+  if (default_elements_ != 0) {
+    return evaluate(expression, default_elements_);
+  }
+  // Infer the element count from the first bound non-mesh field the
+  // expression uses.
+  const dataflow::NetworkSpec probe =
+      dataflow::build_network(expression, options_.spec_options);
+  for (const std::string& name : probe.field_names()) {
+    if (name == "x" || name == "y" || name == "z" || name == "dims") continue;
+    if (bindings_.has(name)) {
+      return evaluate(expression, bindings_.get(name).size());
+    }
+  }
+  throw Error(
+      "cannot infer the output element count: bind a mesh or call "
+      "evaluate(expression, elements)");
+}
+
+}  // namespace dfg

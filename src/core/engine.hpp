@@ -1,0 +1,94 @@
+// Core layer: the host interface.
+//
+// The paper's §III-D: a host application (there, VisIt; here, any C++
+// code) binds views of its existing field arrays, hands the framework an
+// expression string, and receives the derived field plus a report of the
+// device events, simulated runtime and device memory high-water mark —
+// the quantities the paper's three evaluation studies chart. The engine is
+// designed for in-situ use: bound arrays are never copied on the host
+// side, and one engine is reused across time steps (rebinding is cheap).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataflow/spec.hpp"
+#include "mesh/mesh.hpp"
+#include "runtime/bindings.hpp"
+#include "runtime/strategy.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg {
+
+struct EngineOptions {
+  runtime::StrategyKind strategy = runtime::StrategyKind::fusion;
+  dataflow::SpecOptions spec_options;
+  /// Streamed strategy only: target cells per chunk (0 = auto-size from
+  /// the device's free memory).
+  std::size_t streamed_chunk_cells = 0;
+};
+
+/// Everything one evaluation produced. `values` is the derived field
+/// (elements floats); the remaining members snapshot the profiling state
+/// for this evaluation only.
+struct EvaluationReport {
+  std::vector<float> values;
+  std::string output_name;
+  std::size_t elements = 0;
+
+  std::string strategy;
+  std::size_t dev_writes = 0;   ///< host-to-device transfers (Dev-W)
+  std::size_t dev_reads = 0;    ///< device-to-host transfers (Dev-R)
+  std::size_t kernel_execs = 0; ///< kernel dispatches (K-Exe)
+  double sim_seconds = 0.0;     ///< cost-model device time
+  double wall_seconds = 0.0;    ///< host wall-clock time of device ops
+  std::size_t memory_high_water_bytes = 0;
+
+  /// The network-definition script (inspectable, per the paper's §III-B1).
+  std::string network_script;
+  /// Generated OpenCL-like source of the fused kernel (fusion strategy
+  /// only; empty otherwise).
+  std::string kernel_source;
+};
+
+class Engine {
+ public:
+  /// The device must outlive the engine.
+  explicit Engine(vcl::Device& device, EngineOptions options = {});
+
+  /// Binds (or rebinds) a named host array; the view must stay valid
+  /// across evaluations that use it.
+  void bind(const std::string& name, std::span<const float> values);
+
+  /// Binds a mesh's x/y/z/dims arrays and makes its cell count the default
+  /// element count. The mesh must outlive the engine's evaluations.
+  void bind_mesh(const mesh::RectilinearMesh& mesh);
+
+  void set_strategy(runtime::StrategyKind kind);
+  runtime::StrategyKind strategy() const { return options_.strategy; }
+
+  /// Evaluates an expression script over an explicit output element count.
+  EvaluationReport evaluate(std::string_view expression, std::size_t elements);
+
+  /// Evaluates using the mesh cell count when a mesh is bound, otherwise
+  /// the extent of the first bound field the expression uses.
+  EvaluationReport evaluate(std::string_view expression);
+
+  vcl::Device& device() { return *device_; }
+  const runtime::FieldBindings& bindings() const { return bindings_; }
+  /// Profiling log of the most recent evaluation.
+  const vcl::ProfilingLog& log() const { return log_; }
+
+ private:
+  vcl::Device* device_;
+  EngineOptions options_;
+  runtime::FieldBindings bindings_;
+  vcl::ProfilingLog log_;
+  std::size_t default_elements_ = 0;
+};
+
+}  // namespace dfg

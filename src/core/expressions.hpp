@@ -1,0 +1,102 @@
+// Core layer: the paper's application expressions (Figure 3).
+//
+// The three vortex-detection expressions used throughout the paper's
+// evaluation, verbatim (the paper's listing truncates the w_3 line with a
+// typo — "0.5 * (dv[0])" — completed here as the antisymmetric counterpart
+// of s_3, and the closing Q line, which Figure 3C cuts off, is restored as
+// q = 0.5 * (w_norm - s_norm)).
+#pragma once
+
+namespace dfg::expressions {
+
+/// Figure 3A: velocity magnitude.
+inline constexpr const char* kVelocityMagnitude =
+    "v_mag = sqrt(u*u + v*v + w*w)";
+
+/// Figure 3B: vorticity magnitude.
+inline constexpr const char* kVorticityMagnitude = R"(
+du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+w_mag = sqrt(w_x*w_x + w_y*w_y + w_z*w_z)
+)";
+
+/// Figure 3C: Q-criterion.
+inline constexpr const char* kQCriterion = R"(
+du = grad3d(u, dims, x, y, z)
+dv = grad3d(v, dims, x, y, z)
+dw = grad3d(w, dims, x, y, z)
+s_1 = 0.5 * (du[1] + dv[0])
+s_2 = 0.5 * (du[2] + dw[0])
+s_3 = 0.5 * (dv[0] + du[1])
+s_5 = 0.5 * (dv[2] + dw[1])
+s_6 = 0.5 * (dw[0] + du[2])
+s_7 = 0.5 * (dw[1] + dv[2])
+w_1 = 0.5 * (du[1] - dv[0])
+w_2 = 0.5 * (du[2] - dw[0])
+w_3 = 0.5 * (dv[0] - du[1])
+w_5 = 0.5 * (dv[2] - dw[1])
+w_6 = 0.5 * (dw[0] - du[2])
+w_7 = 0.5 * (dw[1] - dv[2])
+s_norm = du[0]*du[0] + s_1*s_1 + s_2*s_2 +
+         s_3*s_3 + dv[1]*dv[1] + s_5*s_5 +
+         s_6*s_6 + s_7*s_7 + dw[2]*dw[2]
+w_norm = w_1*w_1 + w_2*w_2 + w_3*w_3 +
+         w_5*w_5 + w_6*w_6 + w_7*w_7
+q = 0.5 * (w_norm - s_norm)
+)";
+
+/// Divergence of the velocity field (zero for incompressible flows):
+/// a one-line compressibility check.
+inline constexpr const char* kDivergence = R"(
+du = grad3d(u, dims, x, y, z)
+dv = grad3d(v, dims, x, y, z)
+dw = grad3d(w, dims, x, y, z)
+div_v = du[0] + dv[1] + dw[2]
+)";
+
+/// Helicity density h = v . curl(v), the alignment of velocity and
+/// vorticity (for a Beltrami flow like ABC, h == |v|^2 exactly).
+inline constexpr const char* kHelicity = R"(
+du = grad3d(u, dims, x, y, z)
+dv = grad3d(v, dims, x, y, z)
+dw = grad3d(w, dims, x, y, z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+h = u*w_x + v*w_y + w*w_z
+)";
+
+/// Enstrophy density 0.5 * |curl(v)|^2, the dissipation-rate proxy.
+inline constexpr const char* kEnstrophy = R"(
+du = grad3d(u, dims, x, y, z)
+dv = grad3d(v, dims, x, y, z)
+dw = grad3d(w, dims, x, y, z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+ens = 0.5 * (w_x*w_x + w_y*w_y + w_z*w_z)
+)";
+
+/// Gradient magnitude of velocity magnitude — a second-derivative front
+/// detector that exercises the partitioned fusion pipeline (gradient of a
+/// computed value).
+inline constexpr const char* kSpeedFrontStrength = R"(
+vm = sqrt(u*u + v*v + w*w)
+g = grad3d(vm, dims, x, y, z)
+front = sqrt(g[0]*g[0] + g[1]*g[1] + g[2]*g[2])
+)";
+
+/// The paper-intro example composing a conditional with a gradient norm:
+/// a = if (norm(grad(b)) > 10) then (c * c) else (-c * c), expressed in the
+/// framework's grammar (norm(grad(b)) spelled out via grad3d/decompose).
+inline constexpr const char* kIntroConditional = R"(
+db = grad3d(b, dims, x, y, z)
+g_norm = sqrt(db[0]*db[0] + db[1]*db[1] + db[2]*db[2])
+a = if (g_norm > 10.0) then (c * c) else (-c * c)
+)";
+
+}  // namespace dfg::expressions

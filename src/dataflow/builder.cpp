@@ -1,0 +1,128 @@
+#include "dataflow/builder.hpp"
+
+#include <map>
+#include <string>
+
+#include "expr/parser.hpp"
+#include "kernels/primitives.hpp"
+
+namespace dfg::dataflow {
+
+namespace {
+
+const char* binary_filter_kind(expr::BinaryOp op) {
+  switch (op) {
+    case expr::BinaryOp::add:
+      return "add";
+    case expr::BinaryOp::sub:
+      return "sub";
+    case expr::BinaryOp::mul:
+      return "mult";
+    case expr::BinaryOp::div:
+      return "div";
+    case expr::BinaryOp::greater:
+      return "cmp_gt";
+    case expr::BinaryOp::less:
+      return "cmp_lt";
+    case expr::BinaryOp::greater_equal:
+      return "cmp_ge";
+    case expr::BinaryOp::less_equal:
+      return "cmp_le";
+    case expr::BinaryOp::equal:
+      return "cmp_eq";
+    case expr::BinaryOp::not_equal:
+      return "cmp_ne";
+  }
+  return "?";
+}
+
+class Translator {
+ public:
+  explicit Translator(SpecOptions options) : spec_(options) {}
+
+  NetworkSpec run(const expr::Script& script) {
+    int last = -1;
+    for (const expr::Statement& stmt : script.statements) {
+      const int id = translate(*stmt.value);
+      // Assignment statements map user names onto the generically named
+      // invocation nodes produced by the traversal.
+      names_[stmt.target] = id;
+      spec_.set_label(id, stmt.target);
+      last = id;
+    }
+    spec_.set_output(last);
+    return std::move(spec_);
+  }
+
+ private:
+  int translate(const expr::Node& node) {
+    switch (node.kind) {
+      case expr::NodeKind::number:
+        return spec_.add_constant(
+            static_cast<const expr::NumberNode&>(node).value);
+      case expr::NodeKind::identifier: {
+        const auto& ident = static_cast<const expr::IdentifierNode&>(node);
+        const auto it = names_.find(ident.name);
+        if (it != names_.end()) return it->second;
+        // Unassigned identifiers are host-bound field arrays.
+        return spec_.add_field_source(ident.name);
+      }
+      case expr::NodeKind::binary: {
+        const auto& bin = static_cast<const expr::BinaryNode&>(node);
+        const int lhs = translate(*bin.lhs);
+        const int rhs = translate(*bin.rhs);
+        return spec_.add_filter(binary_filter_kind(bin.op), {lhs, rhs});
+      }
+      case expr::NodeKind::unary_minus: {
+        const auto& u = static_cast<const expr::UnaryMinusNode&>(node);
+        return spec_.add_filter("neg", {translate(*u.operand)});
+      }
+      case expr::NodeKind::index: {
+        const auto& idx = static_cast<const expr::IndexNode&>(node);
+        return spec_.add_filter("decompose", {translate(*idx.base)},
+                                idx.component);
+      }
+      case expr::NodeKind::conditional: {
+        const auto& c = static_cast<const expr::ConditionalNode&>(node);
+        const int cond = translate(*c.condition);
+        const int then_value = translate(*c.then_value);
+        const int else_value = translate(*c.else_value);
+        return spec_.add_filter("select", {cond, then_value, else_value});
+      }
+      case expr::NodeKind::call: {
+        const auto& call = static_cast<const expr::CallNode&>(node);
+        if (kernels::find_primitive(call.callee) == nullptr) {
+          throw NetworkError("unknown function '" + call.callee +
+                             "' in expression");
+        }
+        std::vector<int> inputs;
+        inputs.reserve(call.args.size());
+        for (const expr::NodePtr& arg : call.args) {
+          inputs.push_back(translate(*arg));
+        }
+        return spec_.add_filter(call.callee, inputs);
+      }
+    }
+    throw NetworkError("unhandled expression node");
+  }
+
+  NetworkSpec spec_;
+  std::map<std::string, int> names_;
+};
+
+}  // namespace
+
+NetworkSpec build_network(const expr::Script& script, SpecOptions options) {
+  Translator translator(options);
+  NetworkSpec spec = translator.run(script);
+  if (options.prune_unreachable) {
+    return prune_unreachable(spec);
+  }
+  return spec;
+}
+
+NetworkSpec build_network(std::string_view source, SpecOptions options) {
+  return build_network(expr::parse(source), options);
+}
+
+}  // namespace dfg::dataflow

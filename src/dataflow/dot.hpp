@@ -1,0 +1,26 @@
+// Dataflow layer: Graphviz DOT rendering.
+//
+// Renders a network specification as the kind of dataflow diagram the
+// paper's Figure 4 shows for the Q-criterion: sources as ellipses
+// (field arrays and constants), filters as boxes, edges in execution
+// direction, and the output node highlighted.
+#pragma once
+
+#include <string>
+
+#include "dataflow/spec.hpp"
+
+namespace dfg::dataflow {
+
+struct DotOptions {
+  /// Graph name emitted in the digraph header.
+  std::string graph_name = "dataflow";
+  /// Label edges with the argument position for filters taking more than
+  /// one input (distinguishes a-b from b-a at a glance).
+  bool label_argument_positions = true;
+};
+
+/// Returns the DOT source for the network (pipe through `dot -Tsvg`).
+std::string to_dot(const NetworkSpec& spec, const DotOptions& options = {});
+
+}  // namespace dfg::dataflow

@@ -1,0 +1,47 @@
+#include "dataflow/network.hpp"
+
+#include <queue>
+
+namespace dfg::dataflow {
+
+Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
+  if (spec_.output_id() < 0) {
+    throw NetworkError("network has no output; call set_output first");
+  }
+  const auto& nodes = spec_.nodes();
+  const std::size_t n = nodes.size();
+
+  use_counts_.assign(n, 0);
+  std::vector<int> pending(n, 0);  // unexecuted producers per node
+  std::vector<std::vector<int>> consumers(n);
+  for (const SpecNode& node : nodes) {
+    for (int in : node.inputs) {
+      use_counts_[in] += 1;
+      consumers[in].push_back(node.id);
+    }
+    pending[node.id] = static_cast<int>(node.inputs.size());
+  }
+  use_counts_[spec_.output_id()] += 1;
+
+  // Kahn's algorithm, smallest-id first for a deterministic order.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (const SpecNode& node : nodes) {
+    if (pending[node.id] == 0) ready.push(node.id);
+  }
+  std::vector<int> seen_producers = pending;
+  topo_order_.reserve(n);
+  while (!ready.empty()) {
+    const int id = ready.top();
+    ready.pop();
+    topo_order_.push_back(id);
+    for (int consumer : consumers[id]) {
+      // A consumer may list the same producer several times (u*u).
+      if (--seen_producers[consumer] == 0) ready.push(consumer);
+    }
+  }
+  if (topo_order_.size() != n) {
+    throw NetworkError("network contains a dependency cycle");
+  }
+}
+
+}  // namespace dfg::dataflow

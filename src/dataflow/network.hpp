@@ -1,0 +1,41 @@
+// Dataflow layer: initialized network.
+//
+// Network-initialization per the paper's §III-B2: a topological sort
+// establishes filter precedence, and reference counts let execution
+// strategies reuse intermediate results and release device buffers as soon
+// as their last consumer has run (reducing memory overhead).
+#pragma once
+
+#include <vector>
+
+#include "dataflow/spec.hpp"
+
+namespace dfg::dataflow {
+
+class Network {
+ public:
+  /// Takes ownership of a finished spec. Throws NetworkError when the spec
+  /// has no output or contains a dependency cycle (possible only for
+  /// hand-built specs; the builder produces DAGs by construction).
+  explicit Network(NetworkSpec spec);
+
+  const NetworkSpec& spec() const { return spec_; }
+
+  /// All node ids in dependency order (producers before consumers).
+  const std::vector<int>& topo_order() const { return topo_order_; }
+
+  /// Number of consumers of a node's value, counting duplicate uses
+  /// (u appears twice in u*u) plus one if the node is the network output.
+  /// Strategies copy these counts and decrement as consumers execute.
+  int use_count(int id) const { return use_counts_[id]; }
+  const std::vector<int>& use_counts() const { return use_counts_; }
+
+  int output_id() const { return spec_.output_id(); }
+
+ private:
+  NetworkSpec spec_;
+  std::vector<int> topo_order_;
+  std::vector<int> use_counts_;
+};
+
+}  // namespace dfg::dataflow

@@ -1,0 +1,137 @@
+#include "dataflow/script_io.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dfg::dataflow {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& line, const std::string& why) {
+  throw NetworkError("script parse error: " + why + " in line '" + line +
+                     "'");
+}
+
+std::string strip(const std::string& text) {
+  const std::size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// Extracts the quoted string starting at `pos` (which must point at the
+/// opening quote).
+std::string quoted(const std::string& line, std::size_t pos) {
+  if (pos >= line.size() || line[pos] != '"') {
+    fail(line, "expected a quoted string");
+  }
+  const std::size_t close = line.find('"', pos + 1);
+  if (close == std::string::npos) fail(line, "unterminated string");
+  return line.substr(pos + 1, close - pos - 1);
+}
+
+/// Parses "nNN" into the numeric id.
+int node_ref(const std::string& line, const std::string& token) {
+  if (token.size() < 2 || token[0] != 'n') {
+    fail(line, "expected a node reference like n3, got '" + token + "'");
+  }
+  return std::atoi(token.c_str() + 1);
+}
+
+}  // namespace
+
+NetworkSpec parse_script(std::string_view script, SpecOptions options) {
+  // Folding during re-parse would renumber nodes and break references.
+  options.cse = false;
+  options.dedup_constants = false;
+  NetworkSpec spec(options);
+  std::map<int, int> id_map;  // script node id -> spec node id
+
+  std::size_t pos = 0;
+  while (pos <= script.size()) {
+    const std::size_t eol = script.find('\n', pos);
+    std::string raw(script.substr(
+        pos, eol == std::string_view::npos ? script.size() - pos
+                                           : eol - pos));
+    pos = eol == std::string_view::npos ? script.size() + 1 : eol + 1;
+
+    // Trailing comment carries the label.
+    std::string label;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      label = strip(raw.substr(hash + 1));
+      raw = raw.substr(0, hash);
+    }
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+    if (line == "net = NetworkSpec()") continue;
+
+    if (line.rfind("net.set_output(", 0) == 0) {
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.find(')', open);
+      if (close == std::string::npos) fail(line, "missing ')'");
+      const int script_id =
+          node_ref(line, strip(line.substr(open + 1, close - open - 1)));
+      const auto it = id_map.find(script_id);
+      if (it == id_map.end()) fail(line, "unknown node reference");
+      spec.set_output(it->second);
+      continue;
+    }
+
+    // nK = net.add_...(...)
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(line, "expected an assignment");
+    const int script_id = node_ref(line, strip(line.substr(0, eq)));
+    const std::string call = strip(line.substr(eq + 1));
+
+    int new_id = -1;
+    if (call.rfind("net.add_field_source(", 0) == 0) {
+      new_id = spec.add_field_source(quoted(call, call.find('"')));
+    } else if (call.rfind("net.add_constant(", 0) == 0) {
+      const std::size_t open = call.find('(');
+      const std::size_t close = call.rfind(')');
+      if (close == std::string::npos || close <= open) {
+        fail(line, "missing ')'");
+      }
+      new_id = spec.add_constant(
+          std::strtod(call.substr(open + 1, close - open - 1).c_str(),
+                      nullptr));
+    } else if (call.rfind("net.add_filter(", 0) == 0) {
+      const std::string kind = quoted(call, call.find('"'));
+      const std::size_t lbracket = call.find('[');
+      const std::size_t rbracket = call.find(']', lbracket);
+      if (lbracket == std::string::npos || rbracket == std::string::npos) {
+        fail(line, "missing input list");
+      }
+      std::vector<int> inputs;
+      std::string list = call.substr(lbracket + 1, rbracket - lbracket - 1);
+      std::size_t start = 0;
+      while (start < list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string token = strip(list.substr(start, comma - start));
+        if (!token.empty()) {
+          const auto it = id_map.find(node_ref(line, token));
+          if (it == id_map.end()) fail(line, "unknown node reference");
+          inputs.push_back(it->second);
+        }
+        start = comma + 1;
+      }
+      int component = 0;
+      const std::size_t comp = call.find("component=", rbracket);
+      if (comp != std::string::npos) {
+        component = std::atoi(call.c_str() + comp + 10);
+      }
+      new_id = spec.add_filter(kind, inputs, component);
+    } else {
+      fail(line, "unrecognised call");
+    }
+    if (!label.empty()) spec.set_label(new_id, label);
+    id_map[script_id] = new_id;
+  }
+  return spec;
+}
+
+}  // namespace dfg::dataflow

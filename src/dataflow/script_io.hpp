@@ -1,0 +1,30 @@
+// Dataflow layer: network-definition script serialisation.
+//
+// NetworkSpec::to_script dumps the create-and-connect API calls that
+// rebuild a spec (the paper's inspectable Python script); this module
+// parses that format back, so specs round-trip through plain text — a host
+// can persist a user's derived-field definition, audit it, edit it by
+// hand, and reload it without the expression front-end.
+#pragma once
+
+#include <string_view>
+
+#include "dataflow/spec.hpp"
+
+namespace dfg::dataflow {
+
+/// Parses a network-definition script produced by NetworkSpec::to_script
+/// (or hand-written in the same format):
+///
+///   net = NetworkSpec()
+///   n0 = net.add_field_source("u")        # u
+///   n1 = net.add_constant(0.5)            # t0
+///   n2 = net.add_filter("mult", [n0, n1]) # scaled
+///   n3 = net.add_filter("decompose", [n2], component=1)
+///   net.set_output(n2)
+///
+/// Node labels come from the trailing comments when present. Throws
+/// NetworkError with the offending line on malformed input.
+NetworkSpec parse_script(std::string_view script, SpecOptions options = {});
+
+}  // namespace dfg::dataflow

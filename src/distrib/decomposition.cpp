@@ -1,0 +1,83 @@
+#include "distrib/decomposition.hpp"
+
+#include "support/error.hpp"
+
+namespace dfg::distrib {
+
+GridDecomposition::GridDecomposition(const mesh::Dims& global,
+                                     std::size_t blocks_x, std::size_t blocks_y,
+                                     std::size_t blocks_z)
+    : global_(global), bx_(blocks_x), by_(blocks_y), bz_(blocks_z) {
+  if (bx_ == 0 || by_ == 0 || bz_ == 0) {
+    throw Error("decomposition requires positive block counts");
+  }
+  if (global_.nx % bx_ != 0 || global_.ny % by_ != 0 ||
+      global_.nz % bz_ != 0) {
+    throw Error("block counts must divide the global dims evenly (" +
+                mesh::to_string(global_) + " into " + std::to_string(bx_) +
+                "x" + std::to_string(by_) + "x" + std::to_string(bz_) + ")");
+  }
+}
+
+mesh::Dims GridDecomposition::block_dims() const {
+  return mesh::Dims{global_.nx / bx_, global_.ny / by_, global_.nz / bz_};
+}
+
+std::size_t GridDecomposition::block_id(const BlockCoord& coord) const {
+  if (coord.bi >= bx_ || coord.bj >= by_ || coord.bk >= bz_) {
+    throw Error("block coordinate out of range");
+  }
+  return coord.bi + bx_ * (coord.bj + by_ * coord.bk);
+}
+
+BlockCoord GridDecomposition::block_coord(std::size_t id) const {
+  if (id >= block_count()) {
+    throw Error("block id " + std::to_string(id) + " out of range");
+  }
+  return BlockCoord{id % bx_, (id / bx_) % by_, id / (bx_ * by_)};
+}
+
+BlockExtent GridDecomposition::extent(std::size_t id) const {
+  const BlockCoord c = block_coord(id);
+  const mesh::Dims b = block_dims();
+  return BlockExtent{c.bi * b.nx, (c.bi + 1) * b.nx, c.bj * b.ny,
+                     (c.bj + 1) * b.ny, c.bk * b.nz, (c.bk + 1) * b.nz};
+}
+
+std::optional<std::size_t> GridDecomposition::neighbor(std::size_t id,
+                                                       int axis,
+                                                       int direction) const {
+  BlockCoord c = block_coord(id);
+  const auto step = [&](std::size_t v, std::size_t limit)
+      -> std::optional<std::size_t> {
+    if (direction < 0) {
+      if (v == 0) return std::nullopt;
+      return v - 1;
+    }
+    if (v + 1 >= limit) return std::nullopt;
+    return v + 1;
+  };
+  std::optional<std::size_t> moved;
+  switch (axis) {
+    case 0:
+      moved = step(c.bi, bx_);
+      if (!moved) return std::nullopt;
+      c.bi = *moved;
+      break;
+    case 1:
+      moved = step(c.bj, by_);
+      if (!moved) return std::nullopt;
+      c.bj = *moved;
+      break;
+    case 2:
+      moved = step(c.bk, bz_);
+      if (!moved) return std::nullopt;
+      c.bk = *moved;
+      break;
+    default:
+      throw Error("axis must be 0, 1 or 2");
+  }
+  return block_id(c);
+}
+
+}  // namespace dfg::distrib

@@ -1,0 +1,153 @@
+#include "distrib/dist_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "support/error.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::distrib {
+
+namespace {
+
+/// Builds the padded block's rectilinear mesh from global node coordinates.
+mesh::RectilinearMesh padded_mesh(const mesh::RectilinearMesh& global,
+                                  const BlockExtent& extent,
+                                  const PaddedBlock& padded) {
+  const auto slice = [](const std::vector<float>& nodes, std::size_t begin,
+                        std::size_t count) {
+    return std::vector<float>(nodes.begin() + static_cast<long>(begin),
+                              nodes.begin() + static_cast<long>(begin + count));
+  };
+  // Node counts are cell counts + 1; the low ghost offset shifts the start.
+  return mesh::RectilinearMesh(
+      slice(global.x_nodes(), extent.i_begin - padded.lo_i,
+            padded.dims.nx + 1),
+      slice(global.y_nodes(), extent.j_begin - padded.lo_j,
+            padded.dims.ny + 1),
+      slice(global.z_nodes(), extent.k_begin - padded.lo_k,
+            padded.dims.nz + 1));
+}
+
+}  // namespace
+
+DistributedEngine::DistributedEngine(const mesh::RectilinearMesh& mesh,
+                                     GridDecomposition decomposition,
+                                     ClusterConfig config)
+    : mesh_(&mesh),
+      decomposition_(std::move(decomposition)),
+      config_(std::move(config)) {
+  if (!(decomposition_.global_dims() == mesh.dims())) {
+    throw Error("decomposition dims do not match the mesh");
+  }
+  if (config_.nodes == 0 || config_.devices_per_node == 0) {
+    throw Error("cluster config requires positive node and device counts");
+  }
+}
+
+void DistributedEngine::bind_global(const std::string& name,
+                                    std::span<const float> values) {
+  if (values.size() < mesh_->cell_count()) {
+    throw Error("global array '" + name + "' smaller than the global grid");
+  }
+  global_arrays_[name] = values;
+}
+
+DistributedReport DistributedEngine::evaluate(
+    std::string_view expression, runtime::StrategyKind strategy_kind) {
+  // One network is built and shared by every rank (the expression is the
+  // same everywhere; only the bound arrays differ per block).
+  dataflow::Network network(dataflow::build_network(expression));
+
+  // Ghost data generation for every bound field the expression uses.
+  GhostExchanger exchanger(decomposition_, config_.ghost_width);
+  std::map<std::string, std::vector<PaddedBlock>> padded_fields;
+  for (const std::string& name : network.spec().field_names()) {
+    if (name == "x" || name == "y" || name == "z" || name == "dims") continue;
+    const auto it = global_arrays_.find(name);
+    if (it == global_arrays_.end()) {
+      throw NetworkError("expression references unbound global field '" +
+                         name + "'");
+    }
+    std::vector<float> global_copy(it->second.begin(), it->second.end());
+    padded_fields[name] = exchanger.exchange(exchanger.scatter(global_copy));
+  }
+
+  if (padded_fields.empty()) {
+    throw NetworkError(
+        "distributed evaluation requires at least one bound field in the "
+        "expression");
+  }
+
+  const std::size_t ranks = config_.nodes * config_.devices_per_node;
+  const std::size_t blocks = decomposition_.block_count();
+
+  // One virtual device and profiling log per MPI task.
+  std::vector<std::unique_ptr<vcl::Device>> devices;
+  std::vector<vcl::ProfilingLog> logs(ranks);
+  devices.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    devices.push_back(std::make_unique<vcl::Device>(config_.device_spec));
+  }
+
+  const auto strategy = runtime::make_strategy(strategy_kind);
+  const mesh::Dims global_dims = decomposition_.global_dims();
+  DistributedReport report;
+  report.values.assign(global_dims.cell_count(), 0.0f);
+  report.blocks = blocks;
+  report.ranks = ranks;
+  report.blocks_per_rank_max = (blocks + ranks - 1) / ranks;
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t rank = b % ranks;
+    const BlockExtent extent = decomposition_.extent(b);
+
+    // Any padded field of this block describes the block's padding.
+    const PaddedBlock& shape = padded_fields.begin()->second[b];
+    const mesh::RectilinearMesh block_mesh =
+        padded_mesh(*mesh_, extent, shape);
+
+    runtime::FieldBindings bindings;
+    bindings.bind_mesh(block_mesh);
+    for (const auto& [name, padded_blocks] : padded_fields) {
+      bindings.bind(name, padded_blocks[b].values);
+    }
+
+    const std::vector<float> block_result =
+        strategy->execute(network, bindings, shape.dims.cell_count(),
+                          *devices[rank], logs[rank]);
+
+    // Keep only interior cells; ghost-cell results are discarded.
+    const mesh::Dims bd = extent.dims();
+    for (std::size_t k = 0; k < bd.nz; ++k) {
+      for (std::size_t j = 0; j < bd.ny; ++j) {
+        for (std::size_t i = 0; i < bd.nx; ++i) {
+          report.values[(extent.i_begin + i) +
+                        global_dims.nx * ((extent.j_begin + j) +
+                                          global_dims.ny *
+                                              (extent.k_begin + k))] =
+              block_result[shape.index(i + shape.lo_i, j + shape.lo_j,
+                                       k + shape.lo_k)];
+        }
+      }
+    }
+  }
+
+  report.ghost_messages = exchanger.messages();
+  report.ghost_bytes = exchanger.bytes();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    report.max_rank_sim_seconds =
+        std::max(report.max_rank_sim_seconds, logs[r].total_sim_seconds());
+    report.total_sim_seconds += logs[r].total_sim_seconds();
+    report.total_dev_writes += logs[r].count(vcl::EventKind::host_to_device);
+    report.total_dev_reads += logs[r].count(vcl::EventKind::device_to_host);
+    report.total_kernel_execs += logs[r].count(vcl::EventKind::kernel_exec);
+    report.max_device_high_water =
+        std::max(report.max_device_high_water, devices[r]->memory().high_water());
+  }
+  return report;
+}
+
+}  // namespace dfg::distrib

@@ -1,0 +1,69 @@
+#include "expr/ast.hpp"
+
+#include "support/string_util.hpp"
+
+namespace dfg::expr {
+
+const char* binary_op_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::add:
+      return "+";
+    case BinaryOp::sub:
+      return "-";
+    case BinaryOp::mul:
+      return "*";
+    case BinaryOp::div:
+      return "/";
+    case BinaryOp::greater:
+      return ">";
+    case BinaryOp::less:
+      return "<";
+    case BinaryOp::greater_equal:
+      return ">=";
+    case BinaryOp::less_equal:
+      return "<=";
+    case BinaryOp::equal:
+      return "==";
+    case BinaryOp::not_equal:
+      return "!=";
+  }
+  return "?";
+}
+
+std::string to_string(const Node& node) {
+  switch (node.kind) {
+    case NodeKind::number:
+      return support::format_float(static_cast<const NumberNode&>(node).value);
+    case NodeKind::identifier:
+      return static_cast<const IdentifierNode&>(node).name;
+    case NodeKind::call: {
+      const auto& call = static_cast<const CallNode&>(node);
+      std::vector<std::string> args;
+      args.reserve(call.args.size());
+      for (const NodePtr& a : call.args) args.push_back(to_string(*a));
+      return call.callee + "(" + support::join(args, ", ") + ")";
+    }
+    case NodeKind::binary: {
+      const auto& bin = static_cast<const BinaryNode&>(node);
+      return "(" + to_string(*bin.lhs) + " " + binary_op_symbol(bin.op) + " " +
+             to_string(*bin.rhs) + ")";
+    }
+    case NodeKind::unary_minus: {
+      const auto& u = static_cast<const UnaryMinusNode&>(node);
+      return "(-" + to_string(*u.operand) + ")";
+    }
+    case NodeKind::index: {
+      const auto& idx = static_cast<const IndexNode&>(node);
+      return to_string(*idx.base) + "[" + std::to_string(idx.component) + "]";
+    }
+    case NodeKind::conditional: {
+      const auto& c = static_cast<const ConditionalNode&>(node);
+      return "if (" + to_string(*c.condition) + ") then (" +
+             to_string(*c.then_value) + ") else (" + to_string(*c.else_value) +
+             ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace dfg::expr

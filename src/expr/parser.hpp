@@ -1,0 +1,36 @@
+// Expression front-end: parser.
+//
+// Recursive-descent with precedence climbing, the idiomatic C++ analogue of
+// the paper's PLY LR(1) parser over the same grammar:
+//
+//   script      := statement+
+//   statement   := IDENT '=' expr
+//   expr        := additive (CMPOP additive)?          (non-associative)
+//   additive    := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/') unary)*
+//   unary       := '-' unary | postfix
+//   postfix     := primary ('[' NUMBER ']')*
+//   primary     := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')'
+//                | '(' expr ')'
+//                | 'if' '(' expr ')' 'then' '(' expr ')' 'else' '(' expr ')'
+//
+// Semantic checks that need the filter registry or field bindings (unknown
+// filters, arity, component shapes) are deferred to the network builder so
+// the parser stays purely syntactic.
+#pragma once
+
+#include <string_view>
+
+#include "expr/ast.hpp"
+
+namespace dfg::expr {
+
+/// Parses a full expression script (one or more assignment statements).
+/// Throws ParseError with source positions on syntax errors.
+Script parse(std::string_view source);
+
+/// Parses a single expression (no assignment); used by tests and by hosts
+/// that evaluate anonymous expressions.
+NodePtr parse_expression(std::string_view source);
+
+}  // namespace dfg::expr

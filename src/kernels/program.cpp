@@ -1,0 +1,389 @@
+#include "kernels/program.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dfg::kernels {
+
+std::uint64_t op_flops(Op op) {
+  switch (op) {
+    case Op::load_global:
+    case Op::load_global_vec:
+    case Op::load_const:
+    case Op::store:
+    case Op::store_vec:
+    case Op::component:
+      return 0;
+    case Op::add:
+    case Op::sub:
+    case Op::mul:
+    case Op::div:
+    case Op::neg:
+    case Op::abs:
+    case Op::min:
+    case Op::max:
+    case Op::cmp_gt:
+    case Op::cmp_lt:
+    case Op::cmp_ge:
+    case Op::cmp_le:
+    case Op::cmp_eq:
+    case Op::cmp_ne:
+    case Op::select:
+      return 1;
+    case Op::sqrt:
+      return 4;  // sqrt costs several fma-equivalents on both targets
+    case Op::floor:
+    case Op::ceil:
+      return 1;
+    case Op::sin:
+    case Op::cos:
+    case Op::tan:
+    case Op::exp:
+    case Op::log:
+    case Op::tanh:
+      return 8;  // transcendental special-function units / polynomial cost
+    case Op::pow:
+      return 16;
+    case Op::grad3d:
+      // Per axis: one field difference, cell-center reconstruction from node
+      // coordinates (2 adds + 2 muls), one coordinate difference, one divide.
+      return 30;
+  }
+  return 0;
+}
+
+std::uint64_t op_global_bytes(Op op) {
+  switch (op) {
+    case Op::load_global:
+      return sizeof(float);
+    case Op::load_global_vec:
+      return 4 * sizeof(float);
+    case Op::store:
+      return sizeof(float);
+    case Op::store_vec:
+      return 4 * sizeof(float);
+    case Op::grad3d:
+      // Six stencil reads of the field plus six node-coordinate reads; the
+      // tiny dims buffer is treated as cached.
+      return 12 * sizeof(float);
+    default:
+      return 0;
+  }
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::load_global:
+      return "load_global";
+    case Op::load_global_vec:
+      return "load_global_vec";
+    case Op::load_const:
+      return "load_const";
+    case Op::store:
+      return "store";
+    case Op::store_vec:
+      return "store_vec";
+    case Op::add:
+      return "add";
+    case Op::sub:
+      return "sub";
+    case Op::mul:
+      return "mul";
+    case Op::div:
+      return "div";
+    case Op::sqrt:
+      return "sqrt";
+    case Op::neg:
+      return "neg";
+    case Op::abs:
+      return "abs";
+    case Op::sin:
+      return "sin";
+    case Op::cos:
+      return "cos";
+    case Op::tan:
+      return "tan";
+    case Op::exp:
+      return "exp";
+    case Op::log:
+      return "log";
+    case Op::tanh:
+      return "tanh";
+    case Op::floor:
+      return "floor";
+    case Op::ceil:
+      return "ceil";
+    case Op::min:
+      return "min";
+    case Op::max:
+      return "max";
+    case Op::pow:
+      return "pow";
+    case Op::component:
+      return "component";
+    case Op::cmp_gt:
+      return "cmp_gt";
+    case Op::cmp_lt:
+      return "cmp_lt";
+    case Op::cmp_ge:
+      return "cmp_ge";
+    case Op::cmp_le:
+      return "cmp_le";
+    case Op::cmp_eq:
+      return "cmp_eq";
+    case Op::cmp_ne:
+      return "cmp_ne";
+    case Op::select:
+      return "select";
+    case Op::grad3d:
+      return "grad3d";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_binary(Op op) {
+  switch (op) {
+    case Op::add:
+    case Op::sub:
+    case Op::mul:
+    case Op::div:
+    case Op::min:
+    case Op::max:
+    case Op::pow:
+    case Op::cmp_gt:
+    case Op::cmp_lt:
+    case Op::cmp_ge:
+    case Op::cmp_le:
+    case Op::cmp_eq:
+    case Op::cmp_ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_unary(Op op) {
+  switch (op) {
+    case Op::sqrt:
+    case Op::neg:
+    case Op::abs:
+    case Op::sin:
+    case Op::cos:
+    case Op::tan:
+    case Op::exp:
+    case Op::log:
+    case Op::tanh:
+    case Op::floor:
+    case Op::ceil:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Number of register operands consumed by an instruction.
+int register_operand_count(const Instr& instr) {
+  if (is_binary(instr.op)) return 2;
+  if (is_unary(instr.op) || instr.op == Op::component ||
+      instr.op == Op::store || instr.op == Op::store_vec) {
+    return 1;
+  }
+  if (instr.op == Op::select) return 3;
+  return 0;
+}
+
+bool defines_register(Op op) {
+  return op != Op::store && op != Op::store_vec;
+}
+
+/// Lanes a register holds as live scalars: vector-valued producers hold 3,
+/// scalar producers 1.
+int result_width(const Instr& instr, const std::vector<int>& widths) {
+  switch (instr.op) {
+    case Op::grad3d:
+    case Op::load_global_vec:
+      return 3;
+    case Op::select:
+      return std::max(widths[instr.args[1]], widths[instr.args[2]]);
+    case Op::add:
+    case Op::sub:
+    case Op::mul:
+    case Op::div:
+    case Op::min:
+    case Op::max:
+    case Op::pow:
+      return std::max(widths[instr.args[0]], widths[instr.args[1]]);
+    case Op::sqrt:
+    case Op::neg:
+    case Op::abs:
+    case Op::sin:
+    case Op::cos:
+    case Op::tan:
+    case Op::exp:
+    case Op::log:
+    case Op::tanh:
+    case Op::floor:
+    case Op::ceil:
+      return widths[instr.args[0]];
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+std::uint16_t ProgramBuilder::add_param(const std::string& name, bool is_vec) {
+  params_.push_back(BufferParam{name, is_vec});
+  return static_cast<std::uint16_t>(params_.size() - 1);
+}
+
+std::uint16_t ProgramBuilder::fresh_reg() {
+  if (next_reg_ == UINT16_MAX) {
+    throw KernelError("program '" + name_ + "' exhausted virtual registers");
+  }
+  return next_reg_++;
+}
+
+std::uint16_t ProgramBuilder::emit_load_global(std::uint16_t param_slot) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::load_global, dst, {param_slot}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_load_global_vec(std::uint16_t param_slot) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::load_global_vec, dst, {param_slot}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_load_const(float value) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::load_const, dst, {}, value});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_binary(Op op, std::uint16_t a,
+                                          std::uint16_t b) {
+  if (!is_binary(op)) {
+    throw KernelError(std::string("emit_binary called with opcode ") +
+                      op_name(op));
+  }
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{op, dst, {a, b}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_unary(Op op, std::uint16_t a) {
+  if (!is_unary(op)) {
+    throw KernelError(std::string("emit_unary called with opcode ") +
+                      op_name(op));
+  }
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{op, dst, {a}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_component(std::uint16_t a, int component) {
+  if (component < 0 || component > 3) {
+    throw KernelError("component index " + std::to_string(component) +
+                      " out of range [0, 3]");
+  }
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(
+      Instr{Op::component, dst, {a, static_cast<std::uint16_t>(component)},
+            0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_select(std::uint16_t cond,
+                                          std::uint16_t then_value,
+                                          std::uint16_t else_value) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::select, dst, {cond, then_value, else_value}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_grad3d(std::uint16_t field_slot,
+                                          std::uint16_t dims_slot,
+                                          std::uint16_t x_slot,
+                                          std::uint16_t y_slot,
+                                          std::uint16_t z_slot) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::grad3d,
+                        dst,
+                        {field_slot, dims_slot, x_slot, y_slot, z_slot},
+                        0.0f});
+  return dst;
+}
+
+Program ProgramBuilder::finish(std::uint16_t result_reg, int out_components) {
+  if (out_components != 1 && out_components != 3) {
+    throw KernelError("out_components must be 1 or 3");
+  }
+  if (result_reg >= next_reg_) {
+    throw KernelError("program '" + name_ + "' stores undefined register r" +
+                      std::to_string(result_reg));
+  }
+  code_.push_back(Instr{out_components == 1 ? Op::store : Op::store_vec,
+                        0,
+                        {result_reg},
+                        0.0f});
+
+  Program prog;
+  prog.name_ = std::move(name_);
+  prog.code_ = std::move(code_);
+  prog.params_ = std::move(params_);
+  prog.num_regs_ = next_reg_;
+  prog.out_components_ = out_components;
+
+  // Cost metadata.
+  for (const Instr& instr : prog.code_) {
+    prog.flops_per_item_ += op_flops(instr.op);
+    prog.global_bytes_per_item_ += op_global_bytes(instr.op);
+  }
+
+  // Register-pressure scan: definition point and last use per register,
+  // widths propagated through vector-valued ops, peak live scalars.
+  const std::size_t n = prog.code_.size();
+  std::vector<int> def_at(prog.num_regs_, -1);
+  std::vector<int> last_use(prog.num_regs_, -1);
+  std::vector<int> widths(prog.num_regs_, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& instr = prog.code_[i];
+    const int operands = register_operand_count(instr);
+    for (int k = 0; k < operands; ++k) {
+      const std::uint16_t reg = instr.args[static_cast<std::size_t>(k)];
+      if (reg >= prog.num_regs_ || def_at[reg] < 0) {
+        throw KernelError("program '" + prog.name_ + "' instruction " +
+                          std::to_string(i) + " (" + op_name(instr.op) +
+                          ") uses undefined register r" + std::to_string(reg));
+      }
+      last_use[reg] = static_cast<int>(i);
+    }
+    if (defines_register(instr.op)) {
+      def_at[instr.dst] = static_cast<int>(i);
+      widths[instr.dst] = result_width(instr, widths);
+      last_use[instr.dst] = static_cast<int>(i);
+    }
+  }
+  int max_live = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    int live = 0;
+    for (std::uint16_t r = 0; r < prog.num_regs_; ++r) {
+      if (def_at[r] >= 0 && def_at[r] <= static_cast<int>(i) &&
+          last_use[r] >= static_cast<int>(i)) {
+        live += widths[r];
+      }
+    }
+    max_live = std::max(max_live, live);
+  }
+  prog.max_live_scalars_ = max_live;
+  return prog;
+}
+
+}  // namespace dfg::kernels

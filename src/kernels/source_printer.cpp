@@ -1,0 +1,186 @@
+#include "kernels/source_printer.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "kernels/primitives.hpp"
+#include "support/string_util.hpp"
+
+namespace dfg::kernels {
+
+namespace {
+
+std::string reg(std::uint16_t r) { return "r" + std::to_string(r); }
+
+/// Primitive whose device function the preamble must include for an opcode;
+/// empty when the opcode lowers to an operator or built-in.
+const char* preamble_primitive(Op op) {
+  switch (op) {
+    case Op::grad3d:
+      return "grad3d";
+    default:
+      return nullptr;
+  }
+}
+
+const char* infix_operator(Op op) {
+  switch (op) {
+    case Op::add:
+      return "+";
+    case Op::sub:
+      return "-";
+    case Op::mul:
+      return "*";
+    case Op::div:
+      return "/";
+    default:
+      return nullptr;
+  }
+}
+
+const char* comparison_operator(Op op) {
+  switch (op) {
+    case Op::cmp_gt:
+      return ">";
+    case Op::cmp_lt:
+      return "<";
+    case Op::cmp_ge:
+      return ">=";
+    case Op::cmp_le:
+      return "<=";
+    case Op::cmp_eq:
+      return "==";
+    case Op::cmp_ne:
+      return "!=";
+    default:
+      return nullptr;
+  }
+}
+
+void print_instr(std::ostringstream& os, const Program& program,
+                 const Instr& in) {
+  const auto& params = program.params();
+  os << "    ";
+  if (const char* op = infix_operator(in.op)) {
+    os << "float4 " << reg(in.dst) << " = " << reg(in.args[0]) << " " << op
+       << " " << reg(in.args[1]) << ";";
+  } else if (const char* cmp = comparison_operator(in.op)) {
+    os << "float4 " << reg(in.dst) << " = (float4)((" << reg(in.args[0])
+       << ".s0 " << cmp << " " << reg(in.args[1])
+       << ".s0) ? 1.0f : 0.0f, 0.0f, 0.0f, 0.0f);";
+  } else {
+    switch (in.op) {
+      case Op::load_global:
+        os << "float4 " << reg(in.dst) << " = (float4)("
+           << params[in.args[0]].name << "[gid], 0.0f, 0.0f, 0.0f);";
+        break;
+      case Op::load_global_vec:
+        os << "float4 " << reg(in.dst) << " = vload4(gid, "
+           << params[in.args[0]].name << ");";
+        break;
+      case Op::load_const:
+        // Source-code-level constant insertion.
+        os << "float4 " << reg(in.dst) << " = (float4)("
+           << support::format_float(in.imm) << "f, 0.0f, 0.0f, 0.0f);";
+        break;
+      case Op::sqrt:
+        os << "float4 " << reg(in.dst) << " = sqrt(" << reg(in.args[0])
+           << ");";
+        break;
+      case Op::neg:
+        os << "float4 " << reg(in.dst) << " = -" << reg(in.args[0]) << ";";
+        break;
+      case Op::abs:
+        os << "float4 " << reg(in.dst) << " = fabs(" << reg(in.args[0])
+           << ");";
+        break;
+      case Op::sin:
+      case Op::cos:
+      case Op::tan:
+      case Op::exp:
+      case Op::log:
+      case Op::tanh:
+      case Op::floor:
+      case Op::ceil:
+        os << "float4 " << reg(in.dst) << " = " << op_name(in.op) << "("
+           << reg(in.args[0]) << ");";
+        break;
+      case Op::min:
+        os << "float4 " << reg(in.dst) << " = fmin(" << reg(in.args[0])
+           << ", " << reg(in.args[1]) << ");";
+        break;
+      case Op::max:
+        os << "float4 " << reg(in.dst) << " = fmax(" << reg(in.args[0])
+           << ", " << reg(in.args[1]) << ");";
+        break;
+      case Op::pow:
+        os << "float4 " << reg(in.dst) << " = pow(" << reg(in.args[0])
+           << ", " << reg(in.args[1]) << ");";
+        break;
+      case Op::component:
+        // Source-level decompose: an OpenCL vector sub-component select.
+        os << "float4 " << reg(in.dst) << " = (float4)(" << reg(in.args[0])
+           << ".s" << in.args[1] << ", 0.0f, 0.0f, 0.0f);";
+        break;
+      case Op::select:
+        os << "float4 " << reg(in.dst) << " = (" << reg(in.args[0])
+           << ".s0 != 0.0f) ? " << reg(in.args[1]) << " : " << reg(in.args[2])
+           << ";";
+        break;
+      case Op::grad3d:
+        os << "float4 " << reg(in.dst) << " = grad3d("
+           << params[in.args[0]].name << ", " << params[in.args[1]].name
+           << ", " << params[in.args[2]].name << ", "
+           << params[in.args[3]].name << ", " << params[in.args[4]].name
+           << ", gid);";
+        break;
+      case Op::store:
+        os << "out[gid] = " << reg(in.args[0]) << ".s0;";
+        break;
+      case Op::store_vec:
+        os << "vstore4(" << reg(in.args[0]) << ", gid, out);";
+        break;
+      default:
+        os << "/* " << op_name(in.op) << " */";
+        break;
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string to_opencl_body(const Program& program) {
+  std::ostringstream os;
+  os << "__kernel void " << program.name() << "(\n";
+  for (const BufferParam& p : program.params()) {
+    os << "    __global const float *" << p.name << ",\n";
+  }
+  os << "    __global float *out)\n{\n";
+  os << "    int gid = get_global_id(0);\n";
+  for (const Instr& in : program.code()) {
+    print_instr(os, program, in);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_opencl_source(const Program& program) {
+  std::ostringstream os;
+  os << "/* generated by dfgen: kernel '" << program.name() << "', "
+     << program.code().size() << " instructions, peak "
+     << program.max_live_scalar_registers() << " live scalar registers */\n";
+  std::set<std::string> included;
+  for (const Instr& in : program.code()) {
+    if (const char* prim = preamble_primitive(in.op)) {
+      if (included.insert(prim).second) {
+        const PrimitiveInfo* info = find_primitive(prim);
+        if (info != nullptr) os << info->ocl_source << "\n";
+      }
+    }
+  }
+  os << to_opencl_body(program);
+  return os.str();
+}
+
+}  // namespace dfg::kernels

@@ -1,0 +1,24 @@
+// Kernel layer: OpenCL-C source rendering.
+//
+// Renders a bytecode Program as the equivalent OpenCL C kernel source. The
+// paper's framework generates real OpenCL C at runtime; our VM executes
+// bytecode instead, and this printer recovers the human-inspectable source
+// view — used by documentation, diagnostics, tests and the Engine's report
+// (the analogue of the paper's optional script dump).
+#pragma once
+
+#include <string>
+
+#include "kernels/program.hpp"
+
+namespace dfg::kernels {
+
+/// Full kernel source: primitive device-function preamble (each primitive
+/// used, written once) followed by the __kernel function body with one
+/// statement per instruction.
+std::string to_opencl_source(const Program& program);
+
+/// Just the kernel body (no device-function preamble); used by tests.
+std::string to_opencl_body(const Program& program);
+
+}  // namespace dfg::kernels

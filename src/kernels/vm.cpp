@@ -1,0 +1,323 @@
+#include "kernels/vm.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace dfg::kernels {
+
+namespace {
+
+/// Pre-validated gradient context for one grad3d instruction. The dims and
+/// node-coordinate buffers are checked once per run() call rather than once
+/// per element.
+struct GradContext {
+  const float* field = nullptr;
+  std::size_t field_elements = 0;
+  std::size_t nx = 0, ny = 0, nz = 0;
+  const float* x = nullptr;
+  const float* y = nullptr;
+  const float* z = nullptr;
+};
+
+GradContext make_grad_context(const Instr& instr,
+                              std::span<const BufferBinding> inputs,
+                              const std::string& program_name) {
+  const auto need = [&](std::uint16_t slot) -> const BufferBinding& {
+    if (slot >= inputs.size()) {
+      throw KernelError("program '" + program_name +
+                        "' grad3d references missing buffer slot " +
+                        std::to_string(slot));
+    }
+    return inputs[slot];
+  };
+  const BufferBinding& field = need(instr.args[0]);
+  const BufferBinding& dims = need(instr.args[1]);
+  const BufferBinding& x = need(instr.args[2]);
+  const BufferBinding& y = need(instr.args[3]);
+  const BufferBinding& z = need(instr.args[4]);
+  if (dims.elements < 3) {
+    throw KernelError("grad3d dims buffer must hold 3 values (nx, ny, nz)");
+  }
+  GradContext ctx;
+  ctx.nx = static_cast<std::size_t>(dims.data[0]);
+  ctx.ny = static_cast<std::size_t>(dims.data[1]);
+  ctx.nz = static_cast<std::size_t>(dims.data[2]);
+  if (ctx.nx == 0 || ctx.ny == 0 || ctx.nz == 0) {
+    throw KernelError("grad3d dims must be positive");
+  }
+  const std::size_t cells = ctx.nx * ctx.ny * ctx.nz;
+  if (field.elements < cells) {
+    throw KernelError("grad3d field buffer holds " +
+                      std::to_string(field.elements) + " values, needs " +
+                      std::to_string(cells));
+  }
+  // Coordinate arrays are problem-sized (one cell-center coordinate per
+  // cell, as the host pipeline provides them — see Table I's 24 B/cell).
+  if (x.elements < cells || y.elements < cells || z.elements < cells) {
+    throw KernelError(
+        "grad3d coordinate buffers must hold one value per cell");
+  }
+  ctx.field = field.data;
+  ctx.field_elements = field.elements;
+  ctx.x = x.data;
+  ctx.y = y.data;
+  ctx.z = z.data;
+  return ctx;
+}
+
+/// One-axis derivative of a cell-centered field: central difference on the
+/// interior, one-sided at the boundary — the discretisation used by
+/// rectilinear-gradient filters in VisIt-style pipelines. The coordinate
+/// array holds one cell-center coordinate per cell and is indexed with the
+/// same stencil as the field.
+inline float axis_derivative(const float* field, const float* coords,
+                             std::size_t idx, std::size_t n,
+                             std::size_t stride, std::size_t base) {
+  if (n == 1) return 0.0f;
+  std::size_t lo_i, hi_i;
+  if (idx == 0) {
+    lo_i = 0;
+    hi_i = 1;
+  } else if (idx == n - 1) {
+    lo_i = n - 2;
+    hi_i = n - 1;
+  } else {
+    lo_i = idx - 1;
+    hi_i = idx + 1;
+  }
+  const float df = field[base + hi_i * stride] - field[base + lo_i * stride];
+  const float dc =
+      coords[base + hi_i * stride] - coords[base + lo_i * stride];
+  return dc == 0.0f ? 0.0f : df / dc;
+}
+
+inline Vec4 eval_grad(const GradContext& ctx, std::size_t gid) {
+  const std::size_t i = gid % ctx.nx;
+  const std::size_t j = (gid / ctx.nx) % ctx.ny;
+  const std::size_t k = gid / (ctx.nx * ctx.ny);
+  const std::size_t plane = ctx.nx * ctx.ny;
+
+  Vec4 g;
+  // d/dx: neighbours along i, base = j*nx + k*plane.
+  g[0] = axis_derivative(ctx.field, ctx.x, i, ctx.nx, 1,
+                         j * ctx.nx + k * plane);
+  // d/dy: neighbours along j, base = i + k*plane.
+  g[1] = axis_derivative(ctx.field, ctx.y, j, ctx.ny, ctx.nx, i + k * plane);
+  // d/dz: neighbours along k, base = i + j*nx.
+  g[2] = axis_derivative(ctx.field, ctx.z, k, ctx.nz, plane, i + j * ctx.nx);
+  g[3] = 0.0f;
+  return g;
+}
+
+template <typename F>
+inline Vec4 lanewise(const Vec4& a, const Vec4& b, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i], b[i]);
+  return r;
+}
+
+template <typename F>
+inline Vec4 lanewise1(const Vec4& a, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i]);
+  return r;
+}
+
+}  // namespace
+
+void run(const Program& program, std::span<const BufferBinding> inputs,
+         float* out, std::size_t out_elements, std::size_t begin,
+         std::size_t end) {
+  if (inputs.size() != program.params().size()) {
+    throw KernelError("program '" + program.name() + "' expects " +
+                      std::to_string(program.params().size()) +
+                      " buffers, got " + std::to_string(inputs.size()));
+  }
+  const std::size_t stride = program.out_stride();
+  if (end > begin && out_elements < end * stride) {
+    throw KernelError("program '" + program.name() +
+                      "' output buffer too small: " +
+                      std::to_string(out_elements) + " < " +
+                      std::to_string(end * stride));
+  }
+
+  // Validate scalar loads against buffer extents and pre-build gradient
+  // contexts once per chunk.
+  std::vector<GradContext> grads(program.code().size());
+  for (std::size_t pc = 0; pc < program.code().size(); ++pc) {
+    const Instr& instr = program.code()[pc];
+    if (instr.op == Op::grad3d) {
+      grads[pc] = make_grad_context(instr, inputs, program.name());
+    } else if (instr.op == Op::load_global) {
+      const BufferBinding& b = inputs[instr.args[0]];
+      if (end > begin && b.elements < end) {
+        throw KernelError("program '" + program.name() + "' buffer '" +
+                          program.params()[instr.args[0]].name +
+                          "' too small for NDRange");
+      }
+    } else if (instr.op == Op::load_global_vec) {
+      const BufferBinding& b = inputs[instr.args[0]];
+      if (end > begin && b.elements < end * 4) {
+        throw KernelError("program '" + program.name() + "' vec buffer '" +
+                          program.params()[instr.args[0]].name +
+                          "' too small for NDRange");
+      }
+    }
+  }
+
+  std::vector<Vec4> regs(program.register_count());
+  for (std::size_t gid = begin; gid < end; ++gid) {
+    for (std::size_t pc = 0; pc < program.code().size(); ++pc) {
+      const Instr& in = program.code()[pc];
+      switch (in.op) {
+        case Op::load_global:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] = inputs[in.args[0]].data[gid];
+          break;
+        case Op::load_global_vec: {
+          const float* p = inputs[in.args[0]].data + gid * 4;
+          regs[in.dst] = Vec4{{p[0], p[1], p[2], p[3]}};
+          break;
+        }
+        case Op::load_const:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] = in.imm;
+          break;
+        case Op::add:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return a + b; });
+          break;
+        case Op::sub:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return a - b; });
+          break;
+        case Op::mul:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return a * b; });
+          break;
+        case Op::div:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return a / b; });
+          break;
+        case Op::min:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return std::fmin(a, b); });
+          break;
+        case Op::max:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return std::fmax(a, b); });
+          break;
+        case Op::pow:
+          regs[in.dst] = lanewise(regs[in.args[0]], regs[in.args[1]],
+                                  [](float a, float b) { return std::pow(a, b); });
+          break;
+        case Op::sqrt:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::sqrt(a); });
+          break;
+        case Op::neg:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return -a; });
+          break;
+        case Op::abs:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::fabs(a); });
+          break;
+        case Op::sin:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::sin(a); });
+          break;
+        case Op::cos:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::cos(a); });
+          break;
+        case Op::tan:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::tan(a); });
+          break;
+        case Op::exp:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::exp(a); });
+          break;
+        case Op::log:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::log(a); });
+          break;
+        case Op::tanh:
+          regs[in.dst] = lanewise1(regs[in.args[0]],
+                                   [](float a) { return std::tanh(a); });
+          break;
+        case Op::floor:
+          regs[in.dst] = lanewise1(regs[in.args[0]],
+                                   [](float a) { return std::floor(a); });
+          break;
+        case Op::ceil:
+          regs[in.dst] = lanewise1(regs[in.args[0]],
+                                   [](float a) { return std::ceil(a); });
+          break;
+        case Op::component:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] = regs[in.args[0]][in.args[1]];
+          break;
+        case Op::cmp_gt:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] > regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::cmp_lt:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] < regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::cmp_ge:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] >= regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::cmp_le:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] <= regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::cmp_eq:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] == regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::cmp_ne:
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] =
+              regs[in.args[0]][0] != regs[in.args[1]][0] ? 1.0f : 0.0f;
+          break;
+        case Op::select:
+          regs[in.dst] = regs[in.args[0]][0] != 0.0f ? regs[in.args[1]]
+                                                     : regs[in.args[2]];
+          break;
+        case Op::grad3d:
+          regs[in.dst] = eval_grad(grads[pc], gid);
+          break;
+        case Op::store:
+          out[gid] = regs[in.args[0]][0];
+          break;
+        case Op::store_vec: {
+          float* p = out + gid * 4;
+          const Vec4& v = regs[in.args[0]];
+          p[0] = v[0];
+          p[1] = v[1];
+          p[2] = v[2];
+          p[3] = v[3];
+          break;
+        }
+      }
+    }
+  }
+}
+
+void run_all(const Program& program, std::span<const BufferBinding> inputs,
+             std::span<float> out, std::size_t ndrange) {
+  run(program, inputs, out.data(), out.size(), 0, ndrange);
+}
+
+}  // namespace dfg::kernels

@@ -1,0 +1,40 @@
+// Kernel layer: bytecode virtual machine.
+//
+// Executes a Program for a contiguous range of global ids, reading buffer
+// parameters through BufferBinding views and writing the output buffer.
+// This is the "device" compute engine behind CommandQueue::launch: the
+// strategies build a KernelLaunch whose body calls run() on a chunk.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kernels/program.hpp"
+
+namespace dfg::kernels {
+
+/// A read-only view of one bound buffer argument.
+struct BufferBinding {
+  const float* data = nullptr;
+  std::size_t elements = 0;  ///< total floats in the buffer
+};
+
+/// Executes `program` for global ids [begin, end).
+///
+/// * inputs must match program.params() in count; a `is_vec` parameter must
+///   hold 4 floats per element.
+/// * out must hold program.out_stride() floats per element over the full
+///   NDRange (it is indexed with absolute global ids).
+/// * Bounds and binding-shape violations throw KernelError; the grad3d
+///   opcode additionally validates the dims/coordinate buffers once per
+///   call.
+void run(const Program& program, std::span<const BufferBinding> inputs,
+         float* out, std::size_t out_elements, std::size_t begin,
+         std::size_t end);
+
+/// Convenience wrapper executing the whole NDRange serially (used by tests).
+void run_all(const Program& program, std::span<const BufferBinding> inputs,
+             std::span<float> out, std::size_t ndrange);
+
+}  // namespace dfg::kernels

@@ -1,0 +1,24 @@
+#include "mesh/catalog.hpp"
+
+#include "support/error.hpp"
+
+namespace dfg::mesh {
+
+std::vector<SubgridInfo> subgrid_catalog(std::size_t axis_scale) {
+  if (axis_scale == 0 || 192 % axis_scale != 0 || 256 % axis_scale != 0) {
+    throw Error("axis_scale must divide 192 and 256");
+  }
+  std::vector<SubgridInfo> catalog;
+  catalog.reserve(12);
+  for (std::size_t k = 1; k <= 12; ++k) {
+    SubgridInfo info;
+    info.dims = Dims{192 / axis_scale, 192 / axis_scale,
+                     256 * k / axis_scale};
+    info.cells = info.dims.cell_count();
+    info.data_bytes = info.cells * 6 * sizeof(float);
+    catalog.push_back(info);
+  }
+  return catalog;
+}
+
+}  // namespace dfg::mesh

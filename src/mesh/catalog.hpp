@@ -1,0 +1,35 @@
+// Mesh layer: the Table I sub-grid catalog.
+//
+// The paper's single-device evaluation sweeps twelve sub-grids of the
+// 3072^3 RT time step, 192x192x(256k) for k = 1..12, from 9.4M to 113.2M
+// cells (218 MB to 2.6 GB). The reproduction runs the same sweep scaled by
+// 1/4 per axis (1/64 of the cells), paired with 1/64-capacity devices from
+// vcl::catalog so the memory-constraint behaviour is preserved (see
+// DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace dfg::mesh {
+
+struct SubgridInfo {
+  Dims dims;
+  std::size_t cells = 0;
+  /// Bytes of simulation data per sub-grid: the three cell-centered
+  /// velocity components plus the three problem-sized point-coordinate
+  /// arrays, in float32 (6 arrays x 4 B = 24 B/cell — matching Table I's
+  /// reported sizes).
+  std::size_t data_bytes = 0;
+};
+
+/// The paper's full-size Table I catalog (axis_scale = 1) or a scaled
+/// variant (axis_scale = 4 gives the 48x48x(64k) evaluation grids).
+std::vector<SubgridInfo> subgrid_catalog(std::size_t axis_scale = 1);
+
+/// The axis scale used throughout the reproduction's benchmarks.
+constexpr std::size_t kEvaluationAxisScale = 4;
+
+}  // namespace dfg::mesh

@@ -1,0 +1,132 @@
+#include "mesh/generators.hpp"
+
+#include <cmath>
+
+namespace dfg::mesh {
+
+namespace {
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+/// Small deterministic hash -> [0, 1) for reproducible mode phases.
+float hash01(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return static_cast<float>(x) / 4294967296.0f;
+}
+}  // namespace
+
+VectorField rayleigh_taylor_flow(const RectilinearMesh& mesh,
+                                 std::uint32_t seed) {
+  const Dims& d = mesh.dims();
+  VectorField field;
+  field.u.resize(d.cell_count());
+  field.v.resize(d.cell_count());
+  field.w.resize(d.cell_count());
+
+  // Multi-mode interface perturbation: a handful of transverse modes with
+  // hashed phases, plus a vertical shear that rolls the interface up into
+  // counter-rotating vortex sheets (the structures vortex detectors key on).
+  constexpr int kModes = 5;
+  float kx[kModes], ky[kModes], phase[kModes], amp[kModes];
+  for (int m = 0; m < kModes; ++m) {
+    kx[m] = kTwoPi * static_cast<float>(2 + m);
+    ky[m] = kTwoPi * static_cast<float>(1 + (m * 2) % 5);
+    phase[m] = kTwoPi * hash01(seed * 31u + static_cast<std::uint32_t>(m));
+    amp[m] = 1.0f / static_cast<float>(1 + m);
+  }
+
+  const float z_extent = mesh.z_nodes().back() - mesh.z_nodes().front();
+  const float z_mid = 0.5f * (mesh.z_nodes().back() + mesh.z_nodes().front());
+
+  for (std::size_t k = 0; k < d.nz; ++k) {
+    const float z = mesh.z_center(k);
+    // Mixing-layer envelope: strongest motion near the interface.
+    const float zn = (z - z_mid) / (0.25f * z_extent);
+    const float envelope = std::exp(-zn * zn);
+    for (std::size_t j = 0; j < d.ny; ++j) {
+      const float y = mesh.y_center(j);
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        const float x = mesh.x_center(i);
+        float uu = 0.0f, vv = 0.0f, ww = 0.0f;
+        for (int m = 0; m < kModes; ++m) {
+          const float px = kx[m] * x + phase[m];
+          const float py = ky[m] * y + 0.5f * phase[m];
+          // Divergence-suppressed roll pattern per mode.
+          uu += amp[m] * std::sin(px) * std::cos(py) * zn;
+          vv += amp[m] * std::cos(px) * std::sin(py) * zn;
+          ww += amp[m] * std::cos(px) * std::cos(py);
+        }
+        const std::size_t idx = mesh.cell_index(i, j, k);
+        field.u[idx] = envelope * uu;
+        field.v[idx] = envelope * vv;
+        field.w[idx] = envelope * ww;
+      }
+    }
+  }
+  return field;
+}
+
+VectorField abc_flow(const RectilinearMesh& mesh, float a, float b, float c) {
+  const Dims& d = mesh.dims();
+  VectorField field;
+  field.u.resize(d.cell_count());
+  field.v.resize(d.cell_count());
+  field.w.resize(d.cell_count());
+  for (std::size_t k = 0; k < d.nz; ++k) {
+    const float z = mesh.z_center(k);
+    for (std::size_t j = 0; j < d.ny; ++j) {
+      const float y = mesh.y_center(j);
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        const float x = mesh.x_center(i);
+        const std::size_t idx = mesh.cell_index(i, j, k);
+        field.u[idx] = a * std::sin(z) + c * std::cos(y);
+        field.v[idx] = b * std::sin(x) + a * std::cos(z);
+        field.w[idx] = c * std::sin(y) + b * std::cos(x);
+      }
+    }
+  }
+  return field;
+}
+
+void abc_velocity_gradient(float x, float y, float z, float a, float b,
+                           float c, float J[3][3]) {
+  // u = A sin z + C cos y ; v = B sin x + A cos z ; w = C sin y + B cos x
+  J[0][0] = 0.0f;
+  J[0][1] = -c * std::sin(y);
+  J[0][2] = a * std::cos(z);
+  J[1][0] = b * std::cos(x);
+  J[1][1] = 0.0f;
+  J[1][2] = -a * std::sin(z);
+  J[2][0] = -b * std::sin(x);
+  J[2][1] = c * std::cos(y);
+  J[2][2] = 0.0f;
+}
+
+void abc_vorticity(float x, float y, float z, float a, float b, float c,
+                   float omega[3]) {
+  // Beltrami property: curl(v) = v for unit wavenumber.
+  omega[0] = a * std::sin(z) + c * std::cos(y);
+  omega[1] = b * std::sin(x) + a * std::cos(z);
+  omega[2] = c * std::sin(y) + b * std::cos(x);
+}
+
+float abc_q_criterion(float x, float y, float z, float a, float b, float c) {
+  float J[3][3];
+  abc_velocity_gradient(x, y, z, a, b, c, J);
+  float s_norm = 0.0f;
+  float w_norm = 0.0f;
+  for (int r = 0; r < 3; ++r) {
+    for (int col = 0; col < 3; ++col) {
+      const float s = 0.5f * (J[r][col] + J[col][r]);
+      const float w = 0.5f * (J[r][col] - J[col][r]);
+      s_norm += s * s;
+      w_norm += w * w;
+    }
+  }
+  return 0.5f * (w_norm - s_norm);
+}
+
+}  // namespace dfg::mesh

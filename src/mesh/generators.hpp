@@ -1,0 +1,48 @@
+// Mesh layer: synthetic flow-field generators.
+//
+// Substitutes for the LLNL Rayleigh-Taylor DNS dataset (Cabot & Cook 2006)
+// the paper evaluates on. Two generators:
+//
+//  * rayleigh_taylor_flow — a deterministic multi-mode perturbed buoyant
+//    flow with vortical roll-ups. It is not the DNS solution, but it
+//    exercises the identical code path (same arrays, kernels, sizes) and
+//    contains the vortical features the three detection expressions probe.
+//
+//  * abc_flow — the Arnold–Beltrami–Childress flow, a Beltrami field whose
+//    curl equals itself (unit wavenumber). Its velocity gradient has a
+//    closed form, giving the test suite exact references for grad3d,
+//    vorticity magnitude and Q-criterion — something the paper's DNS data
+//    could not provide.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+
+namespace dfg::mesh {
+
+/// Deterministic RT-like vortical velocity field at cell centers.
+VectorField rayleigh_taylor_flow(const RectilinearMesh& mesh,
+                                 std::uint32_t seed = 7);
+
+/// ABC flow sampled at cell centers:
+///   u = A sin(z) + C cos(y)
+///   v = B sin(x) + A cos(z)
+///   w = C sin(y) + B cos(x)
+/// Use a mesh spanning multiples of 2*pi for periodicity.
+VectorField abc_flow(const RectilinearMesh& mesh, float a = 1.0f,
+                     float b = 1.0f, float c = 1.0f);
+
+/// Exact velocity-gradient tensor of the ABC flow at one point, row-major
+/// J[r][c] = d(v_r)/d(x_c).
+void abc_velocity_gradient(float x, float y, float z, float a, float b,
+                           float c, float J[3][3]);
+
+/// Exact vorticity vector of the ABC flow (Beltrami: equals the velocity).
+void abc_vorticity(float x, float y, float z, float a, float b, float c,
+                   float omega[3]);
+
+/// Exact Q-criterion of the ABC flow at one point.
+float abc_q_criterion(float x, float y, float z, float a, float b, float c);
+
+}  // namespace dfg::mesh

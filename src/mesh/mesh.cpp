@@ -1,0 +1,73 @@
+#include "mesh/mesh.hpp"
+
+#include "support/error.hpp"
+
+namespace dfg::mesh {
+
+std::string to_string(const Dims& dims) {
+  return std::to_string(dims.nx) + "x" + std::to_string(dims.ny) + "x" +
+         std::to_string(dims.nz);
+}
+
+namespace {
+void check_axis(const std::vector<float>& nodes, const char* axis) {
+  if (nodes.size() < 2) {
+    throw Error(std::string("mesh axis ") + axis +
+                " needs at least 2 node coordinates");
+  }
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (!(nodes[i] > nodes[i - 1])) {
+      throw Error(std::string("mesh axis ") + axis +
+                  " coordinates must be strictly increasing");
+    }
+  }
+}
+}  // namespace
+
+RectilinearMesh::RectilinearMesh(std::vector<float> x_nodes,
+                                 std::vector<float> y_nodes,
+                                 std::vector<float> z_nodes)
+    : x_(std::move(x_nodes)), y_(std::move(y_nodes)), z_(std::move(z_nodes)) {
+  check_axis(x_, "x");
+  check_axis(y_, "y");
+  check_axis(z_, "z");
+  dims_ = Dims{x_.size() - 1, y_.size() - 1, z_.size() - 1};
+  dims_array_ = {static_cast<float>(dims_.nx), static_cast<float>(dims_.ny),
+                 static_cast<float>(dims_.nz)};
+}
+
+std::vector<float> RectilinearMesh::cell_center_array(int axis) const {
+  if (axis < 0 || axis > 2) {
+    throw Error("cell_center_array axis must be 0, 1 or 2");
+  }
+  std::vector<float> centers(cell_count());
+  for (std::size_t k = 0; k < dims_.nz; ++k) {
+    for (std::size_t j = 0; j < dims_.ny; ++j) {
+      for (std::size_t i = 0; i < dims_.nx; ++i) {
+        const float value = axis == 0   ? x_center(i)
+                            : axis == 1 ? y_center(j)
+                                        : z_center(k);
+        centers[cell_index(i, j, k)] = value;
+      }
+    }
+  }
+  return centers;
+}
+
+RectilinearMesh RectilinearMesh::uniform(const Dims& dims, float extent_x,
+                                         float extent_y, float extent_z) {
+  if (dims.cell_count() == 0) {
+    throw Error("uniform mesh requires positive cell counts");
+  }
+  const auto axis = [](std::size_t n, float extent) {
+    std::vector<float> nodes(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      nodes[i] = extent * static_cast<float>(i) / static_cast<float>(n);
+    }
+    return nodes;
+  };
+  return RectilinearMesh(axis(dims.nx, extent_x), axis(dims.ny, extent_y),
+                         axis(dims.nz, extent_z));
+}
+
+}  // namespace dfg::mesh

@@ -1,0 +1,76 @@
+// Mesh layer: rectilinear meshes and cell-centered fields.
+//
+// The paper's data sets are sub-grids of a 3072^3 rectilinear mesh carrying
+// cell-centered velocity components (u, v, w) and per-axis point (node)
+// coordinates (x, y, z). This module provides that mesh model plus the
+// index arithmetic shared by the gradient primitive and the data
+// generators.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfg::mesh {
+
+/// Cell counts per axis.
+struct Dims {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  std::size_t cell_count() const { return nx * ny * nz; }
+  bool operator==(const Dims&) const = default;
+};
+
+std::string to_string(const Dims& dims);
+
+class RectilinearMesh {
+ public:
+  /// Mesh from explicit per-axis node coordinates (nx+1, ny+1, nz+1 values,
+  /// strictly increasing). Throws Error on malformed axes.
+  RectilinearMesh(std::vector<float> x_nodes, std::vector<float> y_nodes,
+                  std::vector<float> z_nodes);
+
+  /// Uniform mesh covering [0, extent] per axis with `dims` cells.
+  static RectilinearMesh uniform(const Dims& dims, float extent_x = 1.0f,
+                                 float extent_y = 1.0f, float extent_z = 1.0f);
+
+  const Dims& dims() const { return dims_; }
+  std::size_t cell_count() const { return dims_.cell_count(); }
+
+  const std::vector<float>& x_nodes() const { return x_; }
+  const std::vector<float>& y_nodes() const { return y_; }
+  const std::vector<float>& z_nodes() const { return z_; }
+
+  /// The 3-value dims array bound as the "dims" argument of grad3d.
+  const std::vector<float>& dims_array() const { return dims_array_; }
+
+  float x_center(std::size_t i) const { return 0.5f * (x_[i] + x_[i + 1]); }
+  float y_center(std::size_t j) const { return 0.5f * (y_[j] + y_[j + 1]); }
+  float z_center(std::size_t k) const { return 0.5f * (z_[k] + z_[k + 1]); }
+
+  std::size_t cell_index(std::size_t i, std::size_t j, std::size_t k) const {
+    return i + dims_.nx * (j + dims_.ny * k);
+  }
+
+  /// Problem-sized cell-center coordinate array for one axis (0 = x,
+  /// 1 = y, 2 = z): one coordinate value per cell, in cell-index order.
+  /// This is the coordinate representation the host pipeline hands to the
+  /// framework alongside the fields (Table I's 24 bytes per cell = six
+  /// float arrays: u, v, w, x, y, z).
+  std::vector<float> cell_center_array(int axis) const;
+
+ private:
+  Dims dims_;
+  std::vector<float> x_, y_, z_;
+  std::vector<float> dims_array_;
+};
+
+/// A cell-centered vector field over a mesh, stored as three scalar arrays
+/// — the layout simulation codes hand to the framework in situ.
+struct VectorField {
+  std::vector<float> u, v, w;
+};
+
+}  // namespace dfg::mesh

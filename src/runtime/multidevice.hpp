@@ -1,0 +1,44 @@
+// Runtime layer: multi-device single-node execution.
+//
+// The paper's second future-work item: "strategies that use multiple
+// target devices on a single node". The fused kernel's NDRange is split
+// into contiguous z-plane parts, one per device; each device receives its
+// part's slab (with gradient halo planes), executes one fused kernel, and
+// returns its interior planes. Because every part's interior sees exactly
+// the operands a whole-grid run sees, the assembled result is bit-identical
+// to single-device fusion.
+//
+// Devices execute in sequence on the host (the devices are virtual), but
+// each has its own profiling log, so the report exposes both the aggregate
+// device time and the critical path — the slowest device — which is what a
+// truly concurrent dispatch would cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dataflow/network.hpp"
+#include "runtime/bindings.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::runtime {
+
+struct MultiDeviceReport {
+  std::vector<float> values;
+  std::size_t devices_used = 0;
+  /// Simulated seconds per device, index-aligned with the device list.
+  std::vector<double> device_sim_seconds;
+  double critical_path_sim_seconds = 0.0;
+  double aggregate_sim_seconds = 0.0;
+};
+
+/// Executes the network's fused kernel across `devices`, splitting planes
+/// evenly. Each log records its device's traffic. Throws NetworkError if
+/// `devices` is empty or the logs span has a different length.
+MultiDeviceReport execute_multi_device_fusion(
+    const dataflow::Network& network, const FieldBindings& bindings,
+    std::size_t elements, std::vector<vcl::Device*> devices,
+    std::vector<vcl::ProfilingLog>& logs);
+
+}  // namespace dfg::runtime

@@ -1,0 +1,237 @@
+#include "runtime/planner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "kernels/generator.hpp"
+#include "runtime/slab.hpp"
+#include "support/error.hpp"
+#include "vcl/cost_model.hpp"
+
+namespace dfg::runtime {
+
+namespace {
+
+/// Floats a node's value occupies on the host / in a device buffer.
+std::size_t value_floats(const dataflow::NetworkSpec& spec, int id,
+                         const FieldBindings& bindings,
+                         std::size_t elements) {
+  const dataflow::SpecNode& node = spec.node(id);
+  switch (node.type) {
+    case dataflow::NodeType::field_source:
+      return bindings.get(node.field_name).size();
+    case dataflow::NodeType::constant:
+      return elements;
+    case dataflow::NodeType::filter:
+      return elements * (node.components == 1 ? 1 : 4);
+  }
+  return 0;
+}
+
+std::size_t roundtrip_high_water(const dataflow::Network& network,
+                                 const FieldBindings& bindings,
+                                 std::size_t elements) {
+  const auto& spec = network.spec();
+  std::size_t peak_floats = 0;
+  for (const dataflow::SpecNode& node : spec.nodes()) {
+    if (node.type != dataflow::NodeType::filter) continue;
+    if (node.kind == "decompose") continue;  // host-side slicing
+    std::size_t kernel_floats = 0;
+    for (const int in : node.inputs) {
+      kernel_floats += value_floats(spec, in, bindings, elements);
+    }
+    kernel_floats += elements * (node.components == 1 ? 1 : 4);
+    peak_floats = std::max(peak_floats, kernel_floats);
+  }
+  return peak_floats * sizeof(float);
+}
+
+std::size_t staged_high_water(const dataflow::Network& network,
+                              const FieldBindings& bindings,
+                              std::size_t elements) {
+  // Replays StagedStrategy's allocation discipline: lazy source
+  // materialisation at first consumer, output allocation before input
+  // release, reference-counted release after each filter.
+  const auto& spec = network.spec();
+  std::vector<int> refs = network.use_counts();
+  std::vector<bool> live(spec.nodes().size(), false);
+  std::vector<std::size_t> floats(spec.nodes().size(), 0);
+  std::size_t current = 0;
+  std::size_t peak = 0;
+
+  const auto materialise = [&](int id) {
+    if (live[id]) return;
+    floats[id] = value_floats(spec, id, bindings, elements);
+    current += floats[id];
+    peak = std::max(peak, current);
+    live[id] = true;
+  };
+
+  for (const int id : network.topo_order()) {
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type != dataflow::NodeType::filter) continue;
+    for (const int in : node.inputs) materialise(in);
+    materialise(id);  // the filter's output buffer
+    for (const int in : node.inputs) {
+      if (--refs[in] == 0) {
+        current -= floats[in];
+        live[in] = false;
+      }
+    }
+  }
+  const int out_id = spec.output_id();
+  if (!live[out_id]) materialise(out_id);
+  return peak * sizeof(float);
+}
+
+std::size_t fusion_high_water(const dataflow::Network& network,
+                              const FieldBindings& bindings,
+                              std::size_t elements) {
+  // Covers both the single-kernel case (inputs + output) and the
+  // partitioned pipeline, whose materialised intermediates stay on the
+  // device for the whole run.
+  const kernels::FusedPipeline pipeline =
+      kernels::generate_fused_pipeline(network);
+  std::set<std::string> fields;
+  std::size_t floats = 0;
+  for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+    floats += elements * stage.program.out_stride();
+    for (const kernels::BufferParam& param : stage.program.params()) {
+      if (param.name.rfind("__m", 0) == 0) continue;  // a stage output
+      if (fields.insert(param.name).second) {
+        floats += bindings.get(param.name).size();
+      }
+    }
+  }
+  return floats * sizeof(float);
+}
+
+/// Replicates StreamedFusionStrategy's chunk sizing for an explicit cell
+/// budget (0 -> one plane).
+std::size_t planes_for_chunk(const SlabPlan& plan, std::size_t chunk_cells) {
+  if (chunk_cells == 0) return 1;
+  std::size_t planes =
+      chunk_cells / std::max<std::size_t>(plan.plane_cells, 1);
+  if (planes > 2 * plan.halo) {
+    planes -= 2 * plan.halo;
+  } else {
+    planes = 1;
+  }
+  return std::min(std::max<std::size_t>(planes, 1), plan.total_planes);
+}
+
+
+std::size_t streamed_high_water(const dataflow::Network& network,
+                                const FieldBindings& bindings,
+                                std::size_t elements,
+                                std::size_t chunk_cells) {
+  const kernels::Program program = kernels::generate_fused(network);
+  const SlabPlan plan = make_slab_plan(program, bindings, elements);
+
+  const std::size_t chunk_planes = planes_for_chunk(plan, chunk_cells);
+  // The peak is the largest slab over the chunk sequence; boundary chunks
+  // clamp their halo at the domain faces exactly as run_fused_slab does.
+  std::size_t max_slab_planes = 0;
+  for (std::size_t begin = 0; begin < plan.total_planes;
+       begin += chunk_planes) {
+    const std::size_t end = std::min(plan.total_planes, begin + chunk_planes);
+    const std::size_t slab_lo = begin > plan.halo ? begin - plan.halo : 0;
+    const std::size_t slab_hi = std::min(plan.total_planes, end + plan.halo);
+    max_slab_planes = std::max(max_slab_planes, slab_hi - slab_lo);
+  }
+  const std::size_t slab_cells = max_slab_planes * plan.plane_cells;
+  const std::size_t dims_params =
+      program.params().size() - plan.slabbed_params;
+  const std::size_t floats = plan.slabbed_params * slab_cells +
+                             dims_params * 3 +
+                             slab_cells * program.out_stride();
+  return floats * sizeof(float);
+}
+
+}  // namespace
+
+std::vector<vcl::ChunkCost> streamed_chunk_costs(
+    const dataflow::Network& network, const FieldBindings& bindings,
+    std::size_t elements, const vcl::DeviceSpec& spec,
+    std::size_t chunk_cells) {
+  const kernels::Program program = kernels::generate_fused(network);
+  const SlabPlan plan = make_slab_plan(program, bindings, elements);
+  const std::size_t chunk_planes = planes_for_chunk(plan, chunk_cells);
+  const std::size_t dims_params =
+      program.params().size() - plan.slabbed_params;
+  const vcl::CostModel cost(spec);
+
+  std::vector<vcl::ChunkCost> chunks;
+  for (std::size_t begin = 0; begin < plan.total_planes;
+       begin += chunk_planes) {
+    const std::size_t end = std::min(plan.total_planes, begin + chunk_planes);
+    const std::size_t slab_lo = begin > plan.halo ? begin - plan.halo : 0;
+    const std::size_t slab_hi = std::min(plan.total_planes, end + plan.halo);
+    const std::size_t slab_cells = (slab_hi - slab_lo) * plan.plane_cells;
+
+    vcl::ChunkCost chunk;
+    // One transfer per parameter, each paying the link latency, exactly
+    // like run_fused_slab's per-buffer writes.
+    for (std::size_t p = 0; p < plan.slabbed_params; ++p) {
+      chunk.upload += cost.transfer_seconds(slab_cells * sizeof(float));
+    }
+    for (std::size_t p = 0; p < dims_params; ++p) {
+      chunk.upload += cost.transfer_seconds(3 * sizeof(float));
+    }
+    chunk.kernel = cost.kernel_seconds(
+        program.flops_per_item() * slab_cells,
+        program.global_bytes_per_item() * slab_cells,
+        program.max_live_scalar_registers());
+    chunk.read = cost.transfer_seconds(slab_cells * program.out_stride() *
+                                       sizeof(float));
+    chunks.push_back(chunk);
+  }
+  return chunks;
+}
+
+std::size_t estimate_high_water(const dataflow::Network& network,
+                                const FieldBindings& bindings,
+                                std::size_t elements, StrategyKind kind,
+                                std::size_t streamed_chunk_cells) {
+  switch (kind) {
+    case StrategyKind::roundtrip:
+      return roundtrip_high_water(network, bindings, elements);
+    case StrategyKind::staged:
+      return staged_high_water(network, bindings, elements);
+    case StrategyKind::fusion:
+      return fusion_high_water(network, bindings, elements);
+    case StrategyKind::streamed:
+      return streamed_high_water(network, bindings, elements,
+                                 streamed_chunk_cells);
+  }
+  throw Error("unknown strategy kind");
+}
+
+StrategyKind select_strategy(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements,
+                             const vcl::Device& device) {
+  const std::size_t free_bytes = device.memory().available();
+  std::size_t smallest = SIZE_MAX;
+  // Preference order by measured simulated runtime. Streamed is skipped
+  // (KernelError) on networks it cannot execute, e.g. gradients of
+  // computed values.
+  for (const StrategyKind kind :
+       {StrategyKind::fusion, StrategyKind::streamed, StrategyKind::staged,
+        StrategyKind::roundtrip}) {
+    std::size_t needed;
+    try {
+      needed = estimate_high_water(network, bindings, elements, kind);
+    } catch (const KernelError&) {
+      continue;
+    }
+    if (needed <= free_bytes) return kind;
+    smallest = std::min(smallest, needed);
+  }
+  throw DeviceOutOfMemory(device.spec().name, smallest,
+                          device.memory().in_use(),
+                          device.memory().capacity());
+}
+
+}  // namespace dfg::runtime

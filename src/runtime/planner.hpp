@@ -1,0 +1,53 @@
+// Runtime layer: memory planning and automatic strategy selection.
+//
+// The paper's discussion (§V-D) concludes that hosts must "select from
+// multiple execution strategies and target devices" under memory
+// constraints. This module makes that selection analytical: it predicts
+// each strategy's device-memory high-water mark from the network alone —
+// no execution, no trial allocation — by replaying the exact allocation
+// discipline each strategy implements. Predictions are bit-for-bit equal
+// to the tracker's measured high-water (locked in by tests), so a host can
+// pick the fastest strategy that fits before moving a single byte.
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "dataflow/network.hpp"
+#include "runtime/bindings.hpp"
+#include "runtime/strategy.hpp"
+#include "vcl/device.hpp"
+#include "vcl/pipeline.hpp"
+
+namespace dfg::runtime {
+
+/// Predicted device-memory high-water mark (bytes) of executing `network`
+/// over `elements` cells under `kind`. For the streamed strategy the
+/// prediction assumes the given chunk size (0 = the minimal viable chunk,
+/// i.e. the strategy's memory floor). Bindings are consulted for array
+/// extents only; no data is read.
+std::size_t estimate_high_water(const dataflow::Network& network,
+                                const FieldBindings& bindings,
+                                std::size_t elements, StrategyKind kind,
+                                std::size_t streamed_chunk_cells = 0);
+
+/// Per-chunk (upload, kernel, read) durations of streamed execution under
+/// `spec`'s cost model, for overlap analysis with vcl::pipeline_makespan.
+/// The serial sum of these costs equals the streamed strategy's simulated
+/// time on that device exactly (same cost model, same event sequence).
+/// `chunk_cells` = 0 chunks one plane at a time.
+std::vector<vcl::ChunkCost> streamed_chunk_costs(
+    const dataflow::Network& network, const FieldBindings& bindings,
+    std::size_t elements, const vcl::DeviceSpec& spec,
+    std::size_t chunk_cells);
+
+/// The fastest strategy whose predicted working set fits the device's
+/// *free* memory, in preference order fusion > streamed > staged >
+/// roundtrip (the simulated-runtime ordering measured in the benchmarks).
+/// Throws DeviceOutOfMemory when none fits.
+StrategyKind select_strategy(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements, const vcl::Device& device);
+
+}  // namespace dfg::runtime

@@ -1,0 +1,41 @@
+// Runtime layer: hand-written reference kernels.
+//
+// The paper compares its strategies against reference OpenCL kernels
+// "written to directly compute the desired expression", with the same
+// input/output transfer pattern as fusion but fewer memory fetches and
+// floating point operations (e.g. the Q-criterion reference exploits the
+// symmetry S_ij = S_ji instead of evaluating every tensor entry the way
+// the user-level expression spells it out).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/program.hpp"
+#include "runtime/bindings.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::runtime {
+
+/// Reference kernel for velocity magnitude: sqrt(u*u + v*v + w*w).
+/// Parameters: u, v, w.
+kernels::Program reference_velocity_magnitude();
+
+/// Reference kernel for vorticity magnitude |curl(v)|.
+/// Parameters: u, v, w, dims, x, y, z.
+kernels::Program reference_vorticity_magnitude();
+
+/// Reference kernel for the Q-criterion, algebraically reduced to
+/// Q = 0.5 * (||Omega||^2 - ||S||^2) using tensor symmetry.
+/// Parameters: u, v, w, dims, x, y, z.
+kernels::Program reference_q_criterion();
+
+/// Executes a reference kernel with the fusion transfer pattern: upload
+/// each parameter once, one dispatch, one readback.
+std::vector<float> run_reference(const kernels::Program& program,
+                                 const FieldBindings& bindings,
+                                 std::size_t elements, vcl::Device& device,
+                                 vcl::ProfilingLog& log);
+
+}  // namespace dfg::runtime

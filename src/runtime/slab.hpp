@@ -1,0 +1,63 @@
+// Runtime layer: slab execution of fused kernels.
+//
+// Shared machinery for the two execution modes the paper lists as future
+// work — streaming on one device and multi-device execution on one node.
+// A fused kernel is run over a contiguous range of z-planes: each buffer
+// parameter uploads only its slab sub-range (plus halo planes when the
+// kernel contains gradients, whose stencil reaches one plane up and down),
+// the kernel executes over the slab, and only the interior planes of the
+// result are kept. The gradient's `dims` argument is rewritten per slab so
+// the stencil arithmetic sees the local plane count.
+//
+// Correctness at chunk boundaries: interior planes always have both
+// stencil neighbours inside the slab, so their results are bit-identical
+// to a whole-grid run; the halo planes' own outputs (which would use
+// one-sided differences at slab edges) are discarded.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "kernels/program.hpp"
+#include "runtime/bindings.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::runtime {
+
+/// How a fused program's NDRange decomposes into planes.
+struct SlabPlan {
+  /// Cells per plane: nx*ny for gradient kernels, 1 for pure elementwise
+  /// programs (which may chunk at any element granularity).
+  std::size_t plane_cells = 1;
+  /// Total planes: nz, or the element count for elementwise programs.
+  std::size_t total_planes = 0;
+  /// Halo planes required on each side of a slab (1 with gradients).
+  std::size_t halo = 0;
+  /// Grid dims (meaningful when halo > 0).
+  std::size_t nx = 0, ny = 0, nz = 0;
+  /// Number of problem-sized buffer parameters (excludes dims).
+  std::size_t slabbed_params = 0;
+
+  std::size_t total_elements() const { return plane_cells * total_planes; }
+};
+
+/// Analyses a fused program against the bindings: detects gradient usage
+/// (via its dims argument), validates the grid shape, and returns the plane
+/// decomposition. Throws NetworkError when a gradient program's dims
+/// binding is missing or inconsistent with `elements`.
+SlabPlan make_slab_plan(const kernels::Program& program,
+                        const FieldBindings& bindings, std::size_t elements);
+
+/// Executes `program` over planes [begin_plane, end_plane), uploading slab
+/// sub-ranges of every parameter, dispatching one kernel, and copying the
+/// interior result into out_global (a full-size array indexed by global
+/// cell id). All traffic is profiled against `log`; allocations count
+/// against `device` and are released before returning.
+void run_fused_slab(const kernels::Program& program,
+                    const FieldBindings& bindings, const SlabPlan& plan,
+                    std::size_t begin_plane, std::size_t end_plane,
+                    vcl::Device& device, vcl::ProfilingLog& log,
+                    std::span<float> out_global);
+
+}  // namespace dfg::runtime

@@ -1,0 +1,98 @@
+// Staged execution strategy (paper §III-C2).
+//
+// One kernel per filter, but intermediates never leave the device: unique
+// external inputs are uploaded once, results are staged in device global
+// memory between kernel invocations, and only the network output is read
+// back. Consequences measured by the paper: host-device traffic collapses
+// to (unique inputs + 1), kernel count grows — decompose becomes a kernel
+// moving intermediate lanes on the device, and each unique constant is
+// materialised by one constant-fill kernel — and the device footprint is
+// the largest of the three strategies, bounded by reference counting that
+// releases each intermediate after its last consumer has run.
+#include <vector>
+
+#include "kernels/primitives.hpp"
+#include "kernels/vm.hpp"
+#include "runtime/strategy.hpp"
+#include "support/error.hpp"
+
+namespace dfg::runtime {
+
+std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
+                                           const FieldBindings& bindings,
+                                           std::size_t elements,
+                                           vcl::Device& device,
+                                           vcl::ProfilingLog& log) const {
+  vcl::CommandQueue queue(device, log);
+  const auto& spec = network.spec();
+  std::vector<vcl::Buffer> buffers(spec.nodes().size());
+  std::vector<int> refs = network.use_counts();
+
+  // Sources are materialised lazily, at their first consumer: each unique
+  // external input still uploads exactly once and each unique constant is
+  // filled by exactly one kernel, but buffers do not occupy device memory
+  // before they are needed (this is what gives the paper's Figure 2 example
+  // its staged footprint of 4 arrays rather than 5).
+  const auto materialise_source = [&](int id) {
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type == dataflow::NodeType::field_source) {
+      const auto view = bindings.get(node.field_name);
+      buffers[id] = device.allocate(view.size());
+      queue.write(buffers[id], view, node.field_name);
+    } else {  // constant
+      buffers[id] = device.allocate(elements);
+      const kernels::Program fill = kernels::make_standalone_program(
+          "const_fill", 0, static_cast<float>(node.const_value));
+      launch_program(queue, fill, {}, buffers[id].device_view(), elements);
+    }
+  };
+
+  const auto binding_of = [&](int id) {
+    if (!buffers[id].valid()) {
+      if (spec.node(id).type == dataflow::NodeType::filter) {
+        throw NetworkError("staged execution consumed '" +
+                           spec.node(id).label +
+                           "' after its buffer was released");
+      }
+      materialise_source(id);
+    }
+    return kernels::BufferBinding{buffers[id].device_view().data(),
+                                  buffers[id].size()};
+  };
+
+  for (const int id : network.topo_order()) {
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type != dataflow::NodeType::filter) continue;
+
+    const kernels::Program program =
+        kernels::make_standalone_program(node.kind, node.component);
+    std::vector<kernels::BufferBinding> inputs;
+    inputs.reserve(node.inputs.size());
+    for (const int in : node.inputs) inputs.push_back(binding_of(in));
+
+    buffers[id] = device.allocate(elements * program.out_stride());
+    launch_program(queue, program, std::move(inputs),
+                   buffers[id].device_view(), elements);
+
+    // Reference counting: release intermediates after their last consumer.
+    for (const int in : node.inputs) {
+      if (--refs[in] == 0) buffers[in].release();
+    }
+  }
+
+  const int out_id = spec.output_id();
+  if (!buffers[out_id].valid()) {
+    // The output can be a bare source (e.g. "r = 3.0") that no filter
+    // consumed; materialise it now.
+    if (spec.node(out_id).type == dataflow::NodeType::filter) {
+      throw NetworkError("staged execution lost the output buffer");
+    }
+    materialise_source(out_id);
+  }
+  std::vector<float> result(buffers[out_id].size());
+  queue.read(buffers[out_id], result, spec.node(out_id).label);
+  result.resize(elements);
+  return result;
+}
+
+}  // namespace dfg::runtime

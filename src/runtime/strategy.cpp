@@ -1,0 +1,57 @@
+#include "runtime/strategy.hpp"
+
+#include <utility>
+
+#include "kernels/vm.hpp"
+#include "support/error.hpp"
+
+namespace dfg::runtime {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::roundtrip:
+      return "roundtrip";
+    case StrategyKind::staged:
+      return "staged";
+    case StrategyKind::fusion:
+      return "fusion";
+    case StrategyKind::streamed:
+      return "streamed";
+  }
+  return "?";
+}
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        std::size_t streamed_chunk_cells) {
+  switch (kind) {
+    case StrategyKind::roundtrip:
+      return std::make_unique<RoundtripStrategy>();
+    case StrategyKind::staged:
+      return std::make_unique<StagedStrategy>();
+    case StrategyKind::fusion:
+      return std::make_unique<FusionStrategy>();
+    case StrategyKind::streamed:
+      return std::make_unique<StreamedFusionStrategy>(streamed_chunk_cells);
+  }
+  throw Error("unknown strategy kind");
+}
+
+void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
+                    std::vector<kernels::BufferBinding> inputs,
+                    std::span<float> out, std::size_t elements) {
+  vcl::KernelLaunch launch;
+  launch.label = program.name();
+  launch.ndrange = elements;
+  launch.flops = program.flops_per_item() * elements;
+  launch.global_bytes = program.global_bytes_per_item() * elements;
+  launch.registers_used = program.max_live_scalar_registers();
+  float* out_data = out.data();
+  const std::size_t out_elements = out.size();
+  launch.body = [&program, bindings = std::move(inputs), out_data,
+                 out_elements](std::size_t begin, std::size_t end) {
+    kernels::run(program, bindings, out_data, out_elements, begin, end);
+  };
+  queue.launch(launch);
+}
+
+}  // namespace dfg::runtime

@@ -1,0 +1,129 @@
+// Runtime layer: execution strategies.
+//
+// The paper's §III-C: a strategy controls data movement and how the
+// per-primitive kernels are composed to compute a network's result. Three
+// are provided — roundtrip, staged and fusion — all consuming the same
+// primitive library; adding a strategy means adding a class here, never
+// touching a kernel.
+//
+//  * roundtrip — one kernel per filter; every kernel-argument occurrence is
+//    uploaded, every result downloaded, so intermediates live in host
+//    memory. Decompose happens on the host (array slicing) and constants
+//    are materialised host-side. Slowest, but the least device memory: its
+//    footprint is the largest single kernel's working set.
+//  * staged — one kernel per filter with intermediates staged in device
+//    global memory; unique inputs upload once, one final download.
+//    Decompose and constant materialisation become kernels. Fastest per
+//    byte moved, but the largest device footprint (bounded by reference
+//    counting, which releases intermediates after their last consumer).
+//  * fusion — the dynamic kernel generator fuses the whole network into one
+//    kernel whose intermediates live in registers; unique inputs upload
+//    once, one kernel, one download.
+//
+// A fourth strategy implements the paper's future work:
+//
+//  * streamed — the fused kernel executed over z-plane slabs sized to a
+//    device budget (gradient halos included), bounding device memory at
+//    O(chunk) so data sets larger than the device still run.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataflow/network.hpp"
+#include "kernels/program.hpp"
+#include "kernels/vm.hpp"
+#include "runtime/bindings.hpp"
+#include "vcl/profiling.hpp"
+#include "vcl/queue.hpp"
+
+namespace dfg::runtime {
+
+enum class StrategyKind { roundtrip, staged, fusion, streamed };
+
+const char* strategy_name(StrategyKind kind);
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual StrategyKind kind() const = 0;
+  const char* name() const { return strategy_name(kind()); }
+
+  /// Executes the network over `elements` output cells, pulling inputs from
+  /// the bindings and producing the derived field on the host. All device
+  /// traffic goes through `device` and is recorded in `log`. Throws
+  /// DeviceOutOfMemory when the strategy's working set exceeds the device
+  /// (the paper's failed GPU test cases), NetworkError on unbound fields.
+  virtual std::vector<float> execute(const dataflow::Network& network,
+                                     const FieldBindings& bindings,
+                                     std::size_t elements, vcl::Device& device,
+                                     vcl::ProfilingLog& log) const = 0;
+};
+
+/// `streamed_chunk_cells` applies to the streamed strategy only: the
+/// target cells per chunk, 0 meaning auto-size from the device's free
+/// memory.
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        std::size_t streamed_chunk_cells = 0);
+
+class RoundtripStrategy final : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::roundtrip; }
+  std::vector<float> execute(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements, vcl::Device& device,
+                             vcl::ProfilingLog& log) const override;
+};
+
+class StagedStrategy final : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::staged; }
+  std::vector<float> execute(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements, vcl::Device& device,
+                             vcl::ProfilingLog& log) const override;
+};
+
+class FusionStrategy final : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::fusion; }
+  std::vector<float> execute(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements, vcl::Device& device,
+                             vcl::ProfilingLog& log) const override;
+};
+
+struct SlabPlan;
+
+class StreamedFusionStrategy final : public Strategy {
+ public:
+  /// max_chunk_cells = 0 auto-sizes chunks to half the device's free
+  /// memory at execution time.
+  explicit StreamedFusionStrategy(std::size_t max_chunk_cells = 0);
+
+  StrategyKind kind() const override { return StrategyKind::streamed; }
+  std::vector<float> execute(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements, vcl::Device& device,
+                             vcl::ProfilingLog& log) const override;
+
+ private:
+  std::size_t pick_chunk_planes(const SlabPlan& plan,
+                                const kernels::Program& program,
+                                vcl::Device& device) const;
+
+  std::size_t max_chunk_cells_;
+};
+
+/// Shared helper: dispatches `program` over `elements` items through the
+/// queue, with the VM as the kernel body. `inputs` views device buffers;
+/// `out` must hold elements * program.out_stride() floats.
+void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
+                    std::vector<kernels::BufferBinding> inputs,
+                    std::span<float> out, std::size_t elements);
+
+}  // namespace dfg::runtime

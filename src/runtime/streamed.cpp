@@ -1,0 +1,66 @@
+// Streamed-fusion execution strategy: the paper's first future-work item
+// ("we plan to investigate the runtime performance of our execution
+// strategies in a streaming context").
+//
+// Generates the same fused kernel as the fusion strategy but executes it
+// over z-plane slabs whose working set fits a configurable device budget,
+// re-uploading each slab's sub-ranges (plus gradient halo planes) and
+// reading each slab's interior back. Device memory becomes O(chunk) instead
+// of O(problem), so expressions whose fusion working set exceeds the device
+// still run — at the price of extra transfers and dispatches. Interior
+// results are bit-identical to single-kernel fusion.
+#include <algorithm>
+
+#include "kernels/generator.hpp"
+#include "runtime/slab.hpp"
+#include "runtime/strategy.hpp"
+#include "support/error.hpp"
+
+namespace dfg::runtime {
+
+StreamedFusionStrategy::StreamedFusionStrategy(std::size_t max_chunk_cells)
+    : max_chunk_cells_(max_chunk_cells) {}
+
+std::size_t StreamedFusionStrategy::pick_chunk_planes(
+    const SlabPlan& plan, const kernels::Program& program,
+    vcl::Device& device) const {
+  std::size_t budget_cells;
+  if (max_chunk_cells_ != 0) {
+    budget_cells = max_chunk_cells_;
+  } else {
+    // Auto: target half the device's free memory for the slab working set
+    // (inputs + output), leaving room for the host's other buffers.
+    const std::size_t budget_bytes = device.memory().available() / 2;
+    const std::size_t bytes_per_cell =
+        (plan.slabbed_params + program.out_stride()) * sizeof(float);
+    budget_cells = budget_bytes / std::max<std::size_t>(bytes_per_cell, 1);
+  }
+  std::size_t planes = budget_cells / std::max<std::size_t>(plan.plane_cells, 1);
+  // The slab adds halo planes on each side; keep at least one interior
+  // plane per chunk.
+  if (planes > 2 * plan.halo) {
+    planes -= 2 * plan.halo;
+  } else {
+    planes = 1;
+  }
+  return std::min(std::max<std::size_t>(planes, 1), plan.total_planes);
+}
+
+std::vector<float> StreamedFusionStrategy::execute(
+    const dataflow::Network& network, const FieldBindings& bindings,
+    std::size_t elements, vcl::Device& device, vcl::ProfilingLog& log) const {
+  const kernels::Program program = kernels::generate_fused(network);
+  const SlabPlan plan = make_slab_plan(program, bindings, elements);
+
+  std::vector<float> result(elements, 0.0f);
+  const std::size_t chunk_planes = pick_chunk_planes(plan, program, device);
+  for (std::size_t begin = 0; begin < plan.total_planes;
+       begin += chunk_planes) {
+    const std::size_t end =
+        std::min(plan.total_planes, begin + chunk_planes);
+    run_fused_slab(program, bindings, plan, begin, end, device, log, result);
+  }
+  return result;
+}
+
+}  // namespace dfg::runtime

@@ -1,0 +1,82 @@
+// Error hierarchy shared by every dfgen module.
+//
+// All failures surfaced to users of the public API derive from dfg::Error so
+// a host application can catch a single base type. Sub-classes carry enough
+// structured context (sizes, positions) for programmatic handling; the
+// what() string is always human readable on its own.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dfg {
+
+/// Base class of every exception thrown by dfgen.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a device buffer allocation would exceed the device's global
+/// memory capacity. This is the condition behind the paper's failed GPU test
+/// cases (Figures 5 and 6).
+class DeviceOutOfMemory : public Error {
+ public:
+  DeviceOutOfMemory(std::string device, std::size_t requested_bytes,
+                    std::size_t in_use_bytes, std::size_t capacity_bytes)
+      : Error("device '" + device + "' out of global memory: requested " +
+              std::to_string(requested_bytes) + " B with " +
+              std::to_string(in_use_bytes) + " B in use of " +
+              std::to_string(capacity_bytes) + " B capacity"),
+        device_(std::move(device)),
+        requested_bytes_(requested_bytes),
+        in_use_bytes_(in_use_bytes),
+        capacity_bytes_(capacity_bytes) {}
+
+  const std::string& device() const { return device_; }
+  std::size_t requested_bytes() const { return requested_bytes_; }
+  std::size_t in_use_bytes() const { return in_use_bytes_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::string device_;
+  std::size_t requested_bytes_;
+  std::size_t in_use_bytes_;
+  std::size_t capacity_bytes_;
+};
+
+/// Thrown by the expression front-end on lexical or syntactic errors.
+/// Carries the 1-based source line and column of the offending token.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : Error(message + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Thrown when a dataflow network specification is malformed: unknown
+/// filters, arity mismatches, component-count violations, cycles, or
+/// references to unbound fields.
+class NetworkError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by the kernel layer: malformed bytecode, register exhaustion,
+/// buffer-binding mismatches.
+class KernelError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace dfg

@@ -1,0 +1,29 @@
+// Minimal shared-memory parallel loop support.
+//
+// Kernel NDRange execution in the virtual compute layer is divided into
+// contiguous chunks processed by a small pool of worker threads, mirroring
+// how an OpenCL CPU runtime maps work-items onto cores. The pool degrades
+// gracefully to serial execution on single-core hosts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dfg::support {
+
+/// Number of worker threads used by parallel_for. Defaults to
+/// std::thread::hardware_concurrency() (at least 1).
+std::size_t worker_count();
+
+/// Overrides the worker count (useful for tests); pass 0 to restore the
+/// hardware default. Takes effect on the next parallel_for call.
+void set_worker_count(std::size_t workers);
+
+/// Invokes body(begin, end) over disjoint sub-ranges covering [0, n).
+/// The body must be safe to call concurrently on disjoint ranges.
+/// Exceptions thrown by the body are captured and the first one rethrown
+/// on the calling thread after all workers finish.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace dfg::support

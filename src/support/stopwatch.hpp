@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used to attach real host timings to profiling events
+// alongside the cost model's simulated device timings.
+#pragma once
+
+#include <chrono>
+
+namespace dfg::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dfg::support

@@ -1,0 +1,45 @@
+#include "vcl/buffer.hpp"
+
+#include <utility>
+
+#include "vcl/device.hpp"
+
+namespace dfg::vcl {
+
+Buffer::Buffer(Device& device, std::size_t elements) : device_(&device) {
+  device_->memory().reserve(elements * sizeof(float));
+  // Reserve happened first: if it throws, no storage is allocated and the
+  // tracker is untouched.
+  storage_.assign(elements, 0.0f);
+}
+
+Buffer::~Buffer() { release(); }
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : device_(std::exchange(other.device_, nullptr)),
+      storage_(std::move(other.storage_)) {
+  other.storage_.clear();
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    device_ = std::exchange(other.device_, nullptr);
+    storage_ = std::move(other.storage_);
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+void Buffer::release() {
+  if (device_ != nullptr) {
+    device_->memory().release(bytes());
+    device_ = nullptr;
+    storage_.clear();
+    storage_.shrink_to_fit();
+  }
+}
+
+Buffer Device::allocate(std::size_t elements) { return Buffer(*this, elements); }
+
+}  // namespace dfg::vcl

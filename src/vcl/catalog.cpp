@@ -1,0 +1,59 @@
+#include "vcl/catalog.hpp"
+
+namespace dfg::vcl {
+
+namespace {
+constexpr std::size_t kGiB = std::size_t(1) << 30;
+constexpr std::size_t kMiB = std::size_t(1) << 20;
+}  // namespace
+
+DeviceSpec xeon_x5660() {
+  DeviceSpec spec;
+  spec.name = "Intel Xeon X5660 (virtual OpenCL CPU)";
+  spec.type = DeviceType::cpu;
+  // The CPU OpenCL device shares the node's 96 GB of host RAM.
+  spec.global_mem_bytes = 96 * kGiB;
+  spec.compute_units = 12;  // two six-core sockets
+  // "Transfers" to a CPU device are host-side memcpys: read + write traffic
+  // against the same DDR3 halves the effective copy bandwidth.
+  spec.transfer_gbps = 5.0;
+  spec.transfer_latency_us = 2.0;
+  spec.global_mem_gbps = 18.0;  // triple-channel DDR3, streaming, derated
+  spec.gflops = 120.0;          // 12 cores x 2.8 GHz x 4-wide SSE (sp)
+  spec.launch_overhead_us = 25.0;
+  spec.register_budget = 256;  // spilling to stack is cheap on a CPU
+  return spec;
+}
+
+DeviceSpec tesla_m2050() {
+  DeviceSpec spec;
+  spec.name = "NVIDIA Tesla M2050 (virtual OpenCL GPU)";
+  spec.type = DeviceType::gpu;
+  // 3 GiB GDDR5 physically; Edge runs with ECC enabled, which reserves
+  // 12.5% of Fermi device memory, leaving ~2.62 GiB allocatable.
+  spec.global_mem_bytes = 3 * kGiB / 8 * 7;
+  spec.compute_units = 14;  // Fermi SMs
+  spec.transfer_gbps = 5.5;  // PCIe gen2 x16, effective
+  spec.transfer_latency_us = 12.0;
+  spec.global_mem_gbps = 110.0;  // 148 GB/s peak GDDR5, derated
+  spec.gflops = 1030.0;          // single precision peak
+  spec.launch_overhead_us = 8.0;
+  spec.register_budget = 63;  // Fermi per-thread register limit
+  return spec;
+}
+
+DeviceSpec xeon_x5660_scaled() {
+  DeviceSpec spec = xeon_x5660();
+  spec.name = "Intel Xeon X5660 (virtual, 1/64 scale)";
+  spec.global_mem_bytes /= 64;
+  return spec;
+}
+
+DeviceSpec tesla_m2050_scaled() {
+  DeviceSpec spec = tesla_m2050();
+  spec.name = "NVIDIA Tesla M2050 (virtual, 1/64 scale)";
+  spec.global_mem_bytes = 42 * kMiB;  // (3 GiB * 7/8 ECC) / 64
+  return spec;
+}
+
+}  // namespace dfg::vcl

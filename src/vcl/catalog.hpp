@@ -1,0 +1,27 @@
+// Virtual compute layer: built-in device catalog.
+//
+// Provides virtual equivalents of the two OpenCL devices on LLNL's Edge
+// cluster used by the paper's evaluation:
+//   * dual Intel Xeon X5660 "Westmere" (OpenCL CPU runtime, 96 GB host RAM)
+//   * NVIDIA Tesla M2050 (3 GB GDDR5, PCIe gen2 x16)
+// plus 1/64-scaled variants matched to the scaled evaluation grids (see
+// DESIGN.md): scaling device capacity by the same factor as the data keeps
+// the memory-constraint behaviour — which test cases fail and where the
+// curves cross the capacity line — identical to the paper's.
+#pragma once
+
+#include "vcl/device.hpp"
+
+namespace dfg::vcl {
+
+/// Full-size virtual Xeon X5660 node (OpenCL CPU platform).
+DeviceSpec xeon_x5660();
+
+/// Full-size virtual Tesla M2050 (OpenCL GPU platform, 3 GB).
+DeviceSpec tesla_m2050();
+
+/// 1/64-capacity variants used with the 1/64-cell evaluation grids.
+DeviceSpec xeon_x5660_scaled();
+DeviceSpec tesla_m2050_scaled();
+
+}  // namespace dfg::vcl

@@ -1,0 +1,34 @@
+#include "vcl/cost_model.hpp"
+
+#include <algorithm>
+
+namespace dfg::vcl {
+
+namespace {
+constexpr double kGiga = 1.0e9;
+constexpr double kMicro = 1.0e-6;
+}  // namespace
+
+double CostModel::transfer_seconds(std::size_t bytes) const {
+  const double bw = spec_->transfer_gbps * kGiga;
+  return spec_->transfer_latency_us * kMicro + static_cast<double>(bytes) / bw;
+}
+
+double CostModel::kernel_seconds(std::uint64_t flops, std::size_t global_bytes,
+                                 int registers_used) const {
+  const double compute =
+      static_cast<double>(flops) /
+      (spec_->gflops * kGiga * kComputeEfficiency);
+  double effective_bytes = static_cast<double>(global_bytes);
+  const int spilled = registers_used - spec_->register_budget;
+  if (spilled > 0 && global_bytes > 0) {
+    // Spills scale with NDRange size; approximate elements from the global
+    // traffic (float32) and charge a read+write round trip per spill.
+    const double elements = static_cast<double>(global_bytes) / sizeof(float);
+    effective_bytes += elements * kSpillBytesPerRegister * spilled;
+  }
+  const double memory = effective_bytes / (spec_->global_mem_gbps * kGiga);
+  return spec_->launch_overhead_us * kMicro + std::max(compute, memory);
+}
+
+}  // namespace dfg::vcl

@@ -1,0 +1,47 @@
+// Virtual compute layer: device cost model.
+//
+// Attributes a simulated duration to each queue operation from the device
+// spec's performance envelope. Transfers follow a latency + bytes/bandwidth
+// model (PCIe gen2 x16 for the virtual M2050); kernels follow a roofline:
+// launch overhead plus the larger of compute time (flops / peak rate,
+// derated by an efficiency factor) and memory time (global bytes /
+// bandwidth). A register-spill penalty models the paper's caveat that a
+// fused kernel must "avoid spilling results intended for local registers
+// into the global memory".
+//
+// The model is deliberately simple — the reproduction targets the *shape*
+// of the paper's Figure 5 (strategy ordering, CPU/GPU crossover, transfer-
+// dominated roundtrip), not its absolute milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vcl/device.hpp"
+
+namespace dfg::vcl {
+
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& spec) : spec_(&spec) {}
+
+  /// Simulated duration of moving `bytes` across the host<->device link.
+  double transfer_seconds(std::size_t bytes) const;
+
+  /// Simulated duration of one kernel dispatch touching `global_bytes` of
+  /// device global memory and executing `flops` floating point operations
+  /// with `registers_used` live per-work-item registers.
+  double kernel_seconds(std::uint64_t flops, std::size_t global_bytes,
+                        int registers_used) const;
+
+  /// Fraction of peak flops a generated (non hand-tuned) kernel achieves.
+  static constexpr double kComputeEfficiency = 0.35;
+  /// Each spilled register adds one extra global round-trip of the spilled
+  /// value per element, approximated as a bandwidth surcharge.
+  static constexpr double kSpillBytesPerRegister = 8.0;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace dfg::vcl

@@ -1,0 +1,6 @@
+#include "vcl/device.hpp"
+
+// Device::allocate is defined in buffer.cpp next to the Buffer
+// implementation to keep the allocation/release pairing in one translation
+// unit. This file exists so the device model owns a TU of its own if it
+// grows non-inline behaviour.

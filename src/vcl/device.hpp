@@ -1,0 +1,114 @@
+// Virtual compute layer: device model.
+//
+// The paper executes on OpenCL 1.1 devices (an Intel Xeon X5660 CPU runtime
+// and an NVIDIA Tesla M2050 GPU). This module substitutes a *virtual* OpenCL
+// device: it reproduces the parts of the OpenCL device model the paper's
+// evaluation depends on —
+//   * a global memory pool with a hard capacity, enforced at buffer
+//     allocation time (the source of the paper's failed GPU test cases),
+//   * allocation tracking with a high-water mark (Figure 6's metric),
+//   * a performance envelope (bandwidths, flop rate, overheads) consumed by
+//     the cost model to attribute simulated durations to profiling events
+//     (Figure 5's metric).
+// Kernels genuinely execute on the host, so results are numerically real;
+// only the *timing* is simulated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace dfg::vcl {
+
+enum class DeviceType { cpu, gpu };
+
+/// Static description of a virtual OpenCL device. The performance fields
+/// parameterise the cost model; the capacity field parameterises the
+/// allocator.
+struct DeviceSpec {
+  std::string name;
+  DeviceType type = DeviceType::cpu;
+  /// Hard capacity of device global memory, enforced by the allocator.
+  std::size_t global_mem_bytes = 0;
+  int compute_units = 1;
+  /// Host<->device transfer bandwidth (GB/s) and per-transfer latency (us).
+  /// For a CPU device the "transfer" is a host-side copy, so bandwidth is
+  /// high and latency low; for a GPU it models the PCIe link.
+  double transfer_gbps = 1.0;
+  double transfer_latency_us = 0.0;
+  /// Device global memory streaming bandwidth (GB/s).
+  double global_mem_gbps = 1.0;
+  /// Peak single-precision throughput (GFLOP/s).
+  double gflops = 1.0;
+  /// Fixed overhead charged per kernel dispatch (us).
+  double launch_overhead_us = 0.0;
+  /// Per-work-item register budget before the cost model charges a spill
+  /// penalty (mirrors the paper's note that fused kernels must avoid
+  /// spilling local registers into global memory).
+  int register_budget = 64;
+};
+
+/// Tracks live device allocations against a capacity and records the
+/// high-water mark. reserve() throws DeviceOutOfMemory when the capacity
+/// would be exceeded, leaving the tracker unchanged.
+class MemoryTracker {
+ public:
+  MemoryTracker(std::string device_name, std::size_t capacity_bytes)
+      : device_name_(std::move(device_name)), capacity_(capacity_bytes) {}
+
+  void reserve(std::size_t bytes) {
+    if (bytes > capacity_ - in_use_) {
+      throw DeviceOutOfMemory(device_name_, bytes, in_use_, capacity_);
+    }
+    in_use_ += bytes;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+  }
+
+  void release(std::size_t bytes) {
+    in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t available() const { return capacity_ - in_use_; }
+
+  /// Resets the high-water mark to the current usage (used between test
+  /// cases; live buffers keep counting).
+  void reset_high_water() { high_water_ = in_use_; }
+
+ private:
+  std::string device_name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+class Buffer;
+
+/// A virtual OpenCL device: a spec plus an allocator. Buffers reference the
+/// device that created them and must not outlive it.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)), memory_(spec_.name, spec_.global_mem_bytes) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  MemoryTracker& memory() { return memory_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  /// Allocates a device buffer of `elements` float32 values. Throws
+  /// DeviceOutOfMemory if the device capacity would be exceeded.
+  Buffer allocate(std::size_t elements);
+
+ private:
+  DeviceSpec spec_;
+  MemoryTracker memory_;
+};
+
+}  // namespace dfg::vcl

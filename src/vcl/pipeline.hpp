@@ -1,0 +1,43 @@
+// Virtual compute layer: transfer/compute overlap analysis.
+//
+// The streamed strategy issues (upload, kernel, read) triples per chunk.
+// On real hardware those stages can overlap: every discrete GPU has at
+// least one DMA copy engine running concurrently with the compute engine,
+// and Tesla-class Fermi boards (like the paper's M2050) have two copy
+// engines, so uploads of chunk k+1, compute of chunk k and readback of
+// chunk k-1 can all proceed at once. This module computes the pipeline
+// makespan of a chunk sequence under three machine models:
+//
+//   * serial        — one engine, fully in-order (what the virtual
+//                     command queue executes; the baseline the profiling
+//                     log reports);
+//   * single copy   — one copy engine shared by uploads and readbacks,
+//                     overlapping with the compute engine;
+//   * dual copy     — dedicated upload and readback engines (M2050).
+//
+// Dependencies per chunk: kernel after its upload, readback after its
+// kernel; each engine processes its work in issue order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dfg::vcl {
+
+/// Stage durations of one streamed chunk, in seconds.
+struct ChunkCost {
+  double upload = 0.0;
+  double kernel = 0.0;
+  double read = 0.0;
+};
+
+struct PipelineResult {
+  double serial = 0.0;
+  double overlap_single_copy = 0.0;
+  double overlap_dual_copy = 0.0;
+};
+
+/// Makespan of executing the chunks in order under each machine model.
+PipelineResult pipeline_makespan(std::span<const ChunkCost> chunks);
+
+}  // namespace dfg::vcl

@@ -1,0 +1,62 @@
+#include "vcl/profiling.hpp"
+
+#include <utility>
+
+namespace dfg::vcl {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::host_to_device:
+      return "Dev-W";
+    case EventKind::device_to_host:
+      return "Dev-R";
+    case EventKind::kernel_exec:
+      return "K-Exe";
+  }
+  return "?";
+}
+
+void ProfilingLog::record(Event event) {
+  const auto idx = static_cast<std::size_t>(event.kind);
+  counts_[idx] += 1;
+  sim_seconds_[idx] += event.sim_seconds;
+  bytes_[idx] += event.bytes;
+  wall_seconds_ += event.wall_seconds;
+  flops_ += event.flops;
+  events_.push_back(std::move(event));
+}
+
+std::size_t ProfilingLog::count(EventKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t ProfilingLog::total_count() const { return events_.size(); }
+
+double ProfilingLog::sim_seconds(EventKind kind) const {
+  return sim_seconds_[static_cast<std::size_t>(kind)];
+}
+
+double ProfilingLog::total_sim_seconds() const {
+  double total = 0.0;
+  for (double s : sim_seconds_) total += s;
+  return total;
+}
+
+double ProfilingLog::total_wall_seconds() const { return wall_seconds_; }
+
+std::size_t ProfilingLog::bytes(EventKind kind) const {
+  return bytes_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t ProfilingLog::total_flops() const { return flops_; }
+
+void ProfilingLog::clear() {
+  events_.clear();
+  counts_.fill(0);
+  sim_seconds_.fill(0.0);
+  bytes_.fill(0);
+  wall_seconds_ = 0.0;
+  flops_ = 0;
+}
+
+}  // namespace dfg::vcl

@@ -1,0 +1,53 @@
+#include "vcl/queue.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dfg::vcl {
+
+void CommandQueue::write(Buffer& buffer, std::span<const float> host,
+                         const std::string& label) {
+  if (host.size() > buffer.size()) {
+    throw KernelError("write of " + std::to_string(host.size()) +
+                      " elements exceeds buffer '" + label + "' extent " +
+                      std::to_string(buffer.size()));
+  }
+  support::Stopwatch watch;
+  std::copy(host.begin(), host.end(), buffer.device_view().begin());
+  const std::size_t bytes = host.size() * sizeof(float);
+  log_->record(Event{EventKind::host_to_device, label, bytes, 0,
+                     cost_.transfer_seconds(bytes), watch.seconds()});
+}
+
+void CommandQueue::read(const Buffer& buffer, std::span<float> host,
+                        const std::string& label) {
+  if (host.size() < buffer.size()) {
+    throw KernelError("read into " + std::to_string(host.size()) +
+                      " elements from larger buffer '" + label + "' of " +
+                      std::to_string(buffer.size()));
+  }
+  support::Stopwatch watch;
+  const auto view = buffer.device_view();
+  std::copy(view.begin(), view.end(), host.begin());
+  const std::size_t bytes = buffer.bytes();
+  log_->record(Event{EventKind::device_to_host, label, bytes, 0,
+                     cost_.transfer_seconds(bytes), watch.seconds()});
+}
+
+void CommandQueue::launch(const KernelLaunch& launch) {
+  if (!launch.body) {
+    throw KernelError("kernel '" + launch.label + "' has no body");
+  }
+  support::Stopwatch watch;
+  support::parallel_for(launch.ndrange, launch.body);
+  log_->record(Event{
+      EventKind::kernel_exec, launch.label, launch.global_bytes, launch.flops,
+      cost_.kernel_seconds(launch.flops, launch.global_bytes,
+                           launch.registers_used),
+      watch.seconds()});
+}
+
+}  // namespace dfg::vcl

@@ -1,0 +1,63 @@
+// Virtual compute layer: in-order command queue.
+//
+// The analogue of an OpenCL command queue created with profiling enabled.
+// Every operation executes synchronously (the paper's framework also
+// enqueues, waits and then reads the profiling timestamps), is timed with a
+// wall clock, priced by the device cost model, and recorded in the attached
+// ProfilingLog as a Dev-W / Dev-R / K-Exe event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "vcl/buffer.hpp"
+#include "vcl/cost_model.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::vcl {
+
+/// Everything the queue needs to dispatch one kernel over a 1-D NDRange.
+/// The body is invoked over disjoint [begin, end) chunks, possibly
+/// concurrently, covering [0, ndrange).
+struct KernelLaunch {
+  std::string label;
+  std::size_t ndrange = 0;
+  /// Totals across the whole NDRange, used by the cost model.
+  std::uint64_t flops = 0;
+  std::size_t global_bytes = 0;
+  int registers_used = 0;
+  std::function<void(std::size_t, std::size_t)> body;
+};
+
+class CommandQueue {
+ public:
+  CommandQueue(Device& device, ProfilingLog& log)
+      : device_(&device), log_(&log), cost_(device.spec()) {}
+
+  Device& device() { return *device_; }
+  ProfilingLog& log() { return *log_; }
+
+  /// Host-to-device transfer (clEnqueueWriteBuffer). `host` must not exceed
+  /// the buffer extent.
+  void write(Buffer& buffer, std::span<const float> host,
+             const std::string& label);
+
+  /// Device-to-host transfer (clEnqueueReadBuffer). `host` must be at least
+  /// the buffer extent.
+  void read(const Buffer& buffer, std::span<float> host,
+            const std::string& label);
+
+  /// Kernel dispatch (clEnqueueNDRangeKernel) over launch.ndrange items.
+  void launch(const KernelLaunch& launch);
+
+ private:
+  Device* device_;
+  ProfilingLog* log_;
+  CostModel cost_;
+};
+
+}  // namespace dfg::vcl

@@ -1,0 +1,90 @@
+#include "vcl/trace.hpp"
+
+#include <sstream>
+
+namespace dfg::vcl {
+
+namespace {
+
+constexpr double kMicro = 1.0e6;
+
+const char* track_name(EventKind kind) {
+  return kind == EventKind::kernel_exec ? "compute" : "copy";
+}
+
+int track_id(EventKind kind) {
+  return kind == EventKind::kernel_exec ? 2 : 1;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const ProfilingLog& log,
+                            const TraceOptions& options) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& json) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << json;
+  };
+
+  // Process / thread metadata.
+  {
+    std::ostringstream meta;
+    meta << "{\"ph\":\"M\",\"pid\":" << options.pid
+         << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+         << escape(options.device_name) << "\"}}";
+    emit(meta.str());
+  }
+  for (const EventKind kind :
+       {EventKind::host_to_device, EventKind::kernel_exec}) {
+    std::ostringstream meta;
+    meta << "{\"ph\":\"M\",\"pid\":" << options.pid
+         << ",\"tid\":" << track_id(kind)
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << track_name(kind) << "\"}}";
+    emit(meta.str());
+  }
+
+  // In-order device timeline: each event occupies [t, t + sim_seconds).
+  double t = 0.0;
+  for (const Event& event : log.events()) {
+    std::ostringstream row;
+    row << "{\"ph\":\"X\",\"pid\":" << options.pid
+        << ",\"tid\":" << track_id(event.kind) << ",\"name\":\""
+        << escape(event.label) << "\",\"cat\":\""
+        << event_kind_name(event.kind) << "\",\"ts\":" << t * kMicro
+        << ",\"dur\":" << event.sim_seconds * kMicro
+        << ",\"args\":{\"bytes\":" << event.bytes
+        << ",\"flops\":" << event.flops << "}}";
+    emit(row.str());
+    t += event.sim_seconds;
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace dfg::vcl

@@ -1,0 +1,28 @@
+// Virtual compute layer: Chrome trace export.
+//
+// Serialises a profiling log as a Chrome trace-event JSON document
+// (loadable in chrome://tracing or Perfetto), reconstructing the device
+// timeline from the recorded event order and simulated durations. Events
+// are grouped onto two tracks per device — a copy track for host<->device
+// transfers and a compute track for kernels — mirroring how the paper's
+// profiling tooling categorises device events.
+#pragma once
+
+#include <string>
+
+#include "vcl/profiling.hpp"
+
+namespace dfg::vcl {
+
+struct TraceOptions {
+  /// Process name shown in the trace viewer.
+  std::string device_name = "virtual device";
+  /// Process id distinguishing multiple devices in one trace.
+  int pid = 1;
+};
+
+/// Full trace document for one log (in-order timeline of its events).
+std::string to_chrome_trace(const ProfilingLog& log,
+                            const TraceOptions& options = {});
+
+}  // namespace dfg::vcl

@@ -1,0 +1,301 @@
+// Tests for the distributed layer: decomposition arithmetic, ghost
+// exchange, and the distributed engine's bit-equality with serial results
+// (the correctness claim behind the paper's Figure 7 run).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "distrib/decomposition.hpp"
+#include "distrib/dist_engine.hpp"
+#include "distrib/ghost.hpp"
+#include "mesh/generators.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using namespace dfg::distrib;
+
+TEST(Decomposition, BlockCountAndDims) {
+  const GridDecomposition decomp({12, 8, 16}, 3, 2, 4);
+  EXPECT_EQ(decomp.block_count(), 24u);
+  EXPECT_EQ(decomp.block_dims(), (mesh::Dims{4, 4, 4}));
+}
+
+TEST(Decomposition, UnevenSplitRejected) {
+  EXPECT_THROW(GridDecomposition({10, 8, 8}, 3, 2, 2), Error);
+  EXPECT_THROW(GridDecomposition({8, 8, 8}, 0, 1, 1), Error);
+}
+
+TEST(Decomposition, IdCoordRoundTrip) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  for (std::size_t id = 0; id < decomp.block_count(); ++id) {
+    EXPECT_EQ(decomp.block_id(decomp.block_coord(id)), id);
+  }
+  EXPECT_THROW(decomp.block_coord(8), Error);
+  EXPECT_THROW(decomp.block_id({2, 0, 0}), Error);
+}
+
+TEST(Decomposition, ExtentsTileTheGlobalGrid) {
+  const GridDecomposition decomp({6, 4, 4}, 3, 2, 2);
+  std::vector<int> covered(6 * 4 * 4, 0);
+  for (std::size_t b = 0; b < decomp.block_count(); ++b) {
+    const BlockExtent e = decomp.extent(b);
+    for (std::size_t k = e.k_begin; k < e.k_end; ++k) {
+      for (std::size_t j = e.j_begin; j < e.j_end; ++j) {
+        for (std::size_t i = e.i_begin; i < e.i_end; ++i) {
+          covered[i + 6 * (j + 4 * k)] += 1;
+        }
+      }
+    }
+  }
+  for (const int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(Decomposition, NeighborsAtBoundaries) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  const std::size_t origin = decomp.block_id({0, 0, 0});
+  EXPECT_FALSE(decomp.neighbor(origin, 0, -1).has_value());
+  EXPECT_FALSE(decomp.neighbor(origin, 1, -1).has_value());
+  ASSERT_TRUE(decomp.neighbor(origin, 0, +1).has_value());
+  EXPECT_EQ(*decomp.neighbor(origin, 0, +1), decomp.block_id({1, 0, 0}));
+  EXPECT_EQ(*decomp.neighbor(origin, 2, +1), decomp.block_id({0, 0, 1}));
+  EXPECT_THROW(decomp.neighbor(origin, 3, 1), Error);
+}
+
+TEST(Ghost, ScatterGatherRoundTrips) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  GhostExchanger exchanger(decomp, 1);
+  std::vector<float> global_values(8 * 8 * 8);
+  for (std::size_t i = 0; i < global_values.size(); ++i) {
+    global_values[i] = static_cast<float>(i) * 0.25f;
+  }
+  const auto interiors = exchanger.scatter(global_values);
+  ASSERT_EQ(interiors.size(), 8u);
+  const auto padded = exchanger.exchange(interiors);
+  EXPECT_EQ(exchanger.gather(padded), global_values);
+}
+
+TEST(Ghost, FaceGhostsHoldNeighborValues) {
+  const GridDecomposition decomp({8, 4, 4}, 2, 1, 1);
+  GhostExchanger exchanger(decomp, 1);
+  std::vector<float> global_values(8 * 4 * 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        global_values[i + 8 * (j + 4 * k)] = static_cast<float>(i);
+      }
+    }
+  }
+  const auto padded = exchanger.exchange(exchanger.scatter(global_values));
+  // Block 0 spans i in [0,4); its high-x ghost plane must hold i=4 values
+  // from block 1.
+  const PaddedBlock& b0 = padded[0];
+  EXPECT_EQ(b0.dims, (mesh::Dims{5, 4, 4}));  // +1 ghost on high x only
+  EXPECT_EQ(b0.lo_i, 0u);
+  EXPECT_FLOAT_EQ(b0.values[b0.index(4, 2, 1)], 4.0f);
+  // Block 1 spans i in [4,8); its low-x ghost must hold i=3 values.
+  const PaddedBlock& b1 = padded[1];
+  EXPECT_EQ(b1.lo_i, 1u);
+  EXPECT_FLOAT_EQ(b1.values[b1.index(0, 2, 1)], 3.0f);
+}
+
+TEST(Ghost, MessageAndByteAccounting) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  GhostExchanger exchanger(decomp, 1);
+  const std::vector<float> global_values(8 * 8 * 8, 1.0f);
+  exchanger.exchange(exchanger.scatter(global_values));
+  // 8 blocks x 3 interior faces each = 24 messages of one 4x4 plane.
+  EXPECT_EQ(exchanger.messages(), 24u);
+  EXPECT_EQ(exchanger.bytes(), 24u * 16u * sizeof(float));
+}
+
+TEST(Ghost, WidthTooLargeRejected) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  EXPECT_THROW(GhostExchanger(decomp, 4), Error);
+}
+
+TEST(Ghost, MismatchedInteriorsRejected) {
+  const GridDecomposition decomp({8, 8, 8}, 2, 2, 2);
+  GhostExchanger exchanger(decomp, 1);
+  std::vector<std::vector<float>> wrong_count(4);
+  EXPECT_THROW(exchanger.exchange(wrong_count), Error);
+  std::vector<std::vector<float>> wrong_size(8, std::vector<float>(3));
+  EXPECT_THROW(exchanger.exchange(wrong_size), Error);
+}
+
+// ----- Distributed engine -----
+
+struct DistFixture {
+  mesh::RectilinearMesh mesh =
+      mesh::RectilinearMesh::uniform({16, 16, 32}, 1.0f, 1.0f, 2.0f);
+  mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+
+  std::vector<float> serial(const char* expression) {
+    vcl::Device device(vcl::xeon_x5660());
+    Engine engine(device, {runtime::StrategyKind::fusion, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+
+  DistributedReport distributed(const char* expression,
+                                std::size_t bx, std::size_t by,
+                                std::size_t bz) {
+    ClusterConfig config;
+    config.nodes = 2;
+    config.devices_per_node = 2;
+    config.device_spec = vcl::tesla_m2050_scaled();
+    DistributedEngine engine(mesh, GridDecomposition(mesh.dims(), bx, by, bz),
+                             config);
+    engine.bind_global("u", field.u);
+    engine.bind_global("v", field.v);
+    engine.bind_global("w", field.w);
+    return engine.evaluate(expression, runtime::StrategyKind::fusion);
+  }
+};
+
+TEST(DistributedEngine, QCriterionBitMatchesSerialEverywhere) {
+  // Ghost data makes the gradient stencil see exactly the same operands a
+  // single-grid run sees, so every cell must match bit for bit.
+  DistFixture fx;
+  const auto serial = fx.serial(expressions::kQCriterion);
+  const auto report = fx.distributed(expressions::kQCriterion, 2, 2, 4);
+  ASSERT_EQ(report.values.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(report.values[i], serial[i]) << "cell " << i;
+  }
+}
+
+TEST(DistributedEngine, VorticityMagnitudeMatchesSerial) {
+  DistFixture fx;
+  const auto serial = fx.serial(expressions::kVorticityMagnitude);
+  const auto report = fx.distributed(expressions::kVorticityMagnitude, 4, 2, 2);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(report.values[i], serial[i]) << "cell " << i;
+  }
+}
+
+TEST(DistributedEngine, ReportDescribesClusterLayout) {
+  DistFixture fx;
+  const auto report = fx.distributed(expressions::kQCriterion, 2, 2, 4);
+  EXPECT_EQ(report.blocks, 16u);
+  EXPECT_EQ(report.ranks, 4u);  // 2 nodes x 2 devices (one MPI task each)
+  EXPECT_EQ(report.blocks_per_rank_max, 4u);
+  EXPECT_GT(report.ghost_messages, 0u);
+  EXPECT_GT(report.ghost_bytes, 0u);
+  EXPECT_GT(report.total_kernel_execs, 0u);
+  EXPECT_GT(report.max_device_high_water, 0u);
+  // Critical path <= aggregate over ranks.
+  EXPECT_LE(report.max_rank_sim_seconds, report.total_sim_seconds);
+  EXPECT_GT(report.max_rank_sim_seconds, 0.0);
+}
+
+TEST(DistributedEngine, EveryBlockDispatchesOneFusedKernel) {
+  DistFixture fx;
+  const auto report = fx.distributed(expressions::kQCriterion, 2, 2, 4);
+  EXPECT_EQ(report.total_kernel_execs, report.blocks);
+  // 7 uploads + 1 readback per block under fusion.
+  EXPECT_EQ(report.total_dev_writes, report.blocks * 7u);
+  EXPECT_EQ(report.total_dev_reads, report.blocks);
+}
+
+TEST(DistributedEngine, UnboundFieldRejected) {
+  DistFixture fx;
+  ClusterConfig config;
+  config.device_spec = vcl::tesla_m2050_scaled();
+  DistributedEngine engine(
+      fx.mesh, GridDecomposition(fx.mesh.dims(), 2, 2, 2), config);
+  engine.bind_global("u", fx.field.u);
+  EXPECT_THROW(
+      engine.evaluate(expressions::kVelocityMagnitude,
+                      runtime::StrategyKind::fusion),
+      NetworkError);
+}
+
+TEST(DistributedEngine, MismatchedDecompositionRejected) {
+  DistFixture fx;
+  ClusterConfig config;
+  config.device_spec = vcl::tesla_m2050_scaled();
+  EXPECT_THROW(DistributedEngine(fx.mesh,
+                                 GridDecomposition({8, 8, 8}, 2, 2, 2),
+                                 config),
+               Error);
+}
+
+TEST(DistributedEngine, StagedStrategyAlsoMatchesSerial) {
+  DistFixture fx;
+  ClusterConfig config;
+  config.nodes = 1;
+  config.devices_per_node = 2;
+  config.device_spec = vcl::xeon_x5660_scaled();
+  DistributedEngine engine(
+      fx.mesh, GridDecomposition(fx.mesh.dims(), 2, 2, 2), config);
+  engine.bind_global("u", fx.field.u);
+  engine.bind_global("v", fx.field.v);
+  engine.bind_global("w", fx.field.w);
+  const auto report =
+      engine.evaluate(expressions::kQCriterion, runtime::StrategyKind::staged);
+  const auto serial = fx.serial(expressions::kQCriterion);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(report.values[i], serial[i]) << "cell " << i;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Ghost, WidthTwoExchangeCarriesTwoPlanes) {
+  const dfg::distrib::GridDecomposition decomp({12, 4, 4}, 2, 1, 1);
+  dfg::distrib::GhostExchanger exchanger(decomp, 2);
+  std::vector<float> global_values(12 * 4 * 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t i = 0; i < 12; ++i) {
+        global_values[i + 12 * (j + 4 * k)] = static_cast<float>(i);
+      }
+    }
+  }
+  const auto padded = exchanger.exchange(exchanger.scatter(global_values));
+  // Block 0 spans i in [0,6); its two high-x ghost planes hold i=6 and i=7.
+  const dfg::distrib::PaddedBlock& b0 = padded[0];
+  EXPECT_EQ(b0.dims, (dfg::mesh::Dims{8, 4, 4}));
+  EXPECT_FLOAT_EQ(b0.values[b0.index(6, 1, 2)], 6.0f);
+  EXPECT_FLOAT_EQ(b0.values[b0.index(7, 1, 2)], 7.0f);
+  // Block 1 spans i in [6,12); its low-x ghosts hold i=4 and i=5.
+  const dfg::distrib::PaddedBlock& b1 = padded[1];
+  EXPECT_EQ(b1.lo_i, 2u);
+  EXPECT_FLOAT_EQ(b1.values[b1.index(0, 1, 2)], 4.0f);
+  EXPECT_FLOAT_EQ(b1.values[b1.index(1, 1, 2)], 5.0f);
+  // Round trip still exact.
+  EXPECT_EQ(exchanger.gather(padded), global_values);
+}
+
+TEST(DistributedEngine, WiderGhostsStillBitExact) {
+  DistFixture fx;
+  dfg::distrib::ClusterConfig config;
+  config.nodes = 2;
+  config.devices_per_node = 2;
+  config.device_spec = dfg::vcl::tesla_m2050_scaled();
+  config.ghost_width = 2;  // more than the gradient stencil needs
+  dfg::distrib::DistributedEngine engine(
+      fx.mesh, dfg::distrib::GridDecomposition(fx.mesh.dims(), 2, 2, 4),
+      config);
+  engine.bind_global("u", fx.field.u);
+  engine.bind_global("v", fx.field.v);
+  engine.bind_global("w", fx.field.w);
+  const auto report = engine.evaluate(dfg::expressions::kQCriterion,
+                                      dfg::runtime::StrategyKind::fusion);
+  const auto serial = fx.serial(dfg::expressions::kQCriterion);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(report.values[i], serial[i]) << "cell " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for the Graphviz DOT rendering of dataflow networks (Figure 4).
+#include <gtest/gtest.h>
+
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/dot.hpp"
+
+namespace {
+
+using namespace dfg::dataflow;
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Dot, RendersSourcesFiltersAndEdges) {
+  const NetworkSpec spec = build_network("r = sqrt(u*u + v*v)");
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("digraph \"dataflow\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"u\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  // u*u contributes two parallel edges from the same source.
+  EXPECT_GE(count_occurrences(dot, "->"), 5u);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, OutputNodeHighlighted) {
+  const NetworkSpec spec = build_network("r = u + v");
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, DecomposeShowsComponent) {
+  const NetworkSpec spec =
+      build_network("du = grad3d(u, dims, x, y, z)\nr = du[2]");
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("decompose [2]"), std::string::npos);
+}
+
+TEST(Dot, ArgumentPositionsLabelledForMultiInputFilters) {
+  const NetworkSpec spec = build_network("r = u - v");
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("label=\"0\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);
+
+  DotOptions options;
+  options.label_argument_positions = false;
+  const std::string plain = to_dot(spec, options);
+  EXPECT_EQ(plain.find("label=\"0\""), std::string::npos);
+}
+
+TEST(Dot, CustomGraphNameEscaped) {
+  const NetworkSpec spec = build_network("r = u");
+  DotOptions options;
+  options.graph_name = "my \"graph\"";
+  const std::string dot = to_dot(spec, options);
+  EXPECT_NE(dot.find("digraph \"my \\\"graph\\\"\""), std::string::npos);
+}
+
+TEST(Dot, QCriterionNetworkRendersFigure4) {
+  const NetworkSpec spec = build_network(dfg::expressions::kQCriterion);
+  const std::string dot = to_dot(spec, {"q_criterion", true});
+  // 74 nodes, all present (every node line carries a shape attribute;
+  // edge labels do not).
+  EXPECT_EQ(count_occurrences(dot, "shape="), spec.nodes().size());
+  EXPECT_EQ(count_occurrences(dot, "grad3d"), 3u);
+  // Constants are rendered with their literal value.
+  EXPECT_NE(dot.find("label=\"0.5\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Unit tests for the expression lexer.
+#include <gtest/gtest.h>
+
+#include "expr/lexer.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace dfg::expr;
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEndOfInput) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::end_of_input);
+}
+
+TEST(Lexer, SingleCharacterOperators) {
+  EXPECT_EQ(kinds("+ - * / ( ) [ ] , = < >"),
+            (std::vector<TokenKind>{
+                TokenKind::plus, TokenKind::minus, TokenKind::star,
+                TokenKind::slash, TokenKind::lparen, TokenKind::rparen,
+                TokenKind::lbracket, TokenKind::rbracket, TokenKind::comma,
+                TokenKind::assign, TokenKind::less, TokenKind::greater,
+                TokenKind::end_of_input}));
+}
+
+TEST(Lexer, TwoCharacterOperators) {
+  EXPECT_EQ(kinds("<= >= == !="),
+            (std::vector<TokenKind>{
+                TokenKind::less_equal, TokenKind::greater_equal,
+                TokenKind::equal_equal, TokenKind::not_equal,
+                TokenKind::end_of_input}));
+}
+
+TEST(Lexer, AdjacentComparisonAndAssign) {
+  // "a==b" must not lex as assign-assign.
+  const auto tokens = tokenize("a==b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::equal_equal);
+}
+
+TEST(Lexer, Identifiers) {
+  const auto tokens = tokenize("v_mag du2 _tmp");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "v_mag");
+  EXPECT_EQ(tokens[1].text, "du2");
+  EXPECT_EQ(tokens[2].text, "_tmp");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::identifier);
+  }
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("if then else iffy"),
+            (std::vector<TokenKind>{TokenKind::kw_if, TokenKind::kw_then,
+                                    TokenKind::kw_else, TokenKind::identifier,
+                                    TokenKind::end_of_input}));
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  const auto tokens = tokenize("42 0.5 10. .25");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_DOUBLE_EQ(tokens[0].value, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[1].value, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[2].value, 10.0);
+  EXPECT_DOUBLE_EQ(tokens[3].value, 0.25);
+}
+
+TEST(Lexer, ExponentLiterals) {
+  const auto tokens = tokenize("1e3 2.5E-2 7e+1");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_DOUBLE_EQ(tokens[0].value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[1].value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[2].value, 70.0);
+}
+
+TEST(Lexer, MalformedExponentThrows) {
+  EXPECT_THROW(tokenize("2e"), dfg::ParseError);
+  EXPECT_THROW(tokenize("2e+"), dfg::ParseError);
+}
+
+TEST(Lexer, DoubleDotLiteralThrows) {
+  EXPECT_THROW(tokenize("1.2.3"), dfg::ParseError);
+}
+
+TEST(Lexer, UnknownCharacterThrowsWithPosition) {
+  try {
+    tokenize("a = b $ c");
+    FAIL() << "expected ParseError";
+  } catch (const dfg::ParseError& err) {
+    EXPECT_EQ(err.line(), 1);
+    EXPECT_EQ(err.column(), 7);
+  }
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = tokenize("a = 1\nbb = 2");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[3].text, "bb");
+  EXPECT_EQ(tokens[3].line, 2);
+  EXPECT_EQ(tokens[3].column, 1);
+  EXPECT_EQ(tokens[4].kind, TokenKind::assign);
+  EXPECT_EQ(tokens[4].column, 4);
+}
+
+TEST(Lexer, CommentsSkippedToEndOfLine) {
+  const auto tokens = tokenize("a = 1 # the answer\nb = 2");
+  std::size_t identifiers = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::identifier) ++identifiers;
+  }
+  EXPECT_EQ(identifiers, 2u);
+}
+
+TEST(Lexer, WhitespaceVariantsIgnored) {
+  EXPECT_EQ(kinds("a\t=\r\n 1").size(), 4u);
+}
+
+TEST(Lexer, PaperVelocityMagnitudeTokenCount) {
+  // v_mag = sqrt(u*u + v*v + w*w): 16 tokens + EOI.
+  EXPECT_EQ(tokenize("v_mag = sqrt(u*u + v*v + w*w)").size(), 17u);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for the mesh layer: rectilinear meshes, the flow generators
+// and the Table I sub-grid catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/catalog.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/mesh.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace dfg::mesh;
+
+TEST(Mesh, UniformMeshNodeCoordinates) {
+  const RectilinearMesh mesh = RectilinearMesh::uniform({4, 2, 1}, 8.0f, 2.0f,
+                                                        1.0f);
+  EXPECT_EQ(mesh.dims(), (Dims{4, 2, 1}));
+  EXPECT_EQ(mesh.cell_count(), 8u);
+  ASSERT_EQ(mesh.x_nodes().size(), 5u);
+  EXPECT_FLOAT_EQ(mesh.x_nodes()[0], 0.0f);
+  EXPECT_FLOAT_EQ(mesh.x_nodes()[4], 8.0f);
+  EXPECT_FLOAT_EQ(mesh.x_center(0), 1.0f);
+  EXPECT_FLOAT_EQ(mesh.y_center(1), 1.5f);
+}
+
+TEST(Mesh, DimsArrayMatchesCellCounts) {
+  const RectilinearMesh mesh = RectilinearMesh::uniform({3, 5, 7});
+  ASSERT_EQ(mesh.dims_array().size(), 3u);
+  EXPECT_FLOAT_EQ(mesh.dims_array()[0], 3.0f);
+  EXPECT_FLOAT_EQ(mesh.dims_array()[1], 5.0f);
+  EXPECT_FLOAT_EQ(mesh.dims_array()[2], 7.0f);
+}
+
+TEST(Mesh, CellIndexIsRowMajorXFastest) {
+  const RectilinearMesh mesh = RectilinearMesh::uniform({3, 4, 5});
+  EXPECT_EQ(mesh.cell_index(0, 0, 0), 0u);
+  EXPECT_EQ(mesh.cell_index(1, 0, 0), 1u);
+  EXPECT_EQ(mesh.cell_index(0, 1, 0), 3u);
+  EXPECT_EQ(mesh.cell_index(0, 0, 1), 12u);
+  EXPECT_EQ(mesh.cell_index(2, 3, 4), 3u * 4u * 5u - 1u);
+}
+
+TEST(Mesh, NonMonotonicAxisRejected) {
+  EXPECT_THROW(
+      RectilinearMesh({0.0f, 1.0f, 0.5f}, {0.0f, 1.0f}, {0.0f, 1.0f}),
+      dfg::Error);
+  EXPECT_THROW(RectilinearMesh({0.0f, 0.0f}, {0.0f, 1.0f}, {0.0f, 1.0f}),
+               dfg::Error);
+}
+
+TEST(Mesh, TooFewNodesRejected) {
+  EXPECT_THROW(RectilinearMesh({0.0f}, {0.0f, 1.0f}, {0.0f, 1.0f}),
+               dfg::Error);
+  EXPECT_THROW(RectilinearMesh::uniform({0, 4, 4}), dfg::Error);
+}
+
+TEST(Mesh, StretchedAxisCellCenters) {
+  const RectilinearMesh mesh({0.0f, 1.0f, 4.0f}, {0.0f, 1.0f}, {0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(mesh.x_center(0), 0.5f);
+  EXPECT_FLOAT_EQ(mesh.x_center(1), 2.5f);
+}
+
+// ----- Generators -----
+
+TEST(Generators, RayleighTaylorIsDeterministicPerSeed) {
+  const RectilinearMesh mesh = RectilinearMesh::uniform({6, 6, 6});
+  const VectorField a = rayleigh_taylor_flow(mesh, 7);
+  const VectorField b = rayleigh_taylor_flow(mesh, 7);
+  const VectorField c = rayleigh_taylor_flow(mesh, 8);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.w, b.w);
+  EXPECT_NE(a.u, c.u);
+}
+
+TEST(Generators, RayleighTaylorFieldsSizedAndFinite) {
+  const RectilinearMesh mesh = RectilinearMesh::uniform({5, 7, 9});
+  const VectorField f = rayleigh_taylor_flow(mesh);
+  EXPECT_EQ(f.u.size(), mesh.cell_count());
+  EXPECT_EQ(f.v.size(), mesh.cell_count());
+  EXPECT_EQ(f.w.size(), mesh.cell_count());
+  float max_mag = 0.0f;
+  for (std::size_t i = 0; i < f.u.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(f.u[i]) && std::isfinite(f.v[i]) &&
+                std::isfinite(f.w[i]));
+    max_mag = std::max(max_mag, std::fabs(f.w[i]));
+  }
+  EXPECT_GT(max_mag, 0.0f) << "flow must not be identically zero";
+}
+
+TEST(Generators, RayleighTaylorEnvelopeConcentratesAtMidplane) {
+  // Motion should be stronger near the mixing layer (z midplane) than at
+  // the far z boundaries.
+  const RectilinearMesh mesh = RectilinearMesh::uniform({8, 8, 32});
+  const VectorField f = rayleigh_taylor_flow(mesh);
+  double mid_energy = 0.0;
+  double edge_energy = 0.0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t mid = mesh.cell_index(i, j, 16);
+      const std::size_t edge = mesh.cell_index(i, j, 0);
+      mid_energy += f.w[mid] * f.w[mid];
+      edge_energy += f.w[edge] * f.w[edge];
+    }
+  }
+  EXPECT_GT(mid_energy, edge_energy * 10.0);
+}
+
+TEST(Generators, AbcFlowMatchesClosedForm) {
+  const float two_pi = 6.2831853f;
+  const RectilinearMesh mesh =
+      RectilinearMesh::uniform({8, 8, 8}, two_pi, two_pi, two_pi);
+  const VectorField f = abc_flow(mesh, 1.0f, 2.0f, 3.0f);
+  const std::size_t idx = mesh.cell_index(2, 3, 4);
+  const float x = mesh.x_center(2);
+  const float y = mesh.y_center(3);
+  const float z = mesh.z_center(4);
+  EXPECT_NEAR(f.u[idx], 1.0f * std::sin(z) + 3.0f * std::cos(y), 1e-6f);
+  EXPECT_NEAR(f.v[idx], 2.0f * std::sin(x) + 1.0f * std::cos(z), 1e-6f);
+  EXPECT_NEAR(f.w[idx], 3.0f * std::sin(y) + 2.0f * std::cos(x), 1e-6f);
+}
+
+TEST(Generators, AbcAnalyticGradientIsTraceFree) {
+  float J[3][3];
+  abc_velocity_gradient(0.3f, 1.1f, 2.7f, 1.0f, 1.0f, 1.0f, J);
+  EXPECT_FLOAT_EQ(J[0][0] + J[1][1] + J[2][2], 0.0f)
+      << "ABC flow is incompressible";
+}
+
+TEST(Generators, AbcVorticityEqualsVelocity) {
+  // The Beltrami property at an arbitrary point.
+  const float x = 0.7f, y = 1.9f, z = 0.2f;
+  float omega[3];
+  abc_vorticity(x, y, z, 1.0f, 1.5f, 0.5f, omega);
+  EXPECT_NEAR(omega[0], 1.0f * std::sin(z) + 0.5f * std::cos(y), 1e-6f);
+  EXPECT_NEAR(omega[1], 1.5f * std::sin(x) + 1.0f * std::cos(z), 1e-6f);
+  EXPECT_NEAR(omega[2], 0.5f * std::sin(y) + 1.5f * std::cos(x), 1e-6f);
+}
+
+TEST(Generators, AbcQCriterionConsistentWithGradient) {
+  // Q computed from the analytic J must match the closed-form helper.
+  const float x = 0.4f, y = 2.2f, z = 1.3f;
+  float J[3][3];
+  abc_velocity_gradient(x, y, z, 1.0f, 1.0f, 1.0f, J);
+  float s_norm = 0.0f, w_norm = 0.0f;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const float s = 0.5f * (J[r][c] + J[c][r]);
+      const float w = 0.5f * (J[r][c] - J[c][r]);
+      s_norm += s * s;
+      w_norm += w * w;
+    }
+  }
+  EXPECT_NEAR(abc_q_criterion(x, y, z, 1.0f, 1.0f, 1.0f),
+              0.5f * (w_norm - s_norm), 1e-6f);
+}
+
+// ----- Table I catalog -----
+
+TEST(Catalog, FullScaleMatchesTable1) {
+  const auto catalog = subgrid_catalog(1);
+  ASSERT_EQ(catalog.size(), 12u);
+  EXPECT_EQ(catalog.front().dims, (Dims{192, 192, 256}));
+  EXPECT_EQ(catalog.front().cells, 9'437'184u);
+  EXPECT_EQ(catalog.back().dims, (Dims{192, 192, 3072}));
+  EXPECT_EQ(catalog.back().cells, 113'246'208u);
+  // Table I reports 218 MB for the smallest sub-grid (3 components, double
+  // precision: 24 B/cell = 216 MiB ~ 218 MB decimal-ish).
+  EXPECT_EQ(catalog.front().data_bytes, 9'437'184u * 24u);
+  // Sizes grow linearly with k.
+  for (std::size_t k = 1; k < catalog.size(); ++k) {
+    EXPECT_EQ(catalog[k].cells, catalog.front().cells * (k + 1));
+  }
+}
+
+TEST(Catalog, ScaledCatalogShrinksByAxisCube) {
+  const auto full = subgrid_catalog(1);
+  const auto scaled = subgrid_catalog(kEvaluationAxisScale);
+  ASSERT_EQ(scaled.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(scaled[i].cells * 64, full[i].cells);
+  }
+  EXPECT_EQ(scaled.front().dims, (Dims{48, 48, 64}));
+}
+
+TEST(Catalog, InvalidScaleRejected) {
+  EXPECT_THROW(subgrid_catalog(0), dfg::Error);
+  EXPECT_THROW(subgrid_catalog(5), dfg::Error);
+}
+
+TEST(Catalog, LargestSubgridExceedsM2050EvenUnderFusion) {
+  // Sanity link between Table I and the 3 GB device: even fusion's minimal
+  // Q-criterion working set (7 inputs + 1 output) cannot fit the largest
+  // sub-grid, matching the paper's failed GPU test cases at the top of the
+  // sweep.
+  const auto catalog = subgrid_catalog(1);
+  const std::size_t bytes_per_array = catalog.back().cells * sizeof(float);
+  EXPECT_GT(8 * bytes_per_array, std::size_t(3) << 30);
+  // The smallest sub-grid fits comfortably.
+  EXPECT_LT(8 * catalog.front().cells * sizeof(float), std::size_t(3) << 30);
+}
+
+}  // namespace

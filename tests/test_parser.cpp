@@ -1,0 +1,159 @@
+// Unit tests for the expression parser: grammar, precedence, positions,
+// error reporting.
+#include <gtest/gtest.h>
+
+#include "expr/ast.hpp"
+#include "expr/parser.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace dfg::expr;
+
+std::string parsed(const std::string& source) {
+  return to_string(*parse_expression(source));
+}
+
+TEST(Parser, NumberLiteral) { EXPECT_EQ(parsed("42"), "42.0"); }
+
+TEST(Parser, Identifier) { EXPECT_EQ(parsed("velocity"), "velocity"); }
+
+TEST(Parser, AdditionIsLeftAssociative) {
+  EXPECT_EQ(parsed("a + b + c"), "((a + b) + c)");
+}
+
+TEST(Parser, SubtractionIsLeftAssociative) {
+  EXPECT_EQ(parsed("a - b - c"), "((a - b) - c)");
+}
+
+TEST(Parser, MultiplicationBindsTighterThanAddition) {
+  EXPECT_EQ(parsed("a + b * c"), "(a + (b * c))");
+  EXPECT_EQ(parsed("a * b + c"), "((a * b) + c)");
+}
+
+TEST(Parser, DivisionBindsLikeMultiplication) {
+  EXPECT_EQ(parsed("a / b * c"), "((a / b) * c)");
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(parsed("(a + b) * c"), "((a + b) * c)");
+}
+
+TEST(Parser, UnaryMinusOnIdentifier) {
+  EXPECT_EQ(parsed("-a * b"), "((-a) * b)");
+}
+
+TEST(Parser, UnaryMinusFoldsNumberLiterals) {
+  // "-c * c" in the paper's intro example: the sign belongs to the literal
+  // when the operand is a number, and to a neg filter otherwise.
+  EXPECT_EQ(parsed("-2"), "-2.0");
+  EXPECT_EQ(parsed("--2"), "2.0");
+}
+
+TEST(Parser, ComparisonLowerPrecedenceThanArithmetic) {
+  EXPECT_EQ(parsed("a + b > c * d"), "((a + b) > (c * d))");
+}
+
+TEST(Parser, AllComparisonOperators) {
+  EXPECT_EQ(parsed("a < b"), "(a < b)");
+  EXPECT_EQ(parsed("a >= b"), "(a >= b)");
+  EXPECT_EQ(parsed("a <= b"), "(a <= b)");
+  EXPECT_EQ(parsed("a == b"), "(a == b)");
+  EXPECT_EQ(parsed("a != b"), "(a != b)");
+}
+
+TEST(Parser, CallWithArguments) {
+  EXPECT_EQ(parsed("grad3d(u, dims, x, y, z)"), "grad3d(u, dims, x, y, z)");
+}
+
+TEST(Parser, CallNoArguments) { EXPECT_EQ(parsed("foo()"), "foo()"); }
+
+TEST(Parser, NestedCalls) {
+  EXPECT_EQ(parsed("sqrt(abs(a))"), "sqrt(abs(a))");
+}
+
+TEST(Parser, IndexPostfix) {
+  EXPECT_EQ(parsed("du[1]"), "du[1]");
+  EXPECT_EQ(parsed("grad3d(u, dims, x, y, z)[2]"),
+            "grad3d(u, dims, x, y, z)[2]");
+}
+
+TEST(Parser, ChainedIndex) { EXPECT_EQ(parsed("a[1][0]"), "a[1][0]"); }
+
+TEST(Parser, IndexRequiresIntegerLiteral) {
+  EXPECT_THROW(parse_expression("a[b]"), dfg::ParseError);
+  EXPECT_THROW(parse_expression("a[1.5]"), dfg::ParseError);
+}
+
+TEST(Parser, Conditional) {
+  EXPECT_EQ(parsed("if (a > 10) then (c * c) else (-c * c)"),
+            "if ((a > 10.0)) then ((c * c)) else (((-c) * c))");
+}
+
+TEST(Parser, ConditionalRequiresFullSyntax) {
+  EXPECT_THROW(parse_expression("if (a) then (b)"), dfg::ParseError);
+  EXPECT_THROW(parse_expression("if a then (b) else (c)"), dfg::ParseError);
+}
+
+TEST(Parser, ScriptWithMultipleStatements) {
+  const Script script = parse("a = 1\nb = a + 2\nc = b * b");
+  ASSERT_EQ(script.statements.size(), 3u);
+  EXPECT_EQ(script.statements[0].target, "a");
+  EXPECT_EQ(script.statements[2].target, "c");
+  EXPECT_EQ(to_string(*script.statements[2].value), "(b * b)");
+}
+
+TEST(Parser, StatementsNeedNoSeparators) {
+  // Newlines are pure whitespace; statement boundaries come from the
+  // IDENT '=' lookahead, like the paper's one-statement-per-line listings.
+  const Script script = parse("a = u + v b = a * a");
+  ASSERT_EQ(script.statements.size(), 2u);
+}
+
+TEST(Parser, EmptyScriptThrows) {
+  EXPECT_THROW(parse(""), dfg::ParseError);
+  EXPECT_THROW(parse("   # only a comment"), dfg::ParseError);
+}
+
+TEST(Parser, MissingAssignThrows) {
+  EXPECT_THROW(parse("a b"), dfg::ParseError);
+}
+
+TEST(Parser, UnbalancedParenthesisThrowsWithPosition) {
+  try {
+    parse("a = (b + c");
+    FAIL() << "expected ParseError";
+  } catch (const dfg::ParseError& err) {
+    EXPECT_EQ(err.line(), 1);
+    EXPECT_GT(err.column(), 1);
+  }
+}
+
+TEST(Parser, DanglingOperatorThrows) {
+  EXPECT_THROW(parse("a = b +"), dfg::ParseError);
+}
+
+TEST(Parser, TrailingTokensAfterExpressionThrow) {
+  EXPECT_THROW(parse_expression("a + b)"), dfg::ParseError);
+}
+
+TEST(Parser, PaperQCriterionParses) {
+  const Script script = parse(R"(
+du = grad3d(u, dims, x, y, z)
+s_1 = 0.5 * (du[1] + dv[0])
+q = 0.5 * (w_norm - s_norm)
+)");
+  EXPECT_EQ(script.statements.size(), 3u);
+  EXPECT_EQ(script.statements[1].target, "s_1");
+  EXPECT_EQ(to_string(*script.statements[1].value),
+            "(0.5 * (du[1] + dv[0]))");
+}
+
+TEST(Parser, PositionsPropagateToNodes) {
+  const Script script = parse("abc = u + v");
+  const auto& bin = static_cast<const BinaryNode&>(*script.statements[0].value);
+  EXPECT_EQ(bin.line, 1);
+  EXPECT_EQ(bin.column, 9);  // the '+'
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for the transfer/compute overlap model (vcl::pipeline_makespan)
+// and the analytic streamed chunk costs that feed it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/planner.hpp"
+#include "vcl/catalog.hpp"
+#include "vcl/pipeline.hpp"
+
+namespace {
+
+using namespace dfg;
+using vcl::ChunkCost;
+using vcl::pipeline_makespan;
+
+TEST(Pipeline, EmptySequence) {
+  const auto result = pipeline_makespan({});
+  EXPECT_DOUBLE_EQ(result.serial, 0.0);
+  EXPECT_DOUBLE_EQ(result.overlap_single_copy, 0.0);
+  EXPECT_DOUBLE_EQ(result.overlap_dual_copy, 0.0);
+}
+
+TEST(Pipeline, SingleChunkCannotOverlap) {
+  const std::vector<ChunkCost> chunks{{1.0, 2.0, 0.5}};
+  const auto result = pipeline_makespan(chunks);
+  EXPECT_DOUBLE_EQ(result.serial, 3.5);
+  EXPECT_DOUBLE_EQ(result.overlap_single_copy, 3.5);
+  EXPECT_DOUBLE_EQ(result.overlap_dual_copy, 3.5);
+}
+
+TEST(Pipeline, ComputeBoundApproachesKernelSum) {
+  // Kernels dominate: overlap hides nearly all transfer time; makespan ->
+  // first upload + sum of kernels + last read.
+  std::vector<ChunkCost> chunks(10, ChunkCost{0.1, 5.0, 0.1});
+  const auto result = pipeline_makespan(chunks);
+  EXPECT_DOUBLE_EQ(result.overlap_dual_copy, 0.1 + 10 * 5.0 + 0.1);
+  EXPECT_DOUBLE_EQ(result.overlap_single_copy, 0.1 + 10 * 5.0 + 0.1);
+  EXPECT_DOUBLE_EQ(result.serial, 10 * 5.2);
+}
+
+TEST(Pipeline, TransferBoundApproachesCopySum) {
+  // Transfers dominate: the copy engine is the bottleneck. With a single
+  // copy engine the makespan approaches uploads+reads; with dual engines,
+  // max(uploads, reads) (+ pipeline fill).
+  std::vector<ChunkCost> chunks(10, ChunkCost{4.0, 0.1, 2.0});
+  const auto result = pipeline_makespan(chunks);
+  EXPECT_GE(result.overlap_single_copy, 10 * 6.0);
+  EXPECT_LT(result.overlap_dual_copy, result.overlap_single_copy);
+  EXPECT_GE(result.overlap_dual_copy, 10 * 4.0);
+}
+
+TEST(Pipeline, OrderingInvariants) {
+  // For any cost mix: dual <= single <= serial, and both lower bounds
+  // (total kernel time, max engine load) hold.
+  const std::vector<std::vector<ChunkCost>> cases{
+      {{1, 1, 1}, {1, 1, 1}, {1, 1, 1}},
+      {{0.5, 2, 0.1}, {3, 0.2, 0.7}, {0.1, 0.1, 5}},
+      {{2, 0, 2}, {0, 4, 0}},
+      {{0, 0, 0}},
+  };
+  for (const auto& chunks : cases) {
+    const auto result = pipeline_makespan(chunks);
+    double kernels = 0.0, uploads = 0.0, reads = 0.0;
+    for (const ChunkCost& c : chunks) {
+      kernels += c.kernel;
+      uploads += c.upload;
+      reads += c.read;
+    }
+    EXPECT_LE(result.overlap_dual_copy, result.overlap_single_copy + 1e-12);
+    EXPECT_LE(result.overlap_single_copy, result.serial + 1e-12);
+    EXPECT_GE(result.overlap_dual_copy + 1e-12, kernels);
+    EXPECT_GE(result.overlap_dual_copy + 1e-12, uploads);
+    EXPECT_GE(result.overlap_dual_copy + 1e-12, reads);
+    EXPECT_GE(result.overlap_single_copy + 1e-12, uploads + reads);
+  }
+}
+
+// ----- Analytic chunk costs vs the executed streamed strategy -----
+
+struct CostFixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({8, 9, 20});
+  mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+
+  runtime::FieldBindings bindings() const {
+    runtime::FieldBindings b;
+    b.bind_mesh(mesh);
+    b.bind("u", field.u);
+    b.bind("v", field.v);
+    b.bind("w", field.w);
+    return b;
+  }
+};
+
+TEST(StreamedCosts, SerialSumEqualsExecutedSimTime) {
+  CostFixture fx;
+  const vcl::DeviceSpec spec = vcl::tesla_m2050_scaled();
+  const dataflow::Network network(
+      dataflow::build_network(expressions::kQCriterion));
+  const auto bindings = fx.bindings();
+  const std::size_t plane = 8 * 9;
+
+  for (const std::size_t chunk : {5 * plane, 20 * plane}) {
+    const auto chunks = runtime::streamed_chunk_costs(
+        network, bindings, fx.mesh.cell_count(), spec, chunk);
+    const auto makespan = pipeline_makespan(chunks);
+
+    vcl::Device device(spec);
+    EngineOptions options;
+    options.strategy = runtime::StrategyKind::streamed;
+    options.streamed_chunk_cells = chunk;
+    Engine engine(device, options);
+    engine.bind_mesh(fx.mesh);
+    engine.bind("u", fx.field.u);
+    engine.bind("v", fx.field.v);
+    engine.bind("w", fx.field.w);
+    const auto report = engine.evaluate(expressions::kQCriterion);
+    EXPECT_NEAR(makespan.serial, report.sim_seconds,
+                1e-12 + 1e-9 * report.sim_seconds)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(StreamedCosts, OverlapBuysTimeOnMultiChunkRuns) {
+  CostFixture fx;
+  const vcl::DeviceSpec spec = vcl::tesla_m2050_scaled();
+  const dataflow::Network network(
+      dataflow::build_network(expressions::kQCriterion));
+  const auto bindings = fx.bindings();
+  const auto chunks = runtime::streamed_chunk_costs(
+      network, bindings, fx.mesh.cell_count(), spec, 5 * 8 * 9);
+  ASSERT_GT(chunks.size(), 1u);
+  const auto makespan = pipeline_makespan(chunks);
+  EXPECT_LT(makespan.overlap_dual_copy, makespan.serial);
+}
+
+TEST(StreamedCosts, ChunkCountMatchesPlanes) {
+  CostFixture fx;
+  const dataflow::Network network(
+      dataflow::build_network(expressions::kVelocityMagnitude));
+  const auto bindings = fx.bindings();
+  // Elementwise: 1440 cells in chunks of 100 -> 15 chunks.
+  const auto chunks = runtime::streamed_chunk_costs(
+      network, bindings, fx.mesh.cell_count(), vcl::xeon_x5660_scaled(), 100);
+  EXPECT_EQ(chunks.size(), 15u);
+}
+
+}  // namespace

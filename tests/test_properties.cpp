@@ -1,0 +1,175 @@
+// Property-based tests: randomly generated expression scripts must satisfy
+// the framework's structural invariants on every strategy —
+//   * all three strategies produce identical fields,
+//   * fusion always issues exactly one kernel and one readback,
+//   * staged always issues exactly one readback and uploads each unique
+//     external input once,
+//   * roundtrip's kernel count equals its readback count,
+//   * device memory is fully released after every run.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataflow/builder.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/strategy.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using runtime::StrategyKind;
+
+/// Generates a random expression script over fields u, v, w (and the mesh
+/// arrays via grad3d) with a bounded number of statements.
+std::string random_script(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::ostringstream os;
+
+  std::vector<std::string> scalars{"u", "v", "w"};
+  std::uniform_int_distribution<int> statements(1, 5);
+  const int n_statements = statements(rng);
+
+  // Optionally introduce gradient components as extra scalars.
+  if (coin(rng) == 1) {
+    os << "g = grad3d(u, dims, x, y, z)\n";
+    std::uniform_int_distribution<int> comp(0, 2);
+    os << "gc = g[" << comp(rng) << "]\n";
+    scalars.push_back("gc");
+  }
+
+  const auto pick = [&](const std::vector<std::string>& pool) {
+    std::uniform_int_distribution<std::size_t> d(0, pool.size() - 1);
+    return pool[d(rng)];
+  };
+  const auto term = [&]() -> std::string {
+    std::uniform_int_distribution<int> kind(0, 4);
+    switch (kind(rng)) {
+      case 0:
+        return pick(scalars);
+      case 1: {
+        std::uniform_real_distribution<double> c(-2.0, 2.0);
+        std::ostringstream v;
+        v << c(rng);
+        return v.str();
+      }
+      case 2:
+        return "abs(" + pick(scalars) + ")";
+      case 3:
+        return "sqrt(abs(" + pick(scalars) + ") + 1.0)";
+      default:
+        return "(" + pick(scalars) + " * " + pick(scalars) + ")";
+    }
+  };
+  const char* ops[] = {" + ", " - ", " * "};
+  std::uniform_int_distribution<int> op(0, 2);
+
+  for (int s = 0; s < n_statements; ++s) {
+    const std::string name = "t" + std::to_string(s);
+    os << name << " = " << term() << ops[op(rng)] << term();
+    if (coin(rng) == 1) {
+      os << ops[op(rng)] << term();
+    }
+    os << "\n";
+    scalars.push_back(name);
+  }
+  if (coin(rng) == 1) {
+    os << "result = if (t0 > 0.0) then (t" << (n_statements - 1)
+       << ") else (-t" << (n_statements - 1) << ")\n";
+  } else {
+    os << "result = t" << (n_statements - 1) << " + 0.0\n";
+  }
+  return os.str();
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PropertyTest, StrategiesAgreeAndInvariantsHold) {
+  const std::string script = random_script(GetParam());
+  SCOPED_TRACE(script);
+
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({5, 6, 4});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh, GetParam());
+  vcl::Device device(vcl::xeon_x5660_scaled());
+
+  // Count the unique external inputs the script uses.
+  const auto spec = dataflow::build_network(script);
+  const std::size_t unique_inputs = spec.field_names().size();
+
+  std::vector<std::vector<float>> results;
+  for (const auto kind : {StrategyKind::roundtrip, StrategyKind::staged,
+                          StrategyKind::fusion}) {
+    Engine engine(device, {kind, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const EvaluationReport report = engine.evaluate(script);
+    ASSERT_EQ(report.values.size(), mesh.cell_count());
+    for (const float value : report.values) {
+      ASSERT_TRUE(std::isfinite(value) || std::isnan(value));
+    }
+
+    switch (kind) {
+      case StrategyKind::fusion:
+        EXPECT_EQ(report.kernel_execs, 1u);
+        EXPECT_EQ(report.dev_reads, 1u);
+        EXPECT_EQ(report.dev_writes, unique_inputs);
+        break;
+      case StrategyKind::staged:
+        EXPECT_EQ(report.dev_reads, 1u);
+        // Unique inputs upload once; constants add fill kernels, not
+        // writes.
+        EXPECT_EQ(report.dev_writes, unique_inputs);
+        EXPECT_GE(report.kernel_execs, 1u);
+        break;
+      case StrategyKind::roundtrip:
+        // Every kernel result returns to the host.
+        EXPECT_EQ(report.kernel_execs, report.dev_reads);
+        EXPECT_GE(report.dev_writes, report.kernel_execs);
+        break;
+    }
+    EXPECT_EQ(device.memory().in_use(), 0u)
+        << "device memory must be fully released";
+    results.push_back(report.values);
+  }
+
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    const bool nan0 = std::isnan(results[0][i]);
+    ASSERT_EQ(nan0, std::isnan(results[1][i])) << "cell " << i;
+    ASSERT_EQ(nan0, std::isnan(results[2][i])) << "cell " << i;
+    if (!nan0) {
+      ASSERT_EQ(results[0][i], results[1][i]) << "cell " << i;
+      ASSERT_EQ(results[0][i], results[2][i]) << "cell " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScripts, PropertyTest,
+                         ::testing::Range(0u, 40u));
+
+TEST(PropertyEdge, DeeplyNestedExpressionStressesRegisters) {
+  // A long product chain: fusion must still emit a single valid kernel.
+  std::ostringstream os;
+  os << "r = u";
+  for (int i = 0; i < 60; ++i) os << " + u * " << (i + 1) << ".0";
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({4, 4, 4});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  Engine engine(device, {StrategyKind::fusion, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  const auto report = engine.evaluate(os.str());
+  EXPECT_EQ(report.kernel_execs, 1u);
+  float expected = field.u[0];
+  for (int i = 0; i < 60; ++i) {
+    expected += field.u[0] * static_cast<float>(i + 1);
+  }
+  EXPECT_NEAR(report.values[0], expected, std::fabs(expected) * 1e-5f);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for dead-code elimination over the dataflow DAG (an extension
+// beyond the paper, off by default).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/spec.hpp"
+#include "mesh/generators.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg::dataflow;
+
+TEST(Prune, DropsUnusedStatements) {
+  const char* script = "dead = u * u\nalso_dead = dead + 1.0\nlive = v + w";
+  const NetworkSpec unpruned = build_network(script);
+  EXPECT_EQ(unpruned.filter_count(), 3u);
+
+  SpecOptions options;
+  options.prune_unreachable = true;
+  const NetworkSpec pruned = build_network(script, options);
+  EXPECT_EQ(pruned.filter_count(), 1u);
+  EXPECT_EQ(pruned.node(pruned.output_id()).label, "live");
+  // The unused field source "u" and the constant disappear with their
+  // consumers.
+  for (const SpecNode& node : pruned.nodes()) {
+    EXPECT_NE(node.field_name, "u");
+    EXPECT_NE(node.type, NodeType::constant);
+  }
+}
+
+TEST(Prune, KeepsEverythingWhenAllReachable) {
+  SpecOptions options;
+  options.prune_unreachable = true;
+  const NetworkSpec spec =
+      build_network("a = u + v\nb = a * a\nc = b - u", options);
+  const NetworkSpec unpruned = build_network("a = u + v\nb = a * a\nc = b - u");
+  EXPECT_EQ(spec.nodes().size(), unpruned.nodes().size());
+}
+
+TEST(Prune, StandaloneFunctionRequiresOutput) {
+  NetworkSpec spec;
+  spec.add_field_source("u");
+  EXPECT_THROW(prune_unreachable(spec), dfg::NetworkError);
+}
+
+TEST(Prune, PreservesLabelsComponentsAndOutput) {
+  NetworkSpec spec;
+  const int u = spec.add_field_source("u");
+  const int x = spec.add_field_source("x");
+  const int y = spec.add_field_source("y");
+  const int z = spec.add_field_source("z");
+  const int dims = spec.add_field_source("dims");
+  const int grad = spec.add_filter("grad3d", {u, dims, x, y, z});
+  const int c1 = spec.add_filter("decompose", {grad}, 1);
+  spec.set_label(c1, "dudy");
+  spec.add_filter("decompose", {grad}, 2);  // dead
+  spec.set_output(c1);
+
+  const NetworkSpec pruned = prune_unreachable(spec);
+  EXPECT_EQ(pruned.filter_count(), 2u);  // grad + one decompose
+  const SpecNode& out = pruned.node(pruned.output_id());
+  EXPECT_EQ(out.label, "dudy");
+  EXPECT_EQ(out.kind, "decompose");
+  EXPECT_EQ(out.component, 1);
+}
+
+TEST(Prune, PrunedNetworkEvaluatesIdentically) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({6, 6, 6});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+
+  const char* script =
+      "scratch = grad3d(u, dims, x, y, z)\n"
+      "ignored = scratch[0] * 2.0\n"
+      "r = sqrt(v*v + w*w)";
+
+  dfg::EngineOptions pruned_options;
+  pruned_options.spec_options.prune_unreachable = true;
+  dfg::Engine pruned_engine(device, pruned_options);
+  pruned_engine.bind_mesh(mesh);
+  pruned_engine.bind("u", field.u);
+  pruned_engine.bind("v", field.v);
+  pruned_engine.bind("w", field.w);
+  const auto pruned = pruned_engine.evaluate(script);
+
+  dfg::Engine plain_engine(device);
+  plain_engine.bind_mesh(mesh);
+  plain_engine.bind("u", field.u);
+  plain_engine.bind("v", field.v);
+  plain_engine.bind("w", field.w);
+  const auto plain = plain_engine.evaluate(script);
+
+  EXPECT_EQ(pruned.values, plain.values);
+  // The pruned fused kernel does not read u or the mesh arrays at all.
+  EXPECT_EQ(pruned.kernel_source.find("grad3d"), std::string::npos);
+  EXPECT_NE(plain.kernel_source.find("grad3d"), std::string::npos);
+}
+
+TEST(Prune, DeadStatementsStopCostingKernels) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({4, 4, 4});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+  const char* script = "dead = u * u\nr = v + w";
+
+  dfg::EngineOptions options;
+  options.strategy = dfg::runtime::StrategyKind::staged;
+  options.spec_options.prune_unreachable = true;
+  dfg::Engine engine(device, options);
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+  const auto report = engine.evaluate(script);
+  EXPECT_EQ(report.kernel_execs, 1u);
+  EXPECT_EQ(report.dev_writes, 2u);  // v, w only — u is never uploaded
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the hand-written reference kernels: result equivalence with the
+// expression framework, lower operation counts, and fusion-equal transfer
+// patterns — the properties the paper's runtime study relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "kernels/generator.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/reference.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using runtime::StrategyKind;
+
+struct ReferenceFixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({8, 7, 9});
+  mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::Device device{vcl::xeon_x5660_scaled()};
+  vcl::ProfilingLog log;
+
+  runtime::FieldBindings bindings() {
+    runtime::FieldBindings b;
+    b.bind_mesh(mesh);
+    b.bind("u", field.u);
+    b.bind("v", field.v);
+    b.bind("w", field.w);
+    return b;
+  }
+
+  std::vector<float> expression_result(const char* expression) {
+    Engine engine(device, {StrategyKind::fusion, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+};
+
+TEST(Reference, VelocityMagnitudeMatchesExpression) {
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  const auto ref =
+      run_reference(runtime::reference_velocity_magnitude(), bindings,
+                    fx.mesh.cell_count(), fx.device, fx.log);
+  const auto expr = fx.expression_result(expressions::kVelocityMagnitude);
+  ASSERT_EQ(ref.size(), expr.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i], expr[i]) << "cell " << i;
+  }
+}
+
+TEST(Reference, VorticityMagnitudeMatchesExpression) {
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  const auto ref =
+      run_reference(runtime::reference_vorticity_magnitude(), bindings,
+                    fx.mesh.cell_count(), fx.device, fx.log);
+  const auto expr = fx.expression_result(expressions::kVorticityMagnitude);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(ref[i], expr[i], 1e-5f) << "cell " << i;
+  }
+}
+
+TEST(Reference, QCriterionMatchesExpressionWithinTolerance) {
+  // The reference exploits S/Omega symmetry, so it performs a different
+  // (shorter) float operation sequence: equality holds to rounding.
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  const auto ref = run_reference(runtime::reference_q_criterion(), bindings,
+                                 fx.mesh.cell_count(), fx.device, fx.log);
+  const auto expr = fx.expression_result(expressions::kQCriterion);
+  float scale = 1.0f;
+  for (const float q : expr) scale = std::max(scale, std::fabs(q));
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(ref[i], expr[i], 1e-5f * scale) << "cell " << i;
+  }
+}
+
+TEST(Reference, QCriterionUsesFewerFlopsThanFusedExpression) {
+  // "They were written to directly compute the desired expression and
+  // hence are able to execute the expressions using less memory fetches
+  // and floating point operations than our strategies."
+  const dataflow::Network network(
+      dataflow::build_network(expressions::kQCriterion));
+  const kernels::Program fused = kernels::generate_fused(network);
+  const kernels::Program ref = runtime::reference_q_criterion();
+  EXPECT_LT(ref.flops_per_item(), fused.flops_per_item());
+  EXPECT_LE(ref.global_bytes_per_item(), fused.global_bytes_per_item());
+}
+
+TEST(Reference, TransferPatternMatchesFusion) {
+  // "The reference kernels have the same input and output global device
+  // memory constraints as our fusion strategy."
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  run_reference(runtime::reference_q_criterion(), bindings,
+                fx.mesh.cell_count(), fx.device, fx.log);
+  EXPECT_EQ(fx.log.count(vcl::EventKind::host_to_device), 7u);
+  EXPECT_EQ(fx.log.count(vcl::EventKind::device_to_host), 1u);
+  EXPECT_EQ(fx.log.count(vcl::EventKind::kernel_exec), 1u);
+}
+
+TEST(Reference, MemoryFootprintMatchesFusion) {
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  run_reference(runtime::reference_q_criterion(), bindings,
+                fx.mesh.cell_count(), fx.device, fx.log);
+  const std::size_t ref_high_water = fx.device.memory().high_water();
+
+  vcl::Device device2(vcl::xeon_x5660_scaled());
+  Engine engine(device2, {StrategyKind::fusion, {}});
+  engine.bind_mesh(fx.mesh);
+  engine.bind("u", fx.field.u);
+  engine.bind("v", fx.field.v);
+  engine.bind("w", fx.field.w);
+  const auto report = engine.evaluate(expressions::kQCriterion);
+  EXPECT_EQ(ref_high_water, report.memory_high_water_bytes);
+}
+
+TEST(Reference, SimulatedRuntimeAtLeastAsFastAsFusion) {
+  ReferenceFixture fx;
+  const auto bindings = fx.bindings();
+  run_reference(runtime::reference_q_criterion(), bindings,
+                fx.mesh.cell_count(), fx.device, fx.log);
+  const double ref_time = fx.log.total_sim_seconds();
+
+  vcl::Device device2(vcl::xeon_x5660_scaled());
+  Engine engine(device2, {StrategyKind::fusion, {}});
+  engine.bind_mesh(fx.mesh);
+  engine.bind("u", fx.field.u);
+  engine.bind("v", fx.field.v);
+  engine.bind("w", fx.field.w);
+  const double fusion_time =
+      engine.evaluate(expressions::kQCriterion).sim_seconds;
+  EXPECT_LE(ref_time, fusion_time);
+}
+
+}  // namespace

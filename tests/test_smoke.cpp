@@ -1,0 +1,71 @@
+// End-to-end smoke tests: the full pipeline (parse -> network -> strategy ->
+// virtual device) on small grids, before the per-module suites dig in.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "mesh/generators.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using dfg::runtime::StrategyKind;
+
+class SmokeTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(SmokeTest, VelocityMagnitudeMatchesDirectComputation) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({8, 8, 8});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+
+  dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+  dfg::Engine engine(device, {GetParam(), {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  const dfg::EvaluationReport report =
+      engine.evaluate(dfg::expressions::kVelocityMagnitude);
+  ASSERT_EQ(report.values.size(), mesh.cell_count());
+  EXPECT_EQ(report.output_name, "v_mag");
+  for (std::size_t i = 0; i < mesh.cell_count(); ++i) {
+    const float expected =
+        std::sqrt(field.u[i] * field.u[i] + field.v[i] * field.v[i] +
+                  field.w[i] * field.w[i]);
+    ASSERT_NEAR(report.values[i], expected, 1e-5f) << "cell " << i;
+  }
+}
+
+TEST_P(SmokeTest, QCriterionRunsOnAllStrategies) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({6, 6, 6});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+
+  dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+  dfg::Engine engine(device, {GetParam(), {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  const dfg::EvaluationReport report =
+      engine.evaluate(dfg::expressions::kQCriterion);
+  ASSERT_EQ(report.values.size(), mesh.cell_count());
+  EXPECT_EQ(report.output_name, "q");
+  for (const float q : report.values) {
+    ASSERT_TRUE(std::isfinite(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SmokeTest,
+    ::testing::Values(StrategyKind::roundtrip, StrategyKind::staged,
+                      StrategyKind::fusion),
+    [](const auto& info) {
+      return dfg::runtime::strategy_name(info.param);
+    });
+
+}  // namespace

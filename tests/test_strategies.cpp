@@ -1,0 +1,224 @@
+// Integration tests for the execution strategies: cross-strategy result
+// equivalence, failure behaviour under memory pressure, and the strategy
+// trade-offs the paper's discussion section calls out.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/strategy.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using runtime::StrategyKind;
+
+struct Fixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({6, 5, 7});
+  mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::Device device{vcl::xeon_x5660_scaled()};
+
+  Engine make_engine(StrategyKind kind) {
+    Engine engine(device, {kind, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine;
+  }
+};
+
+std::vector<float> evaluate(Fixture& fx, StrategyKind kind,
+                            const char* expression) {
+  Engine engine = fx.make_engine(kind);
+  return engine.evaluate(expression).values;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EquivalenceTest, AllStrategiesProduceTheSameField) {
+  Fixture fx;
+  const auto roundtrip = evaluate(fx, StrategyKind::roundtrip, GetParam());
+  const auto staged = evaluate(fx, StrategyKind::staged, GetParam());
+  const auto fusion = evaluate(fx, StrategyKind::fusion, GetParam());
+  ASSERT_EQ(roundtrip.size(), staged.size());
+  ASSERT_EQ(roundtrip.size(), fusion.size());
+  for (std::size_t i = 0; i < roundtrip.size(); ++i) {
+    // Identical primitive implementations => identical float results.
+    ASSERT_EQ(roundtrip[i], staged[i]) << "cell " << i;
+    ASSERT_EQ(roundtrip[i], fusion[i]) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, EquivalenceTest,
+    ::testing::Values(
+        expressions::kVelocityMagnitude, expressions::kVorticityMagnitude,
+        expressions::kQCriterion,
+        "r = u + v * w - u / (v + 10.0)",
+        "a = u - 0.25\nb = a * a\nr = sqrt(b + 1.0)",
+        "r = min(u, max(v, w)) + abs(u)",
+        "r = if (u > v) then (u) else (v)",
+        "du = grad3d(u, dims, x, y, z)\nr = du[0] + du[1] + du[2]",
+        "r = pow(abs(u) + 1.0, 2.0)",
+        "r = -u * -v",
+        "r = 3.0"));
+
+TEST(Strategies, ConditionalSelectsPerElement) {
+  Fixture fx;
+  const auto result =
+      evaluate(fx, StrategyKind::fusion, "r = if (u > 0.0) then (u) else (-u)");
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    ASSERT_NEAR(result[i], std::fabs(fx.field.u[i]), 1e-6f);
+  }
+}
+
+TEST(Strategies, UnboundFieldNamedInError) {
+  Fixture fx;
+  Engine engine = fx.make_engine(StrategyKind::staged);
+  try {
+    engine.evaluate("r = u + missing_field");
+    FAIL() << "expected NetworkError";
+  } catch (const NetworkError& err) {
+    EXPECT_NE(std::string(err.what()).find("missing_field"),
+              std::string::npos);
+  }
+}
+
+TEST(Strategies, IdentityExpressionReturnsInput) {
+  Fixture fx;
+  for (const auto kind : {StrategyKind::roundtrip, StrategyKind::staged,
+                          StrategyKind::fusion}) {
+    const auto result = evaluate(fx, kind, "r = u + 0.0");
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_EQ(result[i], fx.field.u[i]);
+    }
+  }
+}
+
+TEST(Strategies, ConstantExpressionFillsField) {
+  Fixture fx;
+  for (const auto kind : {StrategyKind::roundtrip, StrategyKind::staged,
+                          StrategyKind::fusion}) {
+    const auto result = evaluate(fx, kind, "r = 2.0 * 3.0");
+    for (const float v : result) ASSERT_EQ(v, 6.0f);
+  }
+}
+
+// ----- Memory-pressure behaviour (the paper's §V-D discussion) -----
+
+/// A device sized so that staged Q-criterion does not fit but roundtrip
+/// does: roundtrip can use host memory for intermediates, which is exactly
+/// the capability the paper keeps it around for.
+TEST(Strategies, RoundtripSurvivesWhereStagedFailsOnSmallDevice) {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({16, 16, 16});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  const std::size_t cells = mesh.cell_count();
+
+  vcl::DeviceSpec spec = vcl::tesla_m2050_scaled();
+  // Roundtrip's Q-crit peak is the gradient kernel: the field, the three
+  // problem-sized coordinate arrays, dims and the float4 output — just
+  // over 8 problem arrays. Staged peaks far higher (~30 arrays). Pick 10
+  // arrays of headroom.
+  spec.global_mem_bytes = 10 * cells * sizeof(float);
+  vcl::Device device(spec);
+
+  Engine engine(device, {StrategyKind::staged, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+  EXPECT_THROW(engine.evaluate(expressions::kQCriterion),
+               DeviceOutOfMemory);
+
+  engine.set_strategy(StrategyKind::roundtrip);
+  const auto report = engine.evaluate(expressions::kQCriterion);
+  EXPECT_EQ(report.values.size(), cells);
+}
+
+TEST(Strategies, FusionFailsWhenInputsExceedDevice) {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({16, 16, 16});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::DeviceSpec spec = vcl::tesla_m2050_scaled();
+  spec.global_mem_bytes = 3 * mesh.cell_count() * sizeof(float);
+  vcl::Device device(spec);
+  Engine engine(device, {StrategyKind::fusion, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+  // velocity magnitude needs 3 inputs + 1 output > 3 arrays of capacity.
+  EXPECT_THROW(engine.evaluate(expressions::kVelocityMagnitude),
+               DeviceOutOfMemory);
+}
+
+TEST(Strategies, FailedRunReleasesAllDeviceMemory) {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({16, 16, 16});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::DeviceSpec spec = vcl::tesla_m2050_scaled();
+  spec.global_mem_bytes = 8 * mesh.cell_count() * sizeof(float);
+  vcl::Device device(spec);
+  Engine engine(device, {StrategyKind::staged, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+  EXPECT_THROW(engine.evaluate(expressions::kQCriterion), DeviceOutOfMemory);
+  EXPECT_EQ(device.memory().in_use(), 0u)
+      << "RAII buffers must unwind cleanly after OOM";
+  // The device remains usable for a strategy that fits.
+  engine.set_strategy(StrategyKind::fusion);
+  EXPECT_EQ(engine.evaluate(expressions::kVelocityMagnitude).values.size(),
+            mesh.cell_count());
+}
+
+// ----- Simulated runtime ordering (Figure 5's headline shape) -----
+
+TEST(Strategies, SimulatedRuntimeOrderingFusionStagedRoundtrip) {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({24, 24, 24});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::Device device(vcl::tesla_m2050_scaled());
+  Engine engine(device, {StrategyKind::roundtrip, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  const double roundtrip =
+      engine.evaluate(expressions::kQCriterion).sim_seconds;
+  engine.set_strategy(StrategyKind::staged);
+  const double staged = engine.evaluate(expressions::kQCriterion).sim_seconds;
+  engine.set_strategy(StrategyKind::fusion);
+  const double fusion = engine.evaluate(expressions::kQCriterion).sim_seconds;
+
+  EXPECT_LT(fusion, staged);
+  EXPECT_LT(staged, roundtrip);
+}
+
+TEST(Strategies, GpuFasterThanCpuWhenItFits) {
+  // Needs an evaluation-scale grid: on tiny grids the GPU's per-transfer
+  // latency dominates and the CPU wins, as on real hardware.
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({48, 48, 64});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  vcl::Device cpu(vcl::xeon_x5660_scaled());
+  vcl::Device gpu(vcl::tesla_m2050_scaled());
+  double times[2];
+  vcl::Device* devices[2] = {&cpu, &gpu};
+  for (int d = 0; d < 2; ++d) {
+    Engine engine(*devices[d], {StrategyKind::fusion, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    times[d] = engine.evaluate(expressions::kQCriterion).sim_seconds;
+  }
+  EXPECT_LT(times[1], times[0]);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Unit tests for the support module: parallel_for, string helpers,
+// stopwatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using dfg::support::parallel_for;
+
+TEST(ParallelFor, CoversWholeRangeExactlyOnce) {
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(touched.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroElementsDoesNotInvokeBody) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElement) {
+  int sum = 0;
+  parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += static_cast<int>(i) + 5;
+  });
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 0) throw dfg::Error("boom");
+                   }),
+      dfg::Error);
+}
+
+TEST(ParallelFor, WorkerOverrideRestorable) {
+  dfg::support::set_worker_count(3);
+  EXPECT_EQ(dfg::support::worker_count(), 3u);
+  std::atomic<int> total{0};
+  parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+  dfg::support::set_worker_count(0);
+  EXPECT_GE(dfg::support::worker_count(), 1u);
+}
+
+TEST(ParallelFor, ChunksAreDisjointAndOrdered) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(97, [&](std::size_t begin, std::size_t end) {
+    std::scoped_lock lock(m);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, covered);
+    EXPECT_GT(end, begin);
+    covered = end;
+  }
+  EXPECT_EQ(covered, 97u);
+}
+
+TEST(StringUtil, JoinEmpty) { EXPECT_EQ(dfg::support::join({}, ", "), ""); }
+
+TEST(StringUtil, JoinSingle) {
+  EXPECT_EQ(dfg::support::join({"a"}, ", "), "a");
+}
+
+TEST(StringUtil, JoinMany) {
+  EXPECT_EQ(dfg::support::join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(StringUtil, FormatBytesUnits) {
+  EXPECT_EQ(dfg::support::format_bytes(512), "512 B");
+  EXPECT_EQ(dfg::support::format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(dfg::support::format_bytes(std::size_t(218) << 20), "218.0 MiB");
+  EXPECT_EQ(dfg::support::format_bytes(std::size_t(3) << 30), "3.0 GiB");
+}
+
+TEST(StringUtil, FormatFloatAlwaysHasDecimalMarker) {
+  EXPECT_EQ(dfg::support::format_float(0.5), "0.5");
+  EXPECT_EQ(dfg::support::format_float(2.0), "2.0");
+  EXPECT_EQ(dfg::support::format_float(-3.0), "-3.0");
+  // Round-trips through strtod.
+  EXPECT_EQ(std::stod(dfg::support::format_float(1e-7)), 1e-7);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotonicTime) {
+  dfg::support::Stopwatch watch;
+  const double t1 = watch.seconds();
+  const double t2 = watch.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  watch.reset();
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(Errors, DeviceOutOfMemoryCarriesContext) {
+  const dfg::DeviceOutOfMemory err("gpu0", 100, 50, 120);
+  EXPECT_EQ(err.device(), "gpu0");
+  EXPECT_EQ(err.requested_bytes(), 100u);
+  EXPECT_EQ(err.in_use_bytes(), 50u);
+  EXPECT_EQ(err.capacity_bytes(), 120u);
+  EXPECT_NE(std::string(err.what()).find("gpu0"), std::string::npos);
+}
+
+TEST(Errors, ParseErrorCarriesPosition) {
+  const dfg::ParseError err("bad token", 3, 14);
+  EXPECT_EQ(err.line(), 3);
+  EXPECT_EQ(err.column(), 14);
+  EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Exact reproduction of the paper's Table II: the number of host-to-device
+// transfers (Dev-W), device-to-host transfers (Dev-R) and kernel executions
+// (K-Exe) for the three vortex-detection expressions under each execution
+// strategy. These counts are a pure function of the command stream, so the
+// reproduction must match the paper exactly, not approximately.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "mesh/generators.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using dfg::runtime::StrategyKind;
+
+struct Table2Case {
+  const char* label;
+  const char* expression;
+  StrategyKind strategy;
+  std::size_t dev_w;
+  std::size_t dev_r;
+  std::size_t k_exe;
+};
+
+// The paper's Table II, row by row.
+const Table2Case kTable2[] = {
+    {"VelMag_Roundtrip", dfg::expressions::kVelocityMagnitude,
+     StrategyKind::roundtrip, 11, 6, 6},
+    {"VelMag_Staged", dfg::expressions::kVelocityMagnitude,
+     StrategyKind::staged, 3, 1, 6},
+    {"VelMag_Fusion", dfg::expressions::kVelocityMagnitude,
+     StrategyKind::fusion, 3, 1, 1},
+    {"VortMag_Roundtrip", dfg::expressions::kVorticityMagnitude,
+     StrategyKind::roundtrip, 32, 12, 12},
+    {"VortMag_Staged", dfg::expressions::kVorticityMagnitude,
+     StrategyKind::staged, 7, 1, 18},
+    {"VortMag_Fusion", dfg::expressions::kVorticityMagnitude,
+     StrategyKind::fusion, 7, 1, 1},
+    {"QCrit_Roundtrip", dfg::expressions::kQCriterion,
+     StrategyKind::roundtrip, 123, 57, 57},
+    {"QCrit_Staged", dfg::expressions::kQCriterion, StrategyKind::staged, 7,
+     1, 67},
+    {"QCrit_Fusion", dfg::expressions::kQCriterion, StrategyKind::fusion, 7,
+     1, 1},
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Case> {};
+
+TEST_P(Table2Test, DeviceEventCountsMatchPaper) {
+  const Table2Case& expected = GetParam();
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({8, 8, 8});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+
+  dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+  dfg::Engine engine(device, {expected.strategy, {}});
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  const dfg::EvaluationReport report = engine.evaluate(expected.expression);
+  EXPECT_EQ(report.dev_writes, expected.dev_w) << "Dev-W mismatch";
+  EXPECT_EQ(report.dev_reads, expected.dev_r) << "Dev-R mismatch";
+  EXPECT_EQ(report.kernel_execs, expected.k_exe) << "K-Exe mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable2, Table2Test, ::testing::ValuesIn(kTable2),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+// Event counts must not depend on the data size (they are per-expression,
+// per-strategy constants in the paper).
+TEST(Table2Invariance, CountsIndependentOfGridSize) {
+  for (const auto dims :
+       {dfg::mesh::Dims{4, 4, 4}, dfg::mesh::Dims{8, 6, 10}}) {
+    const dfg::mesh::RectilinearMesh mesh =
+        dfg::mesh::RectilinearMesh::uniform(dims);
+    const dfg::mesh::VectorField field =
+        dfg::mesh::rayleigh_taylor_flow(mesh);
+    dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+    dfg::Engine engine(device, {StrategyKind::staged, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const auto report = engine.evaluate(dfg::expressions::kQCriterion);
+    EXPECT_EQ(report.kernel_execs, 67u) << dfg::mesh::to_string(dims);
+  }
+}
+
+}  // namespace

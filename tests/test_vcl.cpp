@@ -1,0 +1,255 @@
+// Unit tests for the virtual compute layer: memory tracking, buffers,
+// queues, profiling events and the cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vcl/buffer.hpp"
+#include "vcl/catalog.hpp"
+#include "vcl/cost_model.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+#include "vcl/queue.hpp"
+
+namespace {
+
+using namespace dfg::vcl;
+
+DeviceSpec tiny_device(std::size_t capacity_bytes) {
+  DeviceSpec spec;
+  spec.name = "tiny";
+  spec.type = DeviceType::gpu;
+  spec.global_mem_bytes = capacity_bytes;
+  spec.transfer_gbps = 1.0;
+  spec.global_mem_gbps = 10.0;
+  spec.gflops = 100.0;
+  return spec;
+}
+
+TEST(MemoryTracker, TracksInUseAndHighWater) {
+  MemoryTracker tracker("dev", 1000);
+  tracker.reserve(400);
+  tracker.reserve(300);
+  EXPECT_EQ(tracker.in_use(), 700u);
+  EXPECT_EQ(tracker.high_water(), 700u);
+  tracker.release(300);
+  EXPECT_EQ(tracker.in_use(), 400u);
+  EXPECT_EQ(tracker.high_water(), 700u);
+  tracker.reserve(100);
+  EXPECT_EQ(tracker.high_water(), 700u) << "high water must not drop";
+  EXPECT_EQ(tracker.available(), 500u);
+}
+
+TEST(MemoryTracker, ReserveBeyondCapacityThrowsAndLeavesStateUnchanged) {
+  MemoryTracker tracker("dev", 100);
+  tracker.reserve(60);
+  EXPECT_THROW(tracker.reserve(41), dfg::DeviceOutOfMemory);
+  EXPECT_EQ(tracker.in_use(), 60u);
+  EXPECT_EQ(tracker.high_water(), 60u);
+  tracker.reserve(40);  // exactly fits
+  EXPECT_EQ(tracker.in_use(), 100u);
+}
+
+TEST(MemoryTracker, ResetHighWaterClampsToCurrentUse) {
+  MemoryTracker tracker("dev", 1000);
+  tracker.reserve(500);
+  tracker.release(400);
+  tracker.reset_high_water();
+  EXPECT_EQ(tracker.high_water(), 100u);
+}
+
+TEST(Buffer, AllocationAccountsAgainstDevice) {
+  Device device(tiny_device(1024));
+  {
+    Buffer buffer = device.allocate(64);  // 256 bytes
+    EXPECT_TRUE(buffer.valid());
+    EXPECT_EQ(buffer.size(), 64u);
+    EXPECT_EQ(buffer.bytes(), 256u);
+    EXPECT_EQ(device.memory().in_use(), 256u);
+  }
+  EXPECT_EQ(device.memory().in_use(), 0u) << "destructor releases";
+  EXPECT_EQ(device.memory().high_water(), 256u);
+}
+
+TEST(Buffer, OverCapacityAllocationThrows) {
+  Device device(tiny_device(1024));
+  EXPECT_THROW(device.allocate(1024), dfg::DeviceOutOfMemory);
+  EXPECT_EQ(device.memory().in_use(), 0u);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  Device device(tiny_device(4096));
+  Buffer a = device.allocate(16);
+  Buffer b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(device.memory().in_use(), 64u);
+  Buffer c = device.allocate(8);
+  c = std::move(b);  // move-assign releases c's old allocation
+  EXPECT_EQ(device.memory().in_use(), 64u);
+}
+
+TEST(Buffer, ExplicitReleaseIsIdempotent) {
+  Device device(tiny_device(4096));
+  Buffer a = device.allocate(16);
+  a.release();
+  EXPECT_EQ(device.memory().in_use(), 0u);
+  a.release();
+  EXPECT_EQ(device.memory().in_use(), 0u);
+  EXPECT_FALSE(a.valid());
+}
+
+TEST(CostModel, TransferIsLatencyPlusBandwidth) {
+  DeviceSpec spec = tiny_device(1 << 20);
+  spec.transfer_gbps = 2.0;
+  spec.transfer_latency_us = 10.0;
+  const CostModel model(spec);
+  // 2e9 bytes at 2 GB/s = 1 s, plus 10 us.
+  EXPECT_NEAR(model.transfer_seconds(2'000'000'000), 1.0 + 10e-6, 1e-9);
+  EXPECT_NEAR(model.transfer_seconds(0), 10e-6, 1e-12);
+}
+
+TEST(CostModel, KernelRooflineTakesMaxOfComputeAndMemory) {
+  DeviceSpec spec = tiny_device(1 << 20);
+  spec.gflops = 1.0;  // 1e9 flops/s peak
+  spec.global_mem_gbps = 1.0;
+  spec.launch_overhead_us = 0.0;
+  const CostModel model(spec);
+  const double eff = CostModel::kComputeEfficiency;
+  // Compute-bound: many flops, few bytes.
+  EXPECT_NEAR(model.kernel_seconds(1'000'000'000, 1000, 8), 1.0 / eff, 1e-6);
+  // Memory-bound: few flops, many bytes.
+  EXPECT_NEAR(model.kernel_seconds(10, 1'000'000'000, 8), 1.0, 1e-6);
+}
+
+TEST(CostModel, RegisterSpillAddsBandwidthSurcharge) {
+  DeviceSpec spec = tiny_device(1 << 20);
+  spec.register_budget = 8;
+  spec.global_mem_gbps = 1.0;
+  spec.gflops = 1000.0;
+  spec.launch_overhead_us = 0.0;
+  const CostModel model(spec);
+  const double fits = model.kernel_seconds(0, 4'000'000, 8);
+  const double spills = model.kernel_seconds(0, 4'000'000, 10);
+  EXPECT_GT(spills, fits);
+}
+
+TEST(CostModel, LaunchOverheadCharged) {
+  DeviceSpec spec = tiny_device(1 << 20);
+  spec.launch_overhead_us = 50.0;
+  const CostModel model(spec);
+  EXPECT_NEAR(model.kernel_seconds(0, 0, 0), 50e-6, 1e-12);
+}
+
+TEST(ProfilingLog, CategorisesEvents) {
+  ProfilingLog log;
+  log.record(Event{EventKind::host_to_device, "u", 100, 0, 0.5, 0.1});
+  log.record(Event{EventKind::host_to_device, "v", 50, 0, 0.25, 0.1});
+  log.record(Event{EventKind::kernel_exec, "add", 32, 77, 0.125, 0.1});
+  log.record(Event{EventKind::device_to_host, "out", 100, 0, 0.5, 0.1});
+  EXPECT_EQ(log.count(EventKind::host_to_device), 2u);
+  EXPECT_EQ(log.count(EventKind::device_to_host), 1u);
+  EXPECT_EQ(log.count(EventKind::kernel_exec), 1u);
+  EXPECT_EQ(log.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(log.sim_seconds(EventKind::host_to_device), 0.75);
+  EXPECT_DOUBLE_EQ(log.total_sim_seconds(), 1.375);
+  EXPECT_NEAR(log.total_wall_seconds(), 0.4, 1e-12);
+  EXPECT_EQ(log.bytes(EventKind::host_to_device), 150u);
+  EXPECT_EQ(log.total_flops(), 77u);
+  log.clear();
+  EXPECT_EQ(log.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(log.total_sim_seconds(), 0.0);
+}
+
+TEST(EventKindNames, MatchTable2Headers) {
+  EXPECT_STREQ(event_kind_name(EventKind::host_to_device), "Dev-W");
+  EXPECT_STREQ(event_kind_name(EventKind::device_to_host), "Dev-R");
+  EXPECT_STREQ(event_kind_name(EventKind::kernel_exec), "K-Exe");
+}
+
+TEST(CommandQueue, WriteReadRoundTripRecordsEvents) {
+  Device device(tiny_device(4096));
+  ProfilingLog log;
+  CommandQueue queue(device, log);
+  Buffer buffer = device.allocate(4);
+  const std::vector<float> host{1.0f, 2.0f, 3.0f, 4.0f};
+  queue.write(buffer, host, "in");
+  std::vector<float> back(4, 0.0f);
+  queue.read(buffer, back, "out");
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(log.count(EventKind::host_to_device), 1u);
+  EXPECT_EQ(log.count(EventKind::device_to_host), 1u);
+  EXPECT_EQ(log.bytes(EventKind::host_to_device), 16u);
+  EXPECT_GT(log.total_sim_seconds(), 0.0);
+}
+
+TEST(CommandQueue, OversizedWriteThrows) {
+  Device device(tiny_device(4096));
+  ProfilingLog log;
+  CommandQueue queue(device, log);
+  Buffer buffer = device.allocate(2);
+  const std::vector<float> host(3, 1.0f);
+  EXPECT_THROW(queue.write(buffer, host, "in"), dfg::KernelError);
+}
+
+TEST(CommandQueue, UndersizedReadThrows) {
+  Device device(tiny_device(4096));
+  ProfilingLog log;
+  CommandQueue queue(device, log);
+  Buffer buffer = device.allocate(4);
+  std::vector<float> host(2, 0.0f);
+  EXPECT_THROW(queue.read(buffer, host, "out"), dfg::KernelError);
+}
+
+TEST(CommandQueue, LaunchRunsBodyOverNDRangeAndRecordsKernelEvent) {
+  Device device(tiny_device(4096));
+  ProfilingLog log;
+  CommandQueue queue(device, log);
+  std::vector<float> data(100, 0.0f);
+  KernelLaunch launch;
+  launch.label = "fill";
+  launch.ndrange = data.size();
+  launch.flops = 100;
+  launch.global_bytes = 400;
+  launch.body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) data[i] = 1.0f;
+  };
+  queue.launch(launch);
+  for (const float v : data) EXPECT_EQ(v, 1.0f);
+  EXPECT_EQ(log.count(EventKind::kernel_exec), 1u);
+  EXPECT_EQ(log.events().back().flops, 100u);
+}
+
+TEST(CommandQueue, LaunchWithoutBodyThrows) {
+  Device device(tiny_device(4096));
+  ProfilingLog log;
+  CommandQueue queue(device, log);
+  KernelLaunch launch;
+  launch.label = "empty";
+  launch.ndrange = 10;
+  EXPECT_THROW(queue.launch(launch), dfg::KernelError);
+}
+
+TEST(Catalog, FullSizeDevicesMatchEdgeHardware) {
+  const DeviceSpec cpu = xeon_x5660();
+  EXPECT_EQ(cpu.type, DeviceType::cpu);
+  EXPECT_EQ(cpu.global_mem_bytes, std::size_t(96) << 30);
+  const DeviceSpec gpu = tesla_m2050();
+  EXPECT_EQ(gpu.type, DeviceType::gpu);
+  // 3 GiB GDDR5 minus the 12.5% Fermi ECC reservation (Edge runs ECC on).
+  EXPECT_EQ(gpu.global_mem_bytes, (std::size_t(3) << 30) / 8 * 7);
+  EXPECT_GT(gpu.gflops, cpu.gflops);
+  EXPECT_GT(gpu.global_mem_gbps, cpu.global_mem_gbps);
+  // PCIe gen2 and a host-side memcpy land in the same few-GB/s regime.
+  EXPECT_NEAR(gpu.transfer_gbps, cpu.transfer_gbps, 2.0);
+}
+
+TEST(Catalog, ScaledDevicesKeepPerformanceShrinkCapacity) {
+  const DeviceSpec gpu = tesla_m2050();
+  const DeviceSpec scaled = tesla_m2050_scaled();
+  EXPECT_EQ(scaled.global_mem_bytes, gpu.global_mem_bytes / 64);
+  EXPECT_DOUBLE_EQ(scaled.gflops, gpu.gflops);
+  EXPECT_DOUBLE_EQ(scaled.transfer_gbps, gpu.transfer_gbps);
+}
+
+}  // namespace
