@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_distributed.dir/bench_fig7_distributed.cpp.o"
+  "CMakeFiles/bench_fig7_distributed.dir/bench_fig7_distributed.cpp.o.d"
+  "bench_fig7_distributed"
+  "bench_fig7_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_distributed.dir/bench_scaling_distributed.cpp.o"
+  "CMakeFiles/bench_scaling_distributed.dir/bench_scaling_distributed.cpp.o.d"
+  "bench_scaling_distributed"
+  "bench_scaling_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_qcriterion.dir/distributed_qcriterion.cpp.o"
+  "CMakeFiles/distributed_qcriterion.dir/distributed_qcriterion.cpp.o.d"
+  "distributed_qcriterion"
+  "distributed_qcriterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_qcriterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

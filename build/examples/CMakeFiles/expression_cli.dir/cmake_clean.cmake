@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_cli.dir/expression_cli.cpp.o"
+  "CMakeFiles/expression_cli.dir/expression_cli.cpp.o.d"
+  "expression_cli"
+  "expression_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_host.dir/insitu_host.cpp.o"
+  "CMakeFiles/insitu_host.dir/insitu_host.cpp.o.d"
+  "insitu_host"
+  "insitu_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

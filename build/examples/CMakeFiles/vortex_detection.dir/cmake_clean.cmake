@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_detection.dir/vortex_detection.cpp.o"
+  "CMakeFiles/vortex_detection.dir/vortex_detection.cpp.o.d"
+  "vortex_detection"
+  "vortex_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

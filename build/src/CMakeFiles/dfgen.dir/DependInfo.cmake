@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/dfgen.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/core/engine.cpp.o.d"
+  "/root/repo/src/dataflow/builder.cpp" "src/CMakeFiles/dfgen.dir/dataflow/builder.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/dataflow/builder.cpp.o.d"
+  "/root/repo/src/dataflow/dot.cpp" "src/CMakeFiles/dfgen.dir/dataflow/dot.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/dataflow/dot.cpp.o.d"
+  "/root/repo/src/dataflow/network.cpp" "src/CMakeFiles/dfgen.dir/dataflow/network.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/dataflow/network.cpp.o.d"
+  "/root/repo/src/dataflow/script_io.cpp" "src/CMakeFiles/dfgen.dir/dataflow/script_io.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/dataflow/script_io.cpp.o.d"
+  "/root/repo/src/dataflow/spec.cpp" "src/CMakeFiles/dfgen.dir/dataflow/spec.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/dataflow/spec.cpp.o.d"
+  "/root/repo/src/distrib/decomposition.cpp" "src/CMakeFiles/dfgen.dir/distrib/decomposition.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/distrib/decomposition.cpp.o.d"
+  "/root/repo/src/distrib/dist_engine.cpp" "src/CMakeFiles/dfgen.dir/distrib/dist_engine.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/distrib/dist_engine.cpp.o.d"
+  "/root/repo/src/distrib/ghost.cpp" "src/CMakeFiles/dfgen.dir/distrib/ghost.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/distrib/ghost.cpp.o.d"
+  "/root/repo/src/expr/ast.cpp" "src/CMakeFiles/dfgen.dir/expr/ast.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/expr/ast.cpp.o.d"
+  "/root/repo/src/expr/lexer.cpp" "src/CMakeFiles/dfgen.dir/expr/lexer.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/expr/lexer.cpp.o.d"
+  "/root/repo/src/expr/parser.cpp" "src/CMakeFiles/dfgen.dir/expr/parser.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/expr/parser.cpp.o.d"
+  "/root/repo/src/kernels/generator.cpp" "src/CMakeFiles/dfgen.dir/kernels/generator.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/kernels/generator.cpp.o.d"
+  "/root/repo/src/kernels/primitives.cpp" "src/CMakeFiles/dfgen.dir/kernels/primitives.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/kernels/primitives.cpp.o.d"
+  "/root/repo/src/kernels/program.cpp" "src/CMakeFiles/dfgen.dir/kernels/program.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/kernels/program.cpp.o.d"
+  "/root/repo/src/kernels/source_printer.cpp" "src/CMakeFiles/dfgen.dir/kernels/source_printer.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/kernels/source_printer.cpp.o.d"
+  "/root/repo/src/kernels/vm.cpp" "src/CMakeFiles/dfgen.dir/kernels/vm.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/kernels/vm.cpp.o.d"
+  "/root/repo/src/mesh/catalog.cpp" "src/CMakeFiles/dfgen.dir/mesh/catalog.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/mesh/catalog.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/CMakeFiles/dfgen.dir/mesh/generators.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/mesh/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/dfgen.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/runtime/bindings.cpp" "src/CMakeFiles/dfgen.dir/runtime/bindings.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/bindings.cpp.o.d"
+  "/root/repo/src/runtime/fusion.cpp" "src/CMakeFiles/dfgen.dir/runtime/fusion.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/fusion.cpp.o.d"
+  "/root/repo/src/runtime/multidevice.cpp" "src/CMakeFiles/dfgen.dir/runtime/multidevice.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/multidevice.cpp.o.d"
+  "/root/repo/src/runtime/planner.cpp" "src/CMakeFiles/dfgen.dir/runtime/planner.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/planner.cpp.o.d"
+  "/root/repo/src/runtime/reference.cpp" "src/CMakeFiles/dfgen.dir/runtime/reference.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/reference.cpp.o.d"
+  "/root/repo/src/runtime/roundtrip.cpp" "src/CMakeFiles/dfgen.dir/runtime/roundtrip.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/roundtrip.cpp.o.d"
+  "/root/repo/src/runtime/slab.cpp" "src/CMakeFiles/dfgen.dir/runtime/slab.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/slab.cpp.o.d"
+  "/root/repo/src/runtime/staged.cpp" "src/CMakeFiles/dfgen.dir/runtime/staged.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/staged.cpp.o.d"
+  "/root/repo/src/runtime/strategy.cpp" "src/CMakeFiles/dfgen.dir/runtime/strategy.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/strategy.cpp.o.d"
+  "/root/repo/src/runtime/streamed.cpp" "src/CMakeFiles/dfgen.dir/runtime/streamed.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/runtime/streamed.cpp.o.d"
+  "/root/repo/src/support/parallel.cpp" "src/CMakeFiles/dfgen.dir/support/parallel.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/support/parallel.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/dfgen.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/vcl/buffer.cpp" "src/CMakeFiles/dfgen.dir/vcl/buffer.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/buffer.cpp.o.d"
+  "/root/repo/src/vcl/catalog.cpp" "src/CMakeFiles/dfgen.dir/vcl/catalog.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/catalog.cpp.o.d"
+  "/root/repo/src/vcl/cost_model.cpp" "src/CMakeFiles/dfgen.dir/vcl/cost_model.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/cost_model.cpp.o.d"
+  "/root/repo/src/vcl/device.cpp" "src/CMakeFiles/dfgen.dir/vcl/device.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/device.cpp.o.d"
+  "/root/repo/src/vcl/pipeline.cpp" "src/CMakeFiles/dfgen.dir/vcl/pipeline.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/pipeline.cpp.o.d"
+  "/root/repo/src/vcl/profiling.cpp" "src/CMakeFiles/dfgen.dir/vcl/profiling.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/profiling.cpp.o.d"
+  "/root/repo/src/vcl/queue.cpp" "src/CMakeFiles/dfgen.dir/vcl/queue.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/queue.cpp.o.d"
+  "/root/repo/src/vcl/trace.cpp" "src/CMakeFiles/dfgen.dir/vcl/trace.cpp.o" "gcc" "src/CMakeFiles/dfgen.dir/vcl/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

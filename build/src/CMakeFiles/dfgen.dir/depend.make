@@ -1,0 +1,2 @@
+# Empty dependencies file for dfgen.
+# This may be replaced when dependencies are built.

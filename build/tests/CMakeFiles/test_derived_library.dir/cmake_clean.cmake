@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derived_library.dir/test_derived_library.cpp.o"
+  "CMakeFiles/test_derived_library.dir/test_derived_library.cpp.o.d"
+  "test_derived_library"
+  "test_derived_library.pdb"
+  "test_derived_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derived_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

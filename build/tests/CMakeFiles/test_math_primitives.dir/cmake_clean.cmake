@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_primitives.dir/test_math_primitives.cpp.o"
+  "CMakeFiles/test_math_primitives.dir/test_math_primitives.cpp.o.d"
+  "test_math_primitives"
+  "test_math_primitives.pdb"
+  "test_math_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_fusion.dir/test_partitioned_fusion.cpp.o"
+  "CMakeFiles/test_partitioned_fusion.dir/test_partitioned_fusion.cpp.o.d"
+  "test_partitioned_fusion"
+  "test_partitioned_fusion.pdb"
+  "test_partitioned_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

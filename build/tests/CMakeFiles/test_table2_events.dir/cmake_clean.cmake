@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table2_events.dir/test_table2_events.cpp.o"
+  "CMakeFiles/test_table2_events.dir/test_table2_events.cpp.o.d"
+  "test_table2_events"
+  "test_table2_events.pdb"
+  "test_table2_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table2_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

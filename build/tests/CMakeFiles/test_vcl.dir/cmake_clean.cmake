@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcl.dir/test_vcl.cpp.o"
+  "CMakeFiles/test_vcl.dir/test_vcl.cpp.o.d"
+  "test_vcl"
+  "test_vcl.pdb"
+  "test_vcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
