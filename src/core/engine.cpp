@@ -34,15 +34,31 @@ EvaluationReport Engine::evaluate(std::string_view expression,
 
   log_.clear();
   device_->memory().reset_high_water();
+  // Fault plans count per evaluation, and any fault injected outside a
+  // command queue (an allocation) must still land in this log.
+  device_->fault().begin_run();
+  device_->fault().set_sink(&log_);
 
-  const auto strategy = runtime::make_strategy(
-      options_.strategy, options_.streamed_chunk_cells);
+  runtime::FallbackOutcome outcome = runtime::execute_with_fallback(
+      network, bindings_, elements, *device_, log_, options_.strategy,
+      options_.fallback, options_.streamed_chunk_cells);
   EvaluationReport report;
-  report.values =
-      strategy->execute(network, bindings_, elements, *device_, log_);
+  report.values = std::move(outcome.values);
   report.output_name = network.spec().node(network.output_id()).label;
   report.elements = elements;
-  report.strategy = strategy->name();
+  report.strategy = runtime::strategy_name(outcome.executed);
+  for (const runtime::DegradationRecord& step : outcome.degradations) {
+    report.degradations.push_back({runtime::strategy_name(step.from),
+                                   runtime::strategy_name(step.to),
+                                   step.reason});
+  }
+  report.injected_faults = device_->fault().run_faults();
+  for (const vcl::Event& event : log_.events()) {
+    if (event.kind == vcl::EventKind::fault &&
+        event.label.rfind("retry:", 0) == 0) {
+      ++report.command_retries;
+    }
+  }
   report.dev_writes = log_.count(vcl::EventKind::host_to_device);
   report.dev_reads = log_.count(vcl::EventKind::device_to_host);
   report.kernel_execs = log_.count(vcl::EventKind::kernel_exec);
@@ -50,8 +66,8 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.wall_seconds = log_.total_wall_seconds();
   report.memory_high_water_bytes = device_->memory().high_water();
   report.network_script = network.spec().to_script();
-  if (options_.strategy == runtime::StrategyKind::fusion ||
-      options_.strategy == runtime::StrategyKind::streamed) {
+  if (outcome.executed == runtime::StrategyKind::fusion ||
+      outcome.executed == runtime::StrategyKind::streamed) {
     const kernels::FusedPipeline pipeline =
         kernels::generate_fused_pipeline(network);
     for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {

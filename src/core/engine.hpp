@@ -18,6 +18,7 @@
 #include "dataflow/spec.hpp"
 #include "mesh/mesh.hpp"
 #include "runtime/bindings.hpp"
+#include "runtime/fallback.hpp"
 #include "runtime/strategy.hpp"
 #include "vcl/device.hpp"
 #include "vcl/profiling.hpp"
@@ -30,6 +31,19 @@ struct EngineOptions {
   /// Streamed strategy only: target cells per chunk (0 = auto-size from
   /// the device's free memory).
   std::size_t streamed_chunk_cells = 0;
+  /// Degradation and retry behaviour. Disabled by default: a strategy that
+  /// does not fit throws DeviceOutOfMemory, matching the paper's aborted
+  /// GPU cells. Enable it to degrade along fusion → streamed → staged →
+  /// roundtrip instead; the report then lists every rung transition.
+  runtime::FallbackPolicy fallback;
+};
+
+/// One strategy-degradation step taken during an evaluation, in
+/// human-readable form (strategy names plus the error that forced it).
+struct DegradationStep {
+  std::string from;
+  std::string to;
+  std::string reason;
 };
 
 /// Everything one evaluation produced. `values` is the derived field
@@ -40,6 +54,8 @@ struct EvaluationReport {
   std::string output_name;
   std::size_t elements = 0;
 
+  /// The strategy that actually produced `values` — the requested one, or
+  /// the rung the engine degraded to.
   std::string strategy;
   std::size_t dev_writes = 0;   ///< host-to-device transfers (Dev-W)
   std::size_t dev_reads = 0;    ///< device-to-host transfers (Dev-R)
@@ -47,6 +63,14 @@ struct EvaluationReport {
   double sim_seconds = 0.0;     ///< cost-model device time
   double wall_seconds = 0.0;    ///< host wall-clock time of device ops
   std::size_t memory_high_water_bytes = 0;
+
+  /// Every rung transition the fallback policy took, in order. Empty when
+  /// the requested strategy ran to completion.
+  std::vector<DegradationStep> degradations;
+  /// Commands re-enqueued after a transient injected fault.
+  std::size_t command_retries = 0;
+  /// Faults the armed FaultPlan injected during this evaluation.
+  std::size_t injected_faults = 0;
 
   /// The network-definition script (inspectable, per the paper's §III-B1).
   std::string network_script;

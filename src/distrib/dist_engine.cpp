@@ -5,6 +5,7 @@
 
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
+#include "runtime/fallback.hpp"
 #include "support/error.hpp"
 #include "vcl/profiling.hpp"
 
@@ -91,8 +92,10 @@ DistributedReport DistributedEngine::evaluate(
   for (std::size_t r = 0; r < ranks; ++r) {
     devices.push_back(std::make_unique<vcl::Device>(config_.device_spec));
   }
+  if (config_.fault_plan.armed() && ranks > 0) {
+    devices[config_.fault_rank % ranks]->fault().arm(config_.fault_plan);
+  }
 
-  const auto strategy = runtime::make_strategy(strategy_kind);
   const mesh::Dims global_dims = decomposition_.global_dims();
   DistributedReport report;
   report.values.assign(global_dims.cell_count(), 0.0f);
@@ -115,9 +118,28 @@ DistributedReport DistributedEngine::evaluate(
       bindings.bind(name, padded_blocks[b].values);
     }
 
-    const std::vector<float> block_result =
-        strategy->execute(network, bindings, shape.dims.cell_count(),
-                          *devices[rank], logs[rank]);
+    // Faults injected outside a queue op (allocations) must still land in
+    // this rank's log.
+    devices[rank]->fault().set_sink(&logs[rank]);
+    runtime::FallbackOutcome outcome;
+    try {
+      outcome = runtime::execute_with_fallback(
+          network, bindings, shape.dims.cell_count(), *devices[rank],
+          logs[rank], strategy_kind, config_.fallback);
+    } catch (const DeviceLost&) {
+      if (!config_.fallback.enabled) throw;
+      // The rank's device is gone: replace it with a fresh one (as a real
+      // resource manager would re-acquire a context) and re-run the block.
+      // The replacement starts with no fault plan armed.
+      devices[rank] = std::make_unique<vcl::Device>(config_.device_spec);
+      ++report.device_losses;
+      outcome = runtime::execute_with_fallback(
+          network, bindings, shape.dims.cell_count(), *devices[rank],
+          logs[rank], strategy_kind, config_.fallback);
+    }
+    if (outcome.executed != strategy_kind) ++report.degraded_blocks;
+    report.strategy_degradations += outcome.degradations.size();
+    const std::vector<float>& block_result = outcome.values;
 
     // Keep only interior cells; ghost-cell results are discarded.
     const mesh::Dims bd = extent.dims();
@@ -146,6 +168,14 @@ DistributedReport DistributedEngine::evaluate(
     report.total_kernel_execs += logs[r].count(vcl::EventKind::kernel_exec);
     report.max_device_high_water =
         std::max(report.max_device_high_water, devices[r]->memory().high_water());
+    for (const vcl::Event& event : logs[r].events()) {
+      if (event.kind != vcl::EventKind::fault) continue;
+      if (event.label.rfind("retry:", 0) == 0) {
+        ++report.command_retries;
+      } else {
+        ++report.injected_faults;
+      }
+    }
   }
   return report;
 }

@@ -20,8 +20,10 @@
 #include "distrib/decomposition.hpp"
 #include "distrib/ghost.hpp"
 #include "mesh/mesh.hpp"
+#include "runtime/fallback.hpp"
 #include "runtime/strategy.hpp"
 #include "vcl/device.hpp"
+#include "vcl/fault.hpp"
 
 namespace dfg::distrib {
 
@@ -30,6 +32,16 @@ struct ClusterConfig {
   std::size_t devices_per_node = 2;  ///< one MPI task per device, as on Edge
   vcl::DeviceSpec device_spec;
   std::size_t ghost_width = 1;
+  /// Per-block resilience, enabled by default: a block whose device fails
+  /// degrades that block along the memory ladder (and a lost device is
+  /// replaced) instead of failing the whole run — one bad allocation must
+  /// not kill a 27-billion-cell evaluation.
+  runtime::FallbackPolicy fallback = runtime::FallbackPolicy::resilient();
+  /// Deterministic fault schedule armed on `fault_rank`'s device before
+  /// execution (empty = no injection). Indices count across the whole
+  /// evaluation, so a scheduled fault hits exactly one block.
+  vcl::FaultPlan fault_plan;
+  std::size_t fault_rank = 0;
 };
 
 struct DistributedReport {
@@ -48,6 +60,15 @@ struct DistributedReport {
   std::size_t total_kernel_execs = 0;
   /// Largest per-device memory high-water mark.
   std::size_t max_device_high_water = 0;
+  /// Blocks that finished on a cheaper strategy than the requested one.
+  std::size_t degraded_blocks = 0;
+  /// Total rung transitions taken across all blocks.
+  std::size_t strategy_degradations = 0;
+  /// Devices lost mid-run and replaced (the affected block is re-run).
+  std::size_t device_losses = 0;
+  /// Injected faults / retried commands recorded across all rank logs.
+  std::size_t injected_faults = 0;
+  std::size_t command_retries = 0;
 };
 
 class DistributedEngine {

@@ -1,0 +1,67 @@
+#include "runtime/fallback.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace dfg::runtime {
+
+namespace {
+
+constexpr std::size_t kLadderLength =
+    sizeof(kMemoryLadder) / sizeof(kMemoryLadder[0]);
+
+}  // namespace
+
+std::size_t ladder_position(StrategyKind kind) {
+  for (std::size_t i = 0; i < kLadderLength; ++i) {
+    if (kMemoryLadder[i] == kind) return i;
+  }
+  throw Error("strategy kind is not on the memory ladder");
+}
+
+FallbackOutcome execute_with_fallback(const dataflow::Network& network,
+                                      const FieldBindings& bindings,
+                                      std::size_t elements,
+                                      vcl::Device& device,
+                                      vcl::ProfilingLog& log,
+                                      StrategyKind requested,
+                                      const FallbackPolicy& policy,
+                                      std::size_t streamed_chunk_cells) {
+  device.set_retry_policy(policy.retry);
+  FallbackOutcome outcome;
+  for (std::size_t pos = ladder_position(requested); pos < kLadderLength;
+       ++pos) {
+    const StrategyKind kind = kMemoryLadder[pos];
+    const bool last_rung = pos + 1 >= kLadderLength;
+    const auto degrade = [&](const char* category, const std::string& what) {
+      outcome.degradations.push_back(
+          {kind, kMemoryLadder[pos + 1], std::string(category) + ": " + what});
+    };
+    try {
+      const auto strategy = make_strategy(kind, streamed_chunk_cells);
+      // A throw below unwinds the strategy's RAII buffers, releasing all
+      // partially-written device state before the next rung re-plans.
+      outcome.values =
+          strategy->execute(network, bindings, elements, device, log);
+      outcome.executed = kind;
+      return outcome;
+    } catch (const DeviceOutOfMemory& err) {
+      if (!policy.enabled || last_rung) throw;
+      degrade("device out of memory", err.what());
+    } catch (const DeviceError& err) {
+      // The queue's bounded retries are already spent by the time the
+      // error reaches this layer.
+      if (!policy.enabled || !policy.degrade_on_transient || last_rung) {
+        throw;
+      }
+      degrade("transient device error", err.what());
+    } catch (const KernelError& err) {
+      if (!policy.enabled || kind == requested || last_rung) throw;
+      degrade("strategy unsupported for this network", err.what());
+    }
+  }
+  throw Error("fallback ladder exhausted");  // unreachable
+}
+
+}  // namespace dfg::runtime

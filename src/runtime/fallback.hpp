@@ -1,0 +1,103 @@
+// Runtime layer: automatic strategy degradation.
+//
+// The paper's §V-D concludes that hosts must "select from multiple
+// execution strategies and target devices" under memory constraints; its
+// own GPU evaluation simply aborts the cells that do not fit. This module
+// closes that gap at runtime: when a strategy fails, the engine degrades
+// along the paper-ordered memory ladder
+//
+//     fusion → streamed → staged → roundtrip
+//
+// re-planning the evaluation on the next rung. Each rung trades simulated
+// speed for a different (ultimately host-resident) memory discipline, so
+// the final rung — roundtrip, whose device footprint is one kernel's
+// working set — succeeds whenever any strategy can. The ladder is reactive:
+// a rung's partially-written device state unwinds via buffer RAII before
+// the next rung re-plans, so degradation is safe mid-execution, not just at
+// admission time.
+//
+// Failure handling per error type:
+//   * DeviceOutOfMemory — degrade to the next rung (the working set was
+//     too big; lower rungs hold less on the device).
+//   * DeviceError (transient) — the CommandQueue already retried the
+//     failed command with bounded, seeded backoff; if the error still
+//     escapes, degrade.
+//   * KernelError on a rung we degraded *into* — the rung is structurally
+//     unsupported (e.g. streamed cannot execute gradients of computed
+//     values); skip to the next rung. On the rung the caller requested the
+//     error propagates unchanged.
+//   * DeviceLost — propagates: no rung can run on a lost device. The
+//     DistributedEngine recovers above this layer by replacing the device.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dataflow/network.hpp"
+#include "runtime/bindings.hpp"
+#include "runtime/strategy.hpp"
+#include "vcl/device.hpp"
+#include "vcl/fault.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::runtime {
+
+/// Governs degradation and command retries for one engine / one cluster.
+struct FallbackPolicy {
+  /// Off by default for the single-device Engine: strict mode preserves
+  /// the paper's abort-at-capacity semantics (benchmarks chart the failed
+  /// cells). The DistributedEngine defaults it on.
+  bool enabled = false;
+  /// Degrade to the next rung when a transient fault survives the command
+  /// retries; disable to make transient exhaustion fatal.
+  bool degrade_on_transient = true;
+  /// Command-level retry behaviour, installed on the device at execution
+  /// time and applied by the CommandQueue.
+  vcl::RetryPolicy retry;
+
+  /// The resilient preset: degradation on, default retries.
+  static FallbackPolicy resilient() {
+    FallbackPolicy policy;
+    policy.enabled = true;
+    return policy;
+  }
+};
+
+/// One rung transition, with the error text that forced it.
+struct DegradationRecord {
+  StrategyKind from{};
+  StrategyKind to{};
+  std::string reason;
+};
+
+struct FallbackOutcome {
+  std::vector<float> values;
+  /// The rung that actually produced `values`.
+  StrategyKind executed{};
+  std::vector<DegradationRecord> degradations;
+};
+
+/// The ladder, in degradation order. Position in this array defines which
+/// rungs a requested strategy may degrade to (everything after it).
+inline constexpr StrategyKind kMemoryLadder[] = {
+    StrategyKind::fusion, StrategyKind::streamed, StrategyKind::staged,
+    StrategyKind::roundtrip};
+
+/// Index of `kind` in kMemoryLadder.
+std::size_t ladder_position(StrategyKind kind);
+
+/// Executes `network` starting at `requested`, degrading along the ladder
+/// per `policy`. With the policy disabled this is exactly
+/// make_strategy(requested)->execute(...): same command stream, same
+/// errors. Throws the last rung's error when no rung succeeds.
+FallbackOutcome execute_with_fallback(const dataflow::Network& network,
+                                      const FieldBindings& bindings,
+                                      std::size_t elements,
+                                      vcl::Device& device,
+                                      vcl::ProfilingLog& log,
+                                      StrategyKind requested,
+                                      const FallbackPolicy& policy,
+                                      std::size_t streamed_chunk_cells = 0);
+
+}  // namespace dfg::runtime

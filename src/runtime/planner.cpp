@@ -212,7 +212,9 @@ StrategyKind select_strategy(const dataflow::Network& network,
                              const FieldBindings& bindings,
                              std::size_t elements,
                              const vcl::Device& device) {
-  const std::size_t free_bytes = device.memory().available();
+  // Effective headroom: the tracker's free memory clamped by any injected
+  // synthetic capacity, so selection agrees with what allocation enforces.
+  const std::size_t free_bytes = device.effective_available();
   std::size_t smallest = SIZE_MAX;
   // Preference order by measured simulated runtime. Streamed is skipped
   // (KernelError) on networks it cannot execute, e.g. gradients of

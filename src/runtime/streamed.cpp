@@ -29,8 +29,10 @@ std::size_t StreamedFusionStrategy::pick_chunk_planes(
     budget_cells = max_chunk_cells_;
   } else {
     // Auto: target half the device's free memory for the slab working set
-    // (inputs + output), leaving room for the host's other buffers.
-    const std::size_t budget_bytes = device.memory().available() / 2;
+    // (inputs + output), leaving room for the host's other buffers. The
+    // effective headroom respects an injected synthetic capacity, so a
+    // degraded run sizes its chunks to the capacity that actually binds.
+    const std::size_t budget_bytes = device.effective_available() / 2;
     const std::size_t bytes_per_cell =
         (plan.slabbed_params + program.out_stride()) * sizeof(float);
     budget_cells = budget_bytes / std::max<std::size_t>(bytes_per_cell, 1);

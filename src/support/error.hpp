@@ -46,6 +46,47 @@ class DeviceOutOfMemory : public Error {
   std::size_t capacity_bytes_;
 };
 
+/// Thrown when a device command (transfer enqueue or kernel launch) fails
+/// transiently — the virtual analogue of a recoverable CL_OUT_OF_RESOURCES
+/// or a dropped PCIe transaction. Retryable: the command queue re-enqueues
+/// with bounded, seeded backoff before letting it propagate.
+class DeviceError : public Error {
+ public:
+  DeviceError(std::string device, std::string site, std::string label)
+      : Error("device '" + device + "' transient failure at " + site +
+              " enqueue of '" + label + "'"),
+        device_(std::move(device)),
+        site_(std::move(site)),
+        label_(std::move(label)) {}
+
+  const std::string& device() const { return device_; }
+  /// Injection site name ("Dev-W", "Dev-R" or "K-Exe").
+  const std::string& site() const { return site_; }
+  /// Label of the failed command (kernel or buffer name).
+  const std::string& label() const { return label_; }
+
+ private:
+  std::string device_;
+  std::string site_;
+  std::string label_;
+};
+
+/// Thrown when a device is lost outright (the virtual analogue of
+/// CL_DEVICE_NOT_AVAILABLE after a hang or ECC shutdown). Not retryable on
+/// the same device: every subsequent command fails until the device object
+/// is replaced.
+class DeviceLost : public Error {
+ public:
+  explicit DeviceLost(std::string device)
+      : Error("device '" + device + "' lost; all further commands fail"),
+        device_(std::move(device)) {}
+
+  const std::string& device() const { return device_; }
+
+ private:
+  std::string device_;
+};
+
 /// Thrown by the expression front-end on lexical or syntactic errors.
 /// Carries the 1-based source line and column of the offending token.
 class ParseError : public Error {

@@ -7,7 +7,13 @@
 namespace dfg::vcl {
 
 Buffer::Buffer(Device& device, std::size_t elements) : device_(&device) {
-  device_->memory().reserve(elements * sizeof(float));
+  const std::size_t bytes = elements * sizeof(float);
+  // The fault injector sees the allocation before the tracker commits, so
+  // an injected DeviceOutOfMemory (scheduled or synthetic-capacity) leaves
+  // the tracker untouched, exactly like a real over-capacity failure.
+  device_->fault().on_alloc(bytes, device_->memory().in_use(),
+                            device_->memory().capacity());
+  device_->memory().reserve(bytes);
   // Reserve happened first: if it throws, no storage is allocated and the
   // tracker is untouched.
   storage_.assign(elements, 0.0f);

@@ -14,11 +14,13 @@
 // only the *timing* is simulated.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "support/error.hpp"
+#include "vcl/fault.hpp"
 
 namespace dfg::vcl {
 
@@ -93,7 +95,9 @@ class Buffer;
 class Device {
  public:
   explicit Device(DeviceSpec spec)
-      : spec_(std::move(spec)), memory_(spec_.name, spec_.global_mem_bytes) {}
+      : spec_(std::move(spec)),
+        memory_(spec_.name, spec_.global_mem_bytes),
+        fault_(spec_.name) {}
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -102,6 +106,26 @@ class Device {
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
 
+  /// Fault-injection state: arm a FaultPlan here to synthesize allocation
+  /// failures, transient command errors, or whole-device loss. Unarmed, the
+  /// injector is inert and the device behaves exactly as before.
+  FaultInjector& fault() { return fault_; }
+  const FaultInjector& fault() const { return fault_; }
+
+  /// Retry behaviour the command queue applies to transient command faults.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Free memory actually allocatable right now: the tracker's headroom
+  /// clamped by any armed synthetic capacity. Consumers that size working
+  /// sets to the device (the streamed auto-sizer, the strategy planner)
+  /// must use this, not the raw tracker, or their plans overshoot an
+  /// injected capacity cliff.
+  std::size_t effective_available() const {
+    return std::min(memory_.available(),
+                    fault_.synthetic_available(memory_.in_use()));
+  }
+
   /// Allocates a device buffer of `elements` float32 values. Throws
   /// DeviceOutOfMemory if the device capacity would be exceeded.
   Buffer allocate(std::size_t elements);
@@ -109,6 +133,8 @@ class Device {
  private:
   DeviceSpec spec_;
   MemoryTracker memory_;
+  FaultInjector fault_;
+  RetryPolicy retry_;
 };
 
 }  // namespace dfg::vcl

@@ -17,11 +17,15 @@ enum class EventKind : int {
   host_to_device = 0,  ///< Dev-W in the paper's Table II.
   device_to_host = 1,  ///< Dev-R.
   kernel_exec = 2,     ///< K-Exe.
+  /// An injected fault or a retry of a faulted command. Never produced by a
+  /// healthy run: Table II's three categories stay byte-identical when no
+  /// FaultPlan is armed.
+  fault = 3,
 };
 
-constexpr int kEventKindCount = 3;
+constexpr int kEventKindCount = 4;
 
-/// Human-readable name ("Dev-W", "Dev-R", "K-Exe").
+/// Human-readable name ("Dev-W", "Dev-R", "K-Exe", "Fault").
 const char* event_kind_name(EventKind kind);
 
 struct Event {

@@ -1,0 +1,116 @@
+#include "vcl/fault.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "support/error.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::vcl {
+
+void FaultInjector::arm(FaultPlan plan) {
+  plan_ = plan;
+  armed_ = plan_.armed();
+  lost_ = false;
+  rng_.seed(plan_.seed);
+  begin_run();
+}
+
+void FaultInjector::begin_run() {
+  alloc_index_ = 0;
+  write_index_ = 0;
+  read_index_ = 0;
+  kernel_index_ = 0;
+  completed_commands_ = 0;
+  run_faults_ = 0;
+  run_alloc_faults_ = 0;
+  run_transient_faults_ = 0;
+}
+
+void FaultInjector::record(const std::string& label) {
+  ++run_faults_;
+  if (sink_ != nullptr) {
+    sink_->record(Event{EventKind::fault, label, 0, 0, 0.0, 0.0});
+  }
+}
+
+void FaultInjector::on_alloc(std::size_t bytes, std::size_t in_use,
+                             std::size_t capacity) {
+  if (!armed_) return;
+  if (lost_) {
+    record("fault:lost:alloc");
+    throw DeviceLost(device_name_);
+  }
+  ++alloc_index_;
+  if (plan_.fail_alloc_index != 0 && alloc_index_ == plan_.fail_alloc_index) {
+    ++run_alloc_faults_;
+    record("fault:alloc#" + std::to_string(alloc_index_));
+    throw DeviceOutOfMemory(device_name_, bytes, in_use, capacity);
+  }
+  const std::size_t cap = plan_.synthetic_capacity_bytes;
+  if (cap != 0 && (bytes > cap || in_use > cap - bytes)) {
+    ++run_alloc_faults_;
+    record("fault:capacity");
+    throw DeviceOutOfMemory(device_name_, bytes, in_use, cap);
+  }
+}
+
+void FaultInjector::on_enqueue(EventKind site, const std::string& label) {
+  if (!armed_) return;
+  const char* site_name = event_kind_name(site);
+  if (lost_) {
+    record(std::string("fault:lost:") + site_name + ":" + label);
+    throw DeviceLost(device_name_);
+  }
+  if (plan_.lose_device_after != 0 &&
+      completed_commands_ >= plan_.lose_device_after) {
+    lost_ = true;
+    record(std::string("fault:device-lost:") + site_name + ":" + label);
+    throw DeviceLost(device_name_);
+  }
+
+  std::size_t* index = nullptr;
+  std::size_t fail_at = 0;
+  switch (site) {
+    case EventKind::host_to_device:
+      index = &write_index_;
+      fail_at = plan_.fail_write_index;
+      break;
+    case EventKind::device_to_host:
+      index = &read_index_;
+      fail_at = plan_.fail_read_index;
+      break;
+    case EventKind::kernel_exec:
+      index = &kernel_index_;
+      fail_at = plan_.fail_kernel_index;
+      break;
+    case EventKind::fault:
+      return;  // not an enqueue site
+  }
+  const std::size_t i = ++(*index);
+  const std::size_t window =
+      static_cast<std::size_t>(plan_.transient_count > 0
+                                   ? plan_.transient_count
+                                   : 1);
+  if (fail_at != 0 && i >= fail_at && i < fail_at + window) {
+    ++run_transient_faults_;
+    record(std::string("fault:") + site_name + ":" + label);
+    throw DeviceError(device_name_, site_name, label);
+  }
+}
+
+double FaultInjector::backoff_seconds(int attempt, const RetryPolicy& policy) {
+  double us = policy.backoff_base_us;
+  for (int a = 1; a < attempt; ++a) us *= policy.backoff_multiplier;
+  std::uniform_real_distribution<double> jitter(0.0, 1.0);
+  us *= 1.0 + policy.backoff_jitter * jitter(rng_);
+  return us * 1.0e-6;
+}
+
+std::size_t FaultInjector::synthetic_available(std::size_t in_use) const {
+  const std::size_t cap = armed_ ? plan_.synthetic_capacity_bytes : 0;
+  if (cap == 0) return std::numeric_limits<std::size_t>::max();
+  return cap > in_use ? cap - in_use : 0;
+}
+
+}  // namespace dfg::vcl

@@ -12,6 +12,8 @@ const char* event_kind_name(EventKind kind) {
       return "Dev-R";
     case EventKind::kernel_exec:
       return "K-Exe";
+    case EventKind::fault:
+      return "Fault";
   }
   return "?";
 }

@@ -3,10 +3,39 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 namespace dfg::vcl {
+
+void CommandQueue::guard(EventKind site, const std::string& label) {
+  FaultInjector& fault = device_->fault();
+  if (!fault.armed()) return;
+  fault.set_sink(log_);
+  const RetryPolicy& policy = device_->retry_policy();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      fault.on_enqueue(site, label);
+      return;
+    } catch (const DeviceError&) {
+      // Transient: back off (simulated, seeded) and re-enqueue until the
+      // attempt budget is spent; then let the error reach the fallback
+      // layer, which degrades the strategy instead.
+      if (attempt >= policy.max_attempts) throw;
+      const double backoff = fault.backoff_seconds(attempt, policy);
+      log_->record(Event{EventKind::fault,
+                         "retry:" + std::string(event_kind_name(site)) + ":" +
+                             label,
+                         0, 0, backoff, 0.0});
+    }
+  }
+}
+
+void CommandQueue::complete() {
+  FaultInjector& fault = device_->fault();
+  if (fault.armed()) fault.note_complete();
+}
 
 void CommandQueue::write(Buffer& buffer, std::span<const float> host,
                          const std::string& label) {
@@ -15,11 +44,13 @@ void CommandQueue::write(Buffer& buffer, std::span<const float> host,
                       " elements exceeds buffer '" + label + "' extent " +
                       std::to_string(buffer.size()));
   }
+  guard(EventKind::host_to_device, label);
   support::Stopwatch watch;
   std::copy(host.begin(), host.end(), buffer.device_view().begin());
   const std::size_t bytes = host.size() * sizeof(float);
   log_->record(Event{EventKind::host_to_device, label, bytes, 0,
                      cost_.transfer_seconds(bytes), watch.seconds()});
+  complete();
 }
 
 void CommandQueue::read(const Buffer& buffer, std::span<float> host,
@@ -29,18 +60,21 @@ void CommandQueue::read(const Buffer& buffer, std::span<float> host,
                       " elements from larger buffer '" + label + "' of " +
                       std::to_string(buffer.size()));
   }
+  guard(EventKind::device_to_host, label);
   support::Stopwatch watch;
   const auto view = buffer.device_view();
   std::copy(view.begin(), view.end(), host.begin());
   const std::size_t bytes = buffer.bytes();
   log_->record(Event{EventKind::device_to_host, label, bytes, 0,
                      cost_.transfer_seconds(bytes), watch.seconds()});
+  complete();
 }
 
 void CommandQueue::launch(const KernelLaunch& launch) {
   if (!launch.body) {
     throw KernelError("kernel '" + launch.label + "' has no body");
   }
+  guard(EventKind::kernel_exec, launch.label);
   support::Stopwatch watch;
   support::parallel_for(launch.ndrange, launch.body);
   log_->record(Event{
@@ -48,6 +82,7 @@ void CommandQueue::launch(const KernelLaunch& launch) {
       cost_.kernel_seconds(launch.flops, launch.global_bytes,
                            launch.registers_used),
       watch.seconds()});
+  complete();
 }
 
 }  // namespace dfg::vcl

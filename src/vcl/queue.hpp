@@ -36,7 +36,11 @@ struct KernelLaunch {
 class CommandQueue {
  public:
   CommandQueue(Device& device, ProfilingLog& log)
-      : device_(&device), log_(&log), cost_(device.spec()) {}
+      : device_(&device), log_(&log), cost_(device.spec()) {
+    // Injected faults during this queue's lifetime (including allocation
+    // faults raised outside the queue) are recorded into this log.
+    device_->fault().set_sink(log_);
+  }
 
   Device& device() { return *device_; }
   ProfilingLog& log() { return *log_; }
@@ -55,6 +59,14 @@ class CommandQueue {
   void launch(const KernelLaunch& launch);
 
  private:
+  /// Fault-injection gate in front of every enqueue: consults the device's
+  /// injector, retrying transient faults up to the device retry policy with
+  /// seeded backoff (charged to the timeline as Fault events). A no-op when
+  /// no FaultPlan is armed.
+  void guard(EventKind site, const std::string& label);
+  /// Marks a command complete (advances the device-loss countdown).
+  void complete();
+
   Device* device_;
   ProfilingLog* log_;
   CostModel cost_;

@@ -9,11 +9,25 @@ namespace {
 constexpr double kMicro = 1.0e6;
 
 const char* track_name(EventKind kind) {
-  return kind == EventKind::kernel_exec ? "compute" : "copy";
+  switch (kind) {
+    case EventKind::kernel_exec:
+      return "compute";
+    case EventKind::fault:
+      return "faults";
+    default:
+      return "copy";
+  }
 }
 
 int track_id(EventKind kind) {
-  return kind == EventKind::kernel_exec ? 2 : 1;
+  switch (kind) {
+    case EventKind::kernel_exec:
+      return 2;
+    case EventKind::fault:
+      return 3;
+    default:
+      return 1;
+  }
 }
 
 std::string escape(const std::string& text) {
@@ -58,8 +72,12 @@ std::string to_chrome_trace(const ProfilingLog& log,
          << escape(options.device_name) << "\"}}";
     emit(meta.str());
   }
+  // The faults track only appears when the log holds injected-fault or
+  // retry events, keeping fault-free traces identical to the seed's.
+  const bool has_faults = log.count(EventKind::fault) > 0;
   for (const EventKind kind :
-       {EventKind::host_to_device, EventKind::kernel_exec}) {
+       {EventKind::host_to_device, EventKind::kernel_exec, EventKind::fault}) {
+    if (kind == EventKind::fault && !has_faults) continue;
     std::ostringstream meta;
     meta << "{\"ph\":\"M\",\"pid\":" << options.pid
          << ",\"tid\":" << track_id(kind)

@@ -71,6 +71,37 @@ INSTANTIATE_TEST_SUITE_P(PaperTable2, Table2Test, ::testing::ValuesIn(kTable2),
                            return std::string(info.param.label);
                          });
 
+// No-fault regression guard: an *empty* armed FaultPlan — with the
+// fallback policy enabled, for good measure — must not perturb the command
+// stream at all. All 27 Table II counts stay byte-identical, and no fault
+// events appear.
+TEST(Table2NoFaultGuard, EmptyFaultPlanLeavesAllCountsIdentical) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({8, 8, 8});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  for (const Table2Case& expected : kTable2) {
+    SCOPED_TRACE(expected.label);
+    dfg::vcl::Device device(dfg::vcl::xeon_x5660_scaled());
+    device.fault().arm(dfg::vcl::FaultPlan{});
+    dfg::EngineOptions options;
+    options.strategy = expected.strategy;
+    options.fallback.enabled = true;
+    dfg::Engine engine(device, options);
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const dfg::EvaluationReport report = engine.evaluate(expected.expression);
+    EXPECT_EQ(report.dev_writes, expected.dev_w) << "Dev-W mismatch";
+    EXPECT_EQ(report.dev_reads, expected.dev_r) << "Dev-R mismatch";
+    EXPECT_EQ(report.kernel_execs, expected.k_exe) << "K-Exe mismatch";
+    EXPECT_EQ(report.injected_faults, 0u);
+    EXPECT_EQ(report.command_retries, 0u);
+    EXPECT_TRUE(report.degradations.empty());
+    EXPECT_EQ(engine.log().count(dfg::vcl::EventKind::fault), 0u);
+  }
+}
+
 // Event counts must not depend on the data size (they are per-expression,
 // per-strategy constants in the paper).
 TEST(Table2Invariance, CountsIndependentOfGridSize) {
