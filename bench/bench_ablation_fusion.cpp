@@ -151,6 +151,7 @@ BENCHMARK(BM_QCritStrategy)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   print_frontend_ablation();
   print_register_ablation();
   benchmark::Initialize(&argc, argv);

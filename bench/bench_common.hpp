@@ -5,7 +5,6 @@
 // default here is N=1, overridable with DFGEN_RUNS for wall-time studies).
 #pragma once
 
-#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "mesh/generators.hpp"
 #include "runtime/reference.hpp"
 #include "runtime/strategy.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "vcl/catalog.hpp"
 
@@ -25,11 +25,8 @@ namespace dfgbench {
 inline constexpr std::size_t kAxisScale = dfg::mesh::kEvaluationAxisScale;
 
 inline int run_count() {
-  if (const char* env = std::getenv("DFGEN_RUNS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
-  return 1;
+  const int n = dfg::support::env::get_int("DFGEN_RUNS", 1);
+  return n > 0 ? n : 1;
 }
 
 /// DFGEN_FALLBACK=1 re-runs the studies with strategy degradation enabled:
@@ -37,10 +34,18 @@ inline int run_count() {
 /// and report which rung completed them. Off by default — strict mode
 /// reproduces the paper's aborts.
 inline bool fallback_enabled() {
-  if (const char* env = std::getenv("DFGEN_FALLBACK")) {
-    return std::atoi(env) != 0;
-  }
-  return false;
+  return dfg::support::env::get_flag("DFGEN_FALLBACK");
+}
+
+/// One-time startup hygiene for every bench: touch the canonical knobs so
+/// they are registered, then report DFGEN_* typos to stderr.
+inline void check_environment() {
+  run_count();
+  fallback_enabled();
+  dfg::support::env::get_double("DFGEN_DEADLINE_FACTOR", 8.0);
+  dfg::support::env::get_string("DFGEN_CHECKPOINT_DIR", "");
+  dfg::support::env::get_string("DFGEN_TRACE_DIR", "");
+  dfg::support::env::warn_unknown_variables();
 }
 
 struct ExpressionCase {

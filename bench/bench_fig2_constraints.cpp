@@ -87,6 +87,7 @@ BENCHMARK(BM_ExampleNetwork)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   print_figure2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

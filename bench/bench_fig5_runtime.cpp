@@ -140,6 +140,7 @@ BENCHMARK(BM_FusedQCritDispatch)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   std::printf(
       "=== Figure 5: single-device runtime performance (simulated) ===\n");
   std::printf("devices: %s | %s\n\n", dfgbench::scaled_cpu().name.c_str(),

@@ -87,6 +87,7 @@ BENCHMARK(BM_MemoryTrackedAllocation)->Arg(1 << 10)->Arg(1 << 18);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   std::printf("=== Figure 6: single-device memory usage ===\n");
   int violations = 0;
   run_figure6(violations);

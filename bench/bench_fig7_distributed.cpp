@@ -111,6 +111,7 @@ BENCHMARK(BM_GhostExchange192)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   const int status = run_figure7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

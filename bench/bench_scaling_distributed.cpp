@@ -116,6 +116,7 @@ BENCHMARK(BM_DistributedQCrit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   print_strong_scaling();
   print_multi_device_scaling();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,109 @@
+// Straggler-injection study: the distributed engine under a slow rank.
+//
+// One rank of the cluster is slowed by a configurable factor starting at
+// its first command; the table reports how the resilience layer answers:
+//   * up to the block budget (4x) the slowdown is simply absorbed;
+//   * past the budget but under the command watchdog's deadline (8x) the
+//     blocks are speculatively re-executed on the least-loaded healthy
+//     rank and the faster result wins (the duplicate stays charged);
+//   * past the deadline every command is abandoned at a bounded watchdog
+//     charge, the rank is quarantined, and its blocks migrate — the
+//     acceptance bar is a critical path within 2x of the fault-free run
+//     even with a 50x-slow rank.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distrib/dist_engine.hpp"
+
+namespace {
+
+dfg::distrib::ClusterConfig cluster() {
+  dfg::distrib::ClusterConfig config;
+  config.nodes = 2;
+  config.devices_per_node = 2;
+  config.device_spec = dfgbench::scaled_gpu();
+  return config;
+}
+
+dfg::distrib::DistributedReport run_with_slowdown(
+    const dfg::mesh::RectilinearMesh& mesh,
+    const dfg::mesh::VectorField& field, double factor) {
+  dfg::distrib::ClusterConfig config = cluster();
+  if (factor > 1.0) {
+    config.fault_plan.slow_command_index = 1;  // slow from the first command
+    config.fault_plan.slowdown_factor = factor;
+    config.fault_rank = 0;
+  }
+  dfg::distrib::GridDecomposition decomposition(mesh.dims(), 2, 2, 2);
+  dfg::distrib::DistributedEngine engine(mesh, decomposition, config);
+  engine.bind_global("u", field.u);
+  engine.bind_global("v", field.v);
+  engine.bind_global("w", field.w);
+  return engine.evaluate(dfg::expressions::kQCriterion,
+                         dfg::runtime::StrategyKind::fusion);
+}
+
+int print_straggler_sweep() {
+  std::printf(
+      "=== Straggler injection: Q-criterion, 48^3, 8 blocks, "
+      "2 nodes x 2 devices, rank 0 slowed ===\n");
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({48, 48, 48});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+
+  std::printf("%9s %14s %9s %6s %6s %6s %6s %6s %6s\n", "slowdown",
+              "critical [s]", "vs clean", "strag", "spec", "won", "t-out",
+              "quar", "match");
+  const dfg::distrib::DistributedReport clean =
+      run_with_slowdown(mesh, field, 1.0);
+  int failures = 0;
+  for (const double factor : {1.0, 3.0, 6.0, 50.0}) {
+    const dfg::distrib::DistributedReport report =
+        run_with_slowdown(mesh, field, factor);
+    const double ratio =
+        report.max_rank_sim_seconds / clean.max_rank_sim_seconds;
+    const bool match = report.values == clean.values;
+    std::printf("%8.0fx %14.6f %8.2fx %6zu %6zu %6zu %6zu %6zu %6s\n",
+                factor, report.max_rank_sim_seconds, ratio,
+                report.straggler_blocks, report.speculative_executions,
+                report.speculations_won, report.command_timeouts,
+                report.quarantined_devices, match ? "yes" : "NO");
+    if (!match) ++failures;
+    // The acceptance bar: even a 50x-slow rank must not stretch the
+    // critical path past 2x fault-free (quarantine + migration).
+    if (factor >= 50.0 && ratio > 2.0 * (1.0 + 1e-9)) {
+      std::printf("  !! critical path %.2fx exceeds the 2x bound\n", ratio);
+      ++failures;
+    }
+  }
+  std::printf("\n");
+  return failures;
+}
+
+void BM_QuarantinedRank(benchmark::State& state) {
+  const dfg::mesh::RectilinearMesh mesh =
+      dfg::mesh::RectilinearMesh::uniform({48, 48, 48});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  const double factor = static_cast<double>(state.range(0));
+  double critical = 0.0;
+  for (auto _ : state) {
+    const auto report = run_with_slowdown(mesh, field, factor);
+    critical = report.max_rank_sim_seconds;
+  }
+  state.counters["critical_ms"] = critical * 1e3;
+}
+BENCHMARK(BM_QuarantinedRank)->Arg(1)->Arg(6)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dfgbench::check_environment();
+  const int failures = print_straggler_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return failures == 0 ? 0 : 1;
+}

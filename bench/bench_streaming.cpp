@@ -164,6 +164,7 @@ BENCHMARK(BM_StreamedQCrit)->Arg(8)->Arg(32)->Arg(128)
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   int missed = 0;
   print_chunk_sweep();
   print_gpu_rescue(missed);

@@ -61,6 +61,7 @@ BENCHMARK(BM_GenerateAbcSubgrid)->DenseRange(0, 3)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   print_table1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

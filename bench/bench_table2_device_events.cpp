@@ -126,6 +126,7 @@ BENCHMARK(BM_GenerateFusedQCriterion);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dfgbench::check_environment();
   print_table2();
   print_figure4();
   benchmark::Initialize(&argc, argv);

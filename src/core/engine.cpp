@@ -62,6 +62,8 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.dev_writes = log_.count(vcl::EventKind::host_to_device);
   report.dev_reads = log_.count(vcl::EventKind::device_to_host);
   report.kernel_execs = log_.count(vcl::EventKind::kernel_exec);
+  report.command_timeouts = log_.count(vcl::EventKind::timeout);
+  report.checksum_mismatches = log_.count(vcl::EventKind::integrity);
   report.sim_seconds = log_.total_sim_seconds();
   report.wall_seconds = log_.total_wall_seconds();
   report.memory_high_water_bytes = device_->memory().high_water();

@@ -71,6 +71,11 @@ struct EvaluationReport {
   std::size_t command_retries = 0;
   /// Faults the armed FaultPlan injected during this evaluation.
   std::size_t injected_faults = 0;
+  /// Commands abandoned at their watchdog deadline (T-Out events).
+  std::size_t command_timeouts = 0;
+  /// Transfers whose destination checksum disagreed with the source
+  /// (Chksum events); each was re-executed before values propagated.
+  std::size_t checksum_mismatches = 0;
 
   /// The network-definition script (inspectable, per the paper's §III-B1).
   std::string network_script;

@@ -1,0 +1,131 @@
+#include "distrib/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "support/checksum.hpp"
+#include "support/error.hpp"
+
+namespace dfg::distrib {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// First bytes of every entry; bumping the on-disk layout changes this.
+const std::uint64_t kMagic = support::fnv1a("dfgen-checkpoint-v1");
+
+struct EntryHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t run_key = 0;
+  std::uint64_t block = 0;
+  std::uint64_t count = 0;
+};
+
+/// Reads and fully validates one entry file. Returns nothing on any
+/// defect: wrong magic, foreign run key, truncation, checksum mismatch.
+std::optional<std::vector<float>> read_entry(const std::string& path,
+                                             std::uint64_t run_key,
+                                             std::uint64_t* block_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  EntryHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kMagic || header.run_key != run_key) {
+    return std::nullopt;
+  }
+  std::vector<float> values(header.count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  std::uint64_t stored_digest = 0;
+  in.read(reinterpret_cast<char*>(&stored_digest), sizeof(stored_digest));
+  if (!in) return std::nullopt;
+  if (support::checksum_floats(values, run_key) != stored_digest) {
+    return std::nullopt;
+  }
+  if (block_out != nullptr) *block_out = header.block;
+  return values;
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string dir, std::uint64_t run_key)
+    : dir_(std::move(dir)), run_key_(run_key) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("cannot create checkpoint directory '" + dir_ +
+                "': " + ec.message());
+  }
+  // Index every readable entry of this run; anything else is ignored
+  // (entries of other runs may share the directory).
+  for (const fs::directory_entry& file : fs::directory_iterator(dir_, ec)) {
+    if (!file.is_regular_file()) continue;
+    if (file.path().extension() != ".ckpt") continue;
+    std::uint64_t block = 0;
+    if (read_entry(file.path().string(), run_key_, &block)) {
+      entries_[static_cast<std::size_t>(block)] = file.path().string();
+    }
+  }
+}
+
+std::string CheckpointJournal::entry_path(std::size_t block) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%016llx-block-%zu.ckpt",
+                static_cast<unsigned long long>(run_key_), block);
+  return (fs::path(dir_) / name).string();
+}
+
+std::vector<float> CheckpointJournal::load(std::size_t block) const {
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    throw Error("checkpoint journal has no entry for block " +
+                std::to_string(block));
+  }
+  auto values = read_entry(it->second, run_key_, nullptr);
+  if (!values) {
+    throw Error("checkpoint entry for block " + std::to_string(block) +
+                " failed validation on load");
+  }
+  return std::move(*values);
+}
+
+void CheckpointJournal::append(std::size_t block,
+                               std::span<const float> values) {
+  if (!enabled()) return;
+  const std::string path = entry_path(block);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("cannot write checkpoint entry '" + tmp + "'");
+    }
+    EntryHeader header;
+    header.magic = kMagic;
+    header.run_key = run_key_;
+    header.block = block;
+    header.count = values.size();
+    const std::uint64_t digest = support::checksum_floats(values, run_key_);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    if (!out) {
+      throw Error("short write to checkpoint entry '" + tmp + "'");
+    }
+  }
+  // The rename is the commit point: readers either see the whole entry or
+  // none of it.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("cannot commit checkpoint entry '" + path +
+                "': " + ec.message());
+  }
+  entries_[block] = path;
+}
+
+}  // namespace dfg::distrib

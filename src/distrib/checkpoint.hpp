@@ -1,0 +1,61 @@
+// Distributed layer: block-granular checkpoint journal.
+//
+// A long distributed evaluation that dies at block 900 of 1000 should not
+// restart from block 0. The journal persists each block's output slab as
+// it completes — one file per block, written atomically (tmp + rename) so
+// a crash mid-write never leaves a half-entry — and a restarted run loads
+// the journaled blocks instead of re-executing them.
+//
+// Entries are keyed by a run key (a digest of the expression, strategy,
+// decomposition and cluster shape): an entry whose key does not match the
+// current run is ignored, as is any entry whose payload checksum fails.
+// Stale or corrupt journal files therefore degrade to "re-execute that
+// block", never to wrong answers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfg::distrib {
+
+class CheckpointJournal {
+ public:
+  /// A default-constructed journal is disabled: has() is always false and
+  /// append() is a no-op.
+  CheckpointJournal() = default;
+
+  /// Opens (creating if needed) `dir` and indexes every valid entry whose
+  /// run key matches. An empty `dir` disables the journal.
+  CheckpointJournal(std::string dir, std::uint64_t run_key);
+
+  bool enabled() const { return !dir_.empty(); }
+  std::uint64_t run_key() const { return run_key_; }
+
+  /// Whether a valid entry for `block` was found at open time.
+  bool has(std::size_t block) const { return entries_.count(block) != 0; }
+
+  /// The journaled output slab of `block`. The entry is re-validated on
+  /// load; throws Error when absent or no longer valid.
+  std::vector<float> load(std::size_t block) const;
+
+  /// Atomically journals `block`'s output slab. Overwrites any previous
+  /// entry for the block. No-op when disabled.
+  void append(std::size_t block, std::span<const float> values);
+
+  /// Number of valid entries currently indexed.
+  std::size_t journaled_count() const { return entries_.size(); }
+
+ private:
+  std::string entry_path(std::size_t block) const;
+
+  std::string dir_;
+  std::uint64_t run_key_ = 0;
+  /// Blocks with a validated entry on disk.
+  std::map<std::size_t, std::string> entries_;
+};
+
+}  // namespace dfg::distrib

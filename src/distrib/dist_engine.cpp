@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
+#include "distrib/checkpoint.hpp"
 #include "runtime/fallback.hpp"
+#include "runtime/planner.hpp"
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "vcl/profiling.hpp"
 
@@ -31,6 +35,15 @@ mesh::RectilinearMesh padded_mesh(const mesh::RectilinearMesh& global,
       slice(global.z_nodes(), extent.k_begin - padded.lo_k,
             padded.dims.nz + 1));
 }
+
+/// One simulated MPI task: its device, accumulated log, and health.
+struct RankState {
+  std::unique_ptr<vcl::Device> device;
+  vcl::ProfilingLog log;
+  /// Cleared when the rank is quarantined; an unhealthy rank receives no
+  /// further blocks (its accumulated time still counts in the report).
+  bool healthy = true;
+};
 
 }  // namespace
 
@@ -85,62 +98,37 @@ DistributedReport DistributedEngine::evaluate(
   const std::size_t ranks = config_.nodes * config_.devices_per_node;
   const std::size_t blocks = decomposition_.block_count();
 
-  // One virtual device and profiling log per MPI task.
-  std::vector<std::unique_ptr<vcl::Device>> devices;
-  std::vector<vcl::ProfilingLog> logs(ranks);
-  devices.reserve(ranks);
-  for (std::size_t r = 0; r < ranks; ++r) {
-    devices.push_back(std::make_unique<vcl::Device>(config_.device_spec));
+  // One virtual device and accumulated profiling log per MPI task.
+  std::vector<RankState> states(ranks);
+  for (RankState& state : states) {
+    state.device = std::make_unique<vcl::Device>(config_.device_spec);
   }
   if (config_.fault_plan.armed() && ranks > 0) {
-    devices[config_.fault_rank % ranks]->fault().arm(config_.fault_plan);
+    states[config_.fault_rank % ranks].device->fault().arm(config_.fault_plan);
   }
 
+  // The journal key pins expression, strategy, problem shape and cluster
+  // shape: a journal of any other run is invisible to this one.
+  std::uint64_t run_key = support::fnv1a(expression);
+  run_key = support::fnv1a(
+      std::string_view(runtime::strategy_name(strategy_kind)), run_key);
   const mesh::Dims global_dims = decomposition_.global_dims();
+  for (const std::size_t v :
+       {global_dims.nx, global_dims.ny, global_dims.nz, blocks, ranks,
+        config_.ghost_width}) {
+    const std::uint64_t word = v;
+    run_key = support::fnv1a(&word, sizeof(word), run_key);
+  }
+  CheckpointJournal journal(config_.checkpoint_dir, run_key);
+
   DistributedReport report;
   report.values.assign(global_dims.cell_count(), 0.0f);
   report.blocks = blocks;
   report.ranks = ranks;
   report.blocks_per_rank_max = (blocks + ranks - 1) / ranks;
 
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t rank = b % ranks;
-    const BlockExtent extent = decomposition_.extent(b);
-
-    // Any padded field of this block describes the block's padding.
-    const PaddedBlock& shape = padded_fields.begin()->second[b];
-    const mesh::RectilinearMesh block_mesh =
-        padded_mesh(*mesh_, extent, shape);
-
-    runtime::FieldBindings bindings;
-    bindings.bind_mesh(block_mesh);
-    for (const auto& [name, padded_blocks] : padded_fields) {
-      bindings.bind(name, padded_blocks[b].values);
-    }
-
-    // Faults injected outside a queue op (allocations) must still land in
-    // this rank's log.
-    devices[rank]->fault().set_sink(&logs[rank]);
-    runtime::FallbackOutcome outcome;
-    try {
-      outcome = runtime::execute_with_fallback(
-          network, bindings, shape.dims.cell_count(), *devices[rank],
-          logs[rank], strategy_kind, config_.fallback);
-    } catch (const DeviceLost&) {
-      if (!config_.fallback.enabled) throw;
-      // The rank's device is gone: replace it with a fresh one (as a real
-      // resource manager would re-acquire a context) and re-run the block.
-      // The replacement starts with no fault plan armed.
-      devices[rank] = std::make_unique<vcl::Device>(config_.device_spec);
-      ++report.device_losses;
-      outcome = runtime::execute_with_fallback(
-          network, bindings, shape.dims.cell_count(), *devices[rank],
-          logs[rank], strategy_kind, config_.fallback);
-    }
-    if (outcome.executed != strategy_kind) ++report.degraded_blocks;
-    report.strategy_degradations += outcome.degradations.size();
-    const std::vector<float>& block_result = outcome.values;
-
+  const auto scatter = [&](const BlockExtent& extent, const PaddedBlock& shape,
+                           const std::vector<float>& block_result) {
     // Keep only interior cells; ghost-cell results are discarded.
     const mesh::Dims bd = extent.dims();
     for (std::size_t k = 0; k < bd.nz; ++k) {
@@ -155,20 +143,199 @@ DistributedReport DistributedEngine::evaluate(
         }
       }
     }
+  };
+
+  /// The healthy rank with the least accumulated simulated time; SIZE_MAX
+  /// when none qualifies.
+  const auto least_loaded_healthy = [&](std::size_t exclude) {
+    std::size_t best = SIZE_MAX;
+    double best_time = 0.0;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (!states[r].healthy || r == exclude) continue;
+      const double t = states[r].log.total_sim_seconds();
+      if (best == SIZE_MAX || t < best_time) {
+        best = r;
+        best_time = t;
+      }
+    }
+    return best;
+  };
+
+  /// Executes one block on `rank`, recording into `block_log`. Handles a
+  /// lost device (replace and re-run) and a first escaped corruption
+  /// (block-level re-execution) internally; a second corruption or a
+  /// ladder-wide timeout escapes to the caller, which quarantines.
+  const auto run_block_on = [&](std::size_t rank,
+                                const runtime::FieldBindings& bindings,
+                                std::size_t elements,
+                                vcl::ProfilingLog& block_log) {
+    RankState& state = states[rank];
+    // Faults injected outside a queue op (allocations) must still land in
+    // this block's log.
+    state.device->fault().set_sink(&block_log);
+    bool corruption_retried = false;
+    for (;;) {
+      try {
+        return runtime::execute_with_fallback(network, bindings, elements,
+                                              *state.device, block_log,
+                                              strategy_kind, config_.fallback);
+      } catch (const DeviceLost&) {
+        if (!config_.fallback.enabled) throw;
+        // The rank's device is gone: replace it with a fresh one (as a
+        // real resource manager would re-acquire a context) and re-run the
+        // block. The replacement starts with no fault plan armed.
+        state.device = std::make_unique<vcl::Device>(config_.device_spec);
+        state.device->fault().set_sink(&block_log);
+        ++report.device_losses;
+      } catch (const DataCorruption&) {
+        // The queue already retried the transfer; re-execute the whole
+        // block once from clean buffers before giving up on the device.
+        if (!config_.fallback.enabled || corruption_retried) throw;
+        corruption_retried = true;
+      }
+    }
+  };
+
+  const auto quarantine = [&](std::size_t rank) {
+    if (!states[rank].healthy) return;
+    states[rank].healthy = false;
+    ++report.quarantined_devices;
+  };
+
+  // Fastest clean block so far: the second leg of the straggler budget,
+  // guarding against a pessimistic planner estimate. Deterministic
+  // simulation makes equal-shaped clean blocks take identical time, so
+  // this reference never flags a healthy block.
+  double fastest_clean = 0.0;
+  std::size_t completed_this_run = 0;
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const BlockExtent extent = decomposition_.extent(b);
+    // Any padded field of this block describes the block's padding.
+    const PaddedBlock& shape = padded_fields.begin()->second[b];
+
+    if (journal.has(b)) {
+      // Journaled by a previous (crashed) run of the same evaluation:
+      // load instead of executing.
+      scatter(extent, shape, journal.load(b));
+      ++report.resumed_blocks;
+      continue;
+    }
+
+    const mesh::RectilinearMesh block_mesh =
+        padded_mesh(*mesh_, extent, shape);
+    runtime::FieldBindings bindings;
+    bindings.bind_mesh(block_mesh);
+    for (const auto& [name, padded_blocks] : padded_fields) {
+      bindings.bind(name, padded_blocks[b].values);
+    }
+    const std::size_t elements = shape.dims.cell_count();
+
+    std::size_t rank = b % ranks;
+    if (!states[rank].healthy) {
+      rank = least_loaded_healthy(SIZE_MAX);
+    }
+    runtime::FallbackOutcome outcome;
+    double duration = 0.0;
+    for (;;) {
+      if (rank == SIZE_MAX) {
+        throw Error("all devices quarantined; block " + std::to_string(b) +
+                    " cannot be scheduled");
+      }
+      vcl::ProfilingLog block_log;
+      try {
+        outcome = run_block_on(rank, bindings, elements, block_log);
+        duration = block_log.total_sim_seconds();
+        states[rank].log.append(block_log);
+        break;
+      } catch (const DeviceTimeout&) {
+        // The whole fallback ladder timed out on this device: the failed
+        // attempts' deadline charges stay on the rank, the rank is
+        // quarantined, and the block moves to a healthy device.
+        states[rank].log.append(block_log);
+        if (!config_.fallback.enabled) throw;
+        quarantine(rank);
+      } catch (const DataCorruption&) {
+        // Second escaped corruption on this block: the device is lying
+        // about its transfers; quarantine and move the block.
+        states[rank].log.append(block_log);
+        if (!config_.fallback.enabled) throw;
+        quarantine(rank);
+      }
+      rank = least_loaded_healthy(SIZE_MAX);
+    }
+
+    // Straggler mitigation: a block that completed but blew its
+    // simulated-time budget (a slow device under the command watchdog's
+    // deadline) is speculatively re-executed elsewhere; the faster result
+    // wins and both executions stay charged.
+    if (config_.straggler_budget_factor > 0.0) {
+      const double estimate = runtime::estimate_sim_seconds(
+          network, bindings, elements, config_.device_spec, outcome.executed);
+      const double reference = std::max(estimate, fastest_clean);
+      if (reference > 0.0 &&
+          duration > config_.straggler_budget_factor * reference) {
+        ++report.straggler_blocks;
+        const std::size_t spec_rank = least_loaded_healthy(rank);
+        if (spec_rank != SIZE_MAX) {
+          ++report.speculative_executions;
+          vcl::ProfilingLog spec_log;
+          try {
+            runtime::FallbackOutcome spec_outcome =
+                run_block_on(spec_rank, bindings, elements, spec_log);
+            const double spec_duration = spec_log.total_sim_seconds();
+            states[spec_rank].log.append(spec_log);
+            if (spec_duration < duration) {
+              outcome = std::move(spec_outcome);
+              duration = spec_duration;
+              ++report.speculations_won;
+            }
+          } catch (const Error&) {
+            // The speculation target failed too; keep the original result
+            // and quarantine the target.
+            states[spec_rank].log.append(spec_log);
+            quarantine(spec_rank);
+          }
+        }
+      } else {
+        fastest_clean = fastest_clean == 0.0
+                            ? duration
+                            : std::min(fastest_clean, duration);
+      }
+    }
+
+    if (outcome.executed != strategy_kind) ++report.degraded_blocks;
+    report.strategy_degradations += outcome.degradations.size();
+
+    journal.append(b, outcome.values);
+    ++completed_this_run;
+    if (config_.abort_after_blocks != 0 &&
+        completed_this_run >= config_.abort_after_blocks &&
+        b + 1 < blocks) {
+      throw Error("evaluation aborted after " +
+                  std::to_string(completed_this_run) +
+                  " completed blocks (crash injection)");
+    }
+
+    scatter(extent, shape, outcome.values);
   }
 
+  report.journaled_blocks = journal.journaled_count();
   report.ghost_messages = exchanger.messages();
   report.ghost_bytes = exchanger.bytes();
   for (std::size_t r = 0; r < ranks; ++r) {
+    const vcl::ProfilingLog& log = states[r].log;
     report.max_rank_sim_seconds =
-        std::max(report.max_rank_sim_seconds, logs[r].total_sim_seconds());
-    report.total_sim_seconds += logs[r].total_sim_seconds();
-    report.total_dev_writes += logs[r].count(vcl::EventKind::host_to_device);
-    report.total_dev_reads += logs[r].count(vcl::EventKind::device_to_host);
-    report.total_kernel_execs += logs[r].count(vcl::EventKind::kernel_exec);
-    report.max_device_high_water =
-        std::max(report.max_device_high_water, devices[r]->memory().high_water());
-    for (const vcl::Event& event : logs[r].events()) {
+        std::max(report.max_rank_sim_seconds, log.total_sim_seconds());
+    report.total_sim_seconds += log.total_sim_seconds();
+    report.total_dev_writes += log.count(vcl::EventKind::host_to_device);
+    report.total_dev_reads += log.count(vcl::EventKind::device_to_host);
+    report.total_kernel_execs += log.count(vcl::EventKind::kernel_exec);
+    report.command_timeouts += log.count(vcl::EventKind::timeout);
+    report.checksum_mismatches += log.count(vcl::EventKind::integrity);
+    report.max_device_high_water = std::max(
+        report.max_device_high_water, states[r].device->memory().high_water());
+    for (const vcl::Event& event : log.events()) {
       if (event.kind != vcl::EventKind::fault) continue;
       if (event.label.rfind("retry:", 0) == 0) {
         ++report.command_retries;

@@ -8,6 +8,22 @@
 // in-process (sequentially), each against its own virtual device and
 // profiling log, so the report can state per-rank and critical-path
 // simulated times alongside the exchange traffic.
+//
+// On top of the block loop sit three resilience mechanisms:
+//   * straggler mitigation — every block runs against a simulated-time
+//     budget derived from the planner's cost estimate; a block that blows
+//     its budget (a device running slow, but under the command watchdog's
+//     deadline) is speculatively re-executed on the least-loaded healthy
+//     rank, the faster result wins, and the loser's time stays charged to
+//     its rank (as real speculative execution pays for its duplicates);
+//   * quarantine — a rank whose device times out through the whole
+//     fallback ladder, or corrupts data twice, is marked unhealthy and
+//     receives no further blocks; its in-flight block is re-executed on a
+//     healthy rank;
+//   * checkpointed restart — with a checkpoint directory configured, each
+//     completed block's output slab is journaled atomically; a re-run of
+//     the same evaluation loads journaled blocks instead of re-executing
+//     them, so a crash at block k of n costs n-k blocks, not n.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +38,7 @@
 #include "mesh/mesh.hpp"
 #include "runtime/fallback.hpp"
 #include "runtime/strategy.hpp"
+#include "support/env.hpp"
 #include "vcl/device.hpp"
 #include "vcl/fault.hpp"
 
@@ -42,6 +59,19 @@ struct ClusterConfig {
   /// evaluation, so a scheduled fault hits exactly one block.
   vcl::FaultPlan fault_plan;
   std::size_t fault_rank = 0;
+  /// Straggler budget: a block whose measured simulated duration exceeds
+  /// this many times the reference duration (the planner estimate for the
+  /// executed strategy, or the fastest clean block seen so far if larger)
+  /// is speculatively re-executed on the least-loaded healthy rank.
+  /// <= 0 disables speculation.
+  double straggler_budget_factor = 4.0;
+  /// Checkpoint journal directory; empty disables journaling. Defaults
+  /// from DFGEN_CHECKPOINT_DIR.
+  std::string checkpoint_dir =
+      support::env::get_string("DFGEN_CHECKPOINT_DIR", "");
+  /// Crash-injection hook for restart tests: abort the evaluation (with
+  /// Error) after this many blocks have been journaled. 0 = never.
+  std::size_t abort_after_blocks = 0;
 };
 
 struct DistributedReport {
@@ -69,6 +99,24 @@ struct DistributedReport {
   /// Injected faults / retried commands recorded across all rank logs.
   std::size_t injected_faults = 0;
   std::size_t command_retries = 0;
+  /// Commands abandoned at their watchdog deadline (T-Out events).
+  std::size_t command_timeouts = 0;
+  /// Transfers whose destination checksum disagreed with the source
+  /// (Chksum events); each was re-executed before any value propagated.
+  std::size_t checksum_mismatches = 0;
+  /// Blocks that completed but blew their simulated-time budget.
+  std::size_t straggler_blocks = 0;
+  /// Speculative duplicate executions launched for stragglers.
+  std::size_t speculative_executions = 0;
+  /// Speculations that beat the original execution (their result won).
+  std::size_t speculations_won = 0;
+  /// Ranks marked unhealthy (ladder-wide timeout, or repeat corruption)
+  /// and excluded from further scheduling.
+  std::size_t quarantined_devices = 0;
+  /// Blocks loaded from the checkpoint journal instead of executing.
+  std::size_t resumed_blocks = 0;
+  /// Valid journal entries on disk when the evaluation finished.
+  std::size_t journaled_blocks = 0;
 };
 
 class DistributedEngine {

@@ -29,6 +29,7 @@ FallbackOutcome execute_with_fallback(const dataflow::Network& network,
                                       const FallbackPolicy& policy,
                                       std::size_t streamed_chunk_cells) {
   device.set_retry_policy(policy.retry);
+  device.set_watchdog_factor(policy.deadline_factor);
   FallbackOutcome outcome;
   for (std::size_t pos = ladder_position(requested); pos < kLadderLength;
        ++pos) {
@@ -49,6 +50,14 @@ FallbackOutcome execute_with_fallback(const dataflow::Network& network,
     } catch (const DeviceOutOfMemory& err) {
       if (!policy.enabled || last_rung) throw;
       degrade("device out of memory", err.what());
+    } catch (const DeviceTimeout& err) {
+      // DeviceTimeout derives from Error, not DeviceError; the watchdog's
+      // bounded retries are already spent. A lower rung moves less data
+      // per command, so a marginal device may still finish it.
+      if (!policy.enabled || !policy.degrade_on_timeout || last_rung) {
+        throw;
+      }
+      degrade("command deadline exceeded", err.what());
     } catch (const DeviceError& err) {
       // The queue's bounded retries are already spent by the time the
       // error reaches this layer.

@@ -22,6 +22,16 @@
 //   * DeviceError (transient) — the CommandQueue already retried the
 //     failed command with bounded, seeded backoff; if the error still
 //     escapes, degrade.
+//   * DeviceTimeout — the queue's watchdog abandoned the command at its
+//     deadline and already retried it; if it still escapes (a persistent
+//     slowdown), degrade. The DistributedEngine additionally quarantines
+//     the device and re-executes the block elsewhere when the whole
+//     ladder times out.
+//   * DataCorruption — propagates. The queue already re-executed the
+//     corrupted transfer within its retry budget; corruption that
+//     persists is a device problem no cheaper strategy fixes, so the
+//     caller (the DistributedEngine) re-runs the block and quarantines
+//     the device on repeat.
 //   * KernelError on a rung we degraded *into* — the rung is structurally
 //     unsupported (e.g. streamed cannot execute gradients of computed
 //     values); skip to the next rung. On the rung the caller requested the
@@ -52,6 +62,15 @@ struct FallbackPolicy {
   /// Degrade to the next rung when a transient fault survives the command
   /// retries; disable to make transient exhaustion fatal.
   bool degrade_on_transient = true;
+  /// Degrade to the next rung when a command timeout survives the
+  /// watchdog's retries; disable to make timeouts fatal immediately.
+  bool degrade_on_timeout = true;
+  /// Watchdog deadline: a command charged more than this many times its
+  /// cost-model estimate is abandoned with DeviceTimeout. Installed on the
+  /// device at execution time (vcl::Device::set_watchdog_factor); <= 0
+  /// disables slowdown detection (hangs still time out). Benches override
+  /// it from DFGEN_DEADLINE_FACTOR.
+  double deadline_factor = 8.0;
   /// Command-level retry behaviour, installed on the device at execution
   /// time and applied by the CommandQueue.
   vcl::RetryPolicy retry;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kernels/generator.hpp"
+#include "kernels/primitives.hpp"
 #include "runtime/slab.hpp"
 #include "support/error.hpp"
 #include "vcl/cost_model.hpp"
@@ -149,6 +150,114 @@ std::size_t streamed_high_water(const dataflow::Network& network,
   return floats * sizeof(float);
 }
 
+/// Replays FusionStrategy's command stream: unique field uploads at first
+/// use, one kernel per pipeline stage, one readback of the final stage's
+/// buffer.
+double fusion_sim_seconds(const dataflow::Network& network,
+                          const FieldBindings& bindings,
+                          std::size_t elements, const vcl::CostModel& cost) {
+  const kernels::FusedPipeline pipeline =
+      kernels::generate_fused_pipeline(network);
+  std::set<std::string> fields;
+  double seconds = 0.0;
+  std::size_t final_stride = 1;
+  for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+    for (const kernels::BufferParam& param : stage.program.params()) {
+      if (param.name.rfind("__m", 0) == 0) continue;  // a stage output
+      if (fields.insert(param.name).second) {
+        seconds += cost.transfer_seconds(bindings.get(param.name).size() *
+                                         sizeof(float));
+      }
+    }
+    seconds += cost.kernel_seconds(
+        stage.program.flops_per_item() * elements,
+        stage.program.global_bytes_per_item() * elements,
+        stage.program.max_live_scalar_registers());
+    if (stage.node_id == network.output_id()) {
+      final_stride = stage.program.out_stride();
+    }
+  }
+  seconds += cost.transfer_seconds(elements * final_stride * sizeof(float));
+  return seconds;
+}
+
+/// Replays StagedStrategy's command stream: lazy source materialisation
+/// (field upload or const_fill kernel at first consumer), one standalone
+/// kernel per filter, one readback of the output buffer.
+double staged_sim_seconds(const dataflow::Network& network,
+                          const FieldBindings& bindings,
+                          std::size_t elements, const vcl::CostModel& cost) {
+  const auto& spec = network.spec();
+  std::vector<bool> materialised(spec.nodes().size(), false);
+  double seconds = 0.0;
+
+  const auto materialise_source = [&](int id) {
+    if (materialised[id]) return;
+    materialised[id] = true;
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type == dataflow::NodeType::field_source) {
+      seconds += cost.transfer_seconds(bindings.get(node.field_name).size() *
+                                       sizeof(float));
+    } else {  // constant: one fill kernel
+      const kernels::Program fill = kernels::make_standalone_program(
+          "const_fill", 0, static_cast<float>(node.const_value));
+      seconds += cost.kernel_seconds(fill.flops_per_item() * elements,
+                                     fill.global_bytes_per_item() * elements,
+                                     fill.max_live_scalar_registers());
+    }
+  };
+
+  for (const int id : network.topo_order()) {
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type != dataflow::NodeType::filter) continue;
+    for (const int in : node.inputs) {
+      if (spec.node(in).type != dataflow::NodeType::filter) {
+        materialise_source(in);
+      }
+    }
+    const kernels::Program program =
+        kernels::make_standalone_program(node.kind, node.component);
+    seconds += cost.kernel_seconds(program.flops_per_item() * elements,
+                                   program.global_bytes_per_item() * elements,
+                                   program.max_live_scalar_registers());
+    materialised[id] = true;
+  }
+
+  const int out_id = spec.output_id();
+  if (!materialised[out_id]) materialise_source(out_id);
+  seconds += cost.transfer_seconds(
+      value_floats(spec, out_id, bindings, elements) * sizeof(float));
+  return seconds;
+}
+
+/// Replays RoundtripStrategy's command stream: per filter (decompose is
+/// host-side slicing), one upload per argument occurrence, the kernel, and
+/// a readback of the result.
+double roundtrip_sim_seconds(const dataflow::Network& network,
+                             const FieldBindings& bindings,
+                             std::size_t elements,
+                             const vcl::CostModel& cost) {
+  const auto& spec = network.spec();
+  double seconds = 0.0;
+  for (const int id : network.topo_order()) {
+    const dataflow::SpecNode& node = spec.node(id);
+    if (node.type != dataflow::NodeType::filter) continue;
+    if (node.kind == "decompose") continue;  // host-side slicing
+    for (const int in : node.inputs) {
+      seconds += cost.transfer_seconds(
+          value_floats(spec, in, bindings, elements) * sizeof(float));
+    }
+    const kernels::Program program =
+        kernels::make_standalone_program(node.kind, node.component);
+    seconds += cost.kernel_seconds(program.flops_per_item() * elements,
+                                   program.global_bytes_per_item() * elements,
+                                   program.max_live_scalar_registers());
+    seconds += cost.transfer_seconds(elements * program.out_stride() *
+                                     sizeof(float));
+  }
+  return seconds;
+}
+
 }  // namespace
 
 std::vector<vcl::ChunkCost> streamed_chunk_costs(
@@ -204,6 +313,36 @@ std::size_t estimate_high_water(const dataflow::Network& network,
     case StrategyKind::streamed:
       return streamed_high_water(network, bindings, elements,
                                  streamed_chunk_cells);
+  }
+  throw Error("unknown strategy kind");
+}
+
+double estimate_sim_seconds(const dataflow::Network& network,
+                            const FieldBindings& bindings,
+                            std::size_t elements, const vcl::DeviceSpec& spec,
+                            StrategyKind kind,
+                            std::size_t streamed_chunk_cells) {
+  const vcl::CostModel cost(spec);
+  switch (kind) {
+    case StrategyKind::fusion:
+      return fusion_sim_seconds(network, bindings, elements, cost);
+    case StrategyKind::staged:
+      return staged_sim_seconds(network, bindings, elements, cost);
+    case StrategyKind::roundtrip:
+      return roundtrip_sim_seconds(network, bindings, elements, cost);
+    case StrategyKind::streamed:
+      try {
+        double seconds = 0.0;
+        for (const vcl::ChunkCost& chunk : streamed_chunk_costs(
+                 network, bindings, elements, spec, streamed_chunk_cells)) {
+          seconds += chunk.upload + chunk.kernel + chunk.read;
+        }
+        return seconds;
+      } catch (const KernelError&) {
+        // Streamed cannot execute this network; the ladder would land on a
+        // neighbouring rung, whose cost is close enough for budgeting.
+        return fusion_sim_seconds(network, bindings, elements, cost);
+      }
   }
   throw Error("unknown strategy kind");
 }

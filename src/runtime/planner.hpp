@@ -42,6 +42,22 @@ std::vector<vcl::ChunkCost> streamed_chunk_costs(
     std::size_t elements, const vcl::DeviceSpec& spec,
     std::size_t chunk_cells);
 
+/// Predicted simulated duration (seconds) of executing `network` over
+/// `elements` cells under `kind` on a device described by `spec` —
+/// obtained by replaying the strategy's command stream against the cost
+/// model, without executing anything. The distributed engine derives its
+/// per-block straggler budgets from this: a block whose measured simulated
+/// time exceeds a multiple of the estimate is declared straggling and
+/// speculatively re-executed on a healthy device. For the streamed
+/// strategy on a network it cannot execute, the fusion estimate is
+/// returned (the rung the fallback ladder would skip to is close enough
+/// for budgeting).
+double estimate_sim_seconds(const dataflow::Network& network,
+                            const FieldBindings& bindings,
+                            std::size_t elements, const vcl::DeviceSpec& spec,
+                            StrategyKind kind,
+                            std::size_t streamed_chunk_cells = 0);
+
 /// The fastest strategy whose predicted working set fits the device's
 /// *free* memory, in preference order fusion > streamed > staged >
 /// roundtrip (the simulated-runtime ordering measured in the benchmarks).

@@ -1,0 +1,35 @@
+#include "support/checksum.hpp"
+
+#include <cstring>
+
+namespace dfg::support {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t seed) {
+  return fnv1a(text.data(), text.size(), seed);
+}
+
+std::uint64_t checksum_floats(std::span<const float> values,
+                              std::uint64_t seed, std::size_t stride) {
+  if (stride == 0) stride = 1;
+  const std::uint64_t count = values.size();
+  std::uint64_t hash = fnv1a(&count, sizeof(count), seed);
+  for (std::size_t i = 0; i < values.size(); i += stride) {
+    std::uint32_t word;
+    std::memcpy(&word, &values[i], sizeof(word));
+    hash ^= word;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace dfg::support

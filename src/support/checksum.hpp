@@ -1,0 +1,53 @@
+// Seeded FNV-1a checksums for end-to-end transfer integrity.
+//
+// Real many-core deployments treat silent data corruption — a flipped bit
+// on a DMA transfer, a marginal memory module — as a first-class fault. The
+// command queue computes a checksum of every transfer's source before the
+// copy and verifies the destination afterwards, so one corrupted word is
+// detected before it can propagate into a derived field. FNV-1a is chosen
+// for the same reason production transports use cheap non-cryptographic
+// checksums: one multiply and one xor per word, and a single flipped bit
+// anywhere in the covered words changes the digest with certainty (the
+// xor-then-multiply pipeline never cancels a single-word change; two runs
+// collide only if the data actually differs in 2+ compensating words, odds
+// ~2^-64 for random corruption).
+//
+// `stride` subsamples every stride-th word to bound the cost on very large
+// transfers; stride 1 (the queue's default) covers every word and therefore
+// detects every single-word flip deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dfg::support {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over raw bytes, starting from `seed` (chain calls to checksum a
+/// logical record spread over several buffers).
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = kFnvOffsetBasis);
+
+/// FNV-1a over a string (run keys, labels).
+std::uint64_t fnv1a(std::string_view text,
+                    std::uint64_t seed = kFnvOffsetBasis);
+
+/// A string literal must hash as text, not fall into the (pointer, byte
+/// count) overload with the seed misread as a length.
+inline std::uint64_t fnv1a(const char* text,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a(std::string_view(text), seed);
+}
+
+/// Checksum of a float array sampling every `stride`-th word (stride 0 is
+/// treated as 1). The word count is mixed in first, so a truncated buffer
+/// never collides with its prefix.
+std::uint64_t checksum_floats(std::span<const float> values,
+                              std::uint64_t seed = kFnvOffsetBasis,
+                              std::size_t stride = 1);
+
+}  // namespace dfg::support

@@ -1,0 +1,119 @@
+#include "support/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+extern "C" char** environ;
+
+namespace dfg::support::env {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<std::string>& known_registry() {
+  // Seeded with the canonical knob set so a variable is "known" even in a
+  // process that never happens to read it (e.g. DFGEN_CHECKPOINT_DIR in a
+  // single-device bench).
+  static std::set<std::string> known = {
+      "DFGEN_RUNS",          "DFGEN_FALLBACK",
+      "DFGEN_DEADLINE_FACTOR", "DFGEN_CHECKPOINT_DIR",
+      "DFGEN_TRACE_DIR",
+  };
+  return known;
+}
+
+void report_malformed(const std::string& name, const char* value,
+                      const char* wanted) {
+  std::fprintf(stderr, "dfgen: ignoring %s='%s' (expected %s)\n",
+               name.c_str(), value, wanted);
+}
+
+}  // namespace
+
+void register_known(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  known_registry().insert(name);
+}
+
+std::optional<std::string> raw(const std::string& name) {
+  register_known(name);
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+int get_int(const std::string& name, int fallback) {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') {
+    report_malformed(name, value->c_str(), "an integer");
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+double get_double(const std::string& name, double fallback) {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    report_malformed(name, value->c_str(), "a number");
+    return fallback;
+  }
+  return parsed;
+}
+
+bool get_flag(const std::string& name, bool fallback) {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  if (value->empty()) return false;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') {
+    report_malformed(name, value->c_str(), "0 or 1");
+    return fallback;
+  }
+  return parsed != 0;
+}
+
+std::string get_string(const std::string& name, std::string fallback) {
+  const auto value = raw(name);
+  return value ? *value : std::move(fallback);
+}
+
+std::vector<std::string> unknown_variables() {
+  std::vector<std::string> unknown;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto& known = known_registry();
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string pair(*entry);
+    if (pair.rfind("DFGEN_", 0) != 0) continue;
+    const std::size_t eq = pair.find('=');
+    const std::string name = pair.substr(0, eq);
+    if (known.find(name) == known.end()) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+std::size_t warn_unknown_variables() {
+  const std::vector<std::string> unknown = unknown_variables();
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr,
+                 "dfgen: unknown environment variable %s (DFGEN_ prefix is "
+                 "reserved; is it misspelled?)\n",
+                 name.c_str());
+  }
+  return unknown.size();
+}
+
+}  // namespace dfg::support::env

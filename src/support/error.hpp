@@ -71,6 +71,65 @@ class DeviceError : public Error {
   std::string label_;
 };
 
+/// Thrown by the command queue's watchdog when a command's simulated
+/// duration exceeds `deadline_factor` times its cost-model estimate — the
+/// virtual analogue of a wedged kernel or a device running far off its
+/// performance envelope. Retryable (a hang is usually one command); if it
+/// survives the retry budget the fallback layer degrades the strategy, and
+/// the distributed engine quarantines the device and re-executes the block
+/// elsewhere.
+class DeviceTimeout : public Error {
+ public:
+  DeviceTimeout(std::string device, std::string site, std::string label,
+                double estimate_seconds, double deadline_seconds)
+      : Error("device '" + device + "' exceeded deadline at " + site +
+              " '" + label + "': estimated " +
+              std::to_string(estimate_seconds) + " s, deadline " +
+              std::to_string(deadline_seconds) + " s"),
+        device_(std::move(device)),
+        site_(std::move(site)),
+        label_(std::move(label)),
+        estimate_seconds_(estimate_seconds),
+        deadline_seconds_(deadline_seconds) {}
+
+  const std::string& device() const { return device_; }
+  const std::string& site() const { return site_; }
+  const std::string& label() const { return label_; }
+  double estimate_seconds() const { return estimate_seconds_; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
+ private:
+  std::string device_;
+  std::string site_;
+  std::string label_;
+  double estimate_seconds_;
+  double deadline_seconds_;
+};
+
+/// Thrown when a transfer's destination checksum does not match its source
+/// — silent corruption made loud. The queue re-executes the transfer a
+/// bounded number of times first; a corruption that persists past the
+/// retry budget reaches the distributed engine, which re-executes the
+/// block and, on repeat, quarantines the device.
+class DataCorruption : public Error {
+ public:
+  DataCorruption(std::string device, std::string site, std::string label)
+      : Error("device '" + device + "' corrupted data detected at " + site +
+              " of '" + label + "' (checksum mismatch)"),
+        device_(std::move(device)),
+        site_(std::move(site)),
+        label_(std::move(label)) {}
+
+  const std::string& device() const { return device_; }
+  const std::string& site() const { return site_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::string device_;
+  std::string site_;
+  std::string label_;
+};
+
 /// Thrown when a device is lost outright (the virtual analogue of
 /// CL_DEVICE_NOT_AVAILABLE after a hang or ECC shutdown). Not retryable on
 /// the same device: every subsequent command fails until the device object

@@ -116,6 +116,15 @@ class Device {
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Watchdog deadline: a command whose simulated duration exceeds
+  /// `factor` times its cost-model estimate is abandoned with
+  /// DeviceTimeout. A healthy command runs at exactly its estimate, so any
+  /// factor > 1 never trips on a clean device. Values <= 0 disable the
+  /// slowdown watchdog — but a command that would *never* complete (an
+  /// injected hang) still times out rather than stalling the process.
+  void set_watchdog_factor(double factor) { watchdog_factor_ = factor; }
+  double watchdog_factor() const { return watchdog_factor_; }
+
   /// Free memory actually allocatable right now: the tracker's headroom
   /// clamped by any armed synthetic capacity. Consumers that size working
   /// sets to the device (the streamed auto-sizer, the strategy planner)
@@ -135,6 +144,7 @@ class Device {
   MemoryTracker memory_;
   FaultInjector fault_;
   RetryPolicy retry_;
+  double watchdog_factor_ = 8.0;
 };
 
 }  // namespace dfg::vcl

@@ -21,11 +21,21 @@ enum class EventKind : int {
   /// healthy run: Table II's three categories stay byte-identical when no
   /// FaultPlan is armed.
   fault = 3,
+  /// The watchdog abandoned a command that exceeded its deadline (k times
+  /// the cost-model estimate). The event's sim_seconds is the deadline —
+  /// the simulated time the device was tied up before the abort. Never
+  /// produced by a healthy run.
+  timeout = 4,
+  /// A transfer's destination checksum did not match its source: silent
+  /// corruption detected (and the transfer re-executed). Never produced by
+  /// a healthy run.
+  integrity = 5,
 };
 
-constexpr int kEventKindCount = 4;
+constexpr int kEventKindCount = 6;
 
-/// Human-readable name ("Dev-W", "Dev-R", "K-Exe", "Fault").
+/// Human-readable name ("Dev-W", "Dev-R", "K-Exe", "Fault", "T-Out",
+/// "Chksum").
 const char* event_kind_name(EventKind kind);
 
 struct Event {

@@ -1,5 +1,6 @@
 #include "vcl/fault.hpp"
 
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -7,6 +8,16 @@
 #include "vcl/profiling.hpp"
 
 namespace dfg::vcl {
+
+// Pin the plan's layout so a new fault family cannot be added without
+// revisiting FaultPlan::armed() (and the coverage test in
+// test_fault_injection). If this assert fires you added/removed a member:
+// update armed(), the begin_run() counters if needed, and this size.
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(FaultPlan) == 112,
+              "FaultPlan changed: update FaultPlan::armed() and the "
+              "coverage test, then adjust this size");
+#endif
 
 void FaultInjector::arm(FaultPlan plan) {
   plan_ = plan;
@@ -21,10 +32,13 @@ void FaultInjector::begin_run() {
   write_index_ = 0;
   read_index_ = 0;
   kernel_index_ = 0;
+  command_index_ = 0;
   completed_commands_ = 0;
+  slowdown_recorded_ = false;
   run_faults_ = 0;
   run_alloc_faults_ = 0;
   run_transient_faults_ = 0;
+  run_corrupt_faults_ = 0;
 }
 
 void FaultInjector::record(const std::string& label) {
@@ -55,8 +69,9 @@ void FaultInjector::on_alloc(std::size_t bytes, std::size_t in_use,
   }
 }
 
-void FaultInjector::on_enqueue(EventKind site, const std::string& label) {
-  if (!armed_) return;
+CommandPerturbation FaultInjector::on_enqueue(EventKind site,
+                                              const std::string& label) {
+  if (!armed_) return {};
   const char* site_name = event_kind_name(site);
   if (lost_) {
     record(std::string("fault:lost:") + site_name + ":" + label);
@@ -71,23 +86,27 @@ void FaultInjector::on_enqueue(EventKind site, const std::string& label) {
 
   std::size_t* index = nullptr;
   std::size_t fail_at = 0;
+  std::size_t corrupt_at = 0;
   switch (site) {
     case EventKind::host_to_device:
       index = &write_index_;
       fail_at = plan_.fail_write_index;
+      corrupt_at = plan_.corrupt_write_index;
       break;
     case EventKind::device_to_host:
       index = &read_index_;
       fail_at = plan_.fail_read_index;
+      corrupt_at = plan_.corrupt_read_index;
       break;
     case EventKind::kernel_exec:
       index = &kernel_index_;
       fail_at = plan_.fail_kernel_index;
       break;
-    case EventKind::fault:
-      return;  // not an enqueue site
+    default:
+      return {};  // not an enqueue site
   }
   const std::size_t i = ++(*index);
+  const std::size_t command = ++command_index_;
   const std::size_t window =
       static_cast<std::size_t>(plan_.transient_count > 0
                                    ? plan_.transient_count
@@ -97,6 +116,49 @@ void FaultInjector::on_enqueue(EventKind site, const std::string& label) {
     record(std::string("fault:") + site_name + ":" + label);
     throw DeviceError(device_name_, site_name, label);
   }
+
+  CommandPerturbation perturbation;
+  if (plan_.hang_command_index != 0 &&
+      command == plan_.hang_command_index) {
+    record(std::string("fault:hang:") + site_name + ":" + label);
+    perturbation.hang = true;
+  }
+  if (plan_.slow_command_index != 0 && plan_.slowdown_factor > 1.0 &&
+      command >= plan_.slow_command_index) {
+    perturbation.time_scale = plan_.slowdown_factor;
+    // One fault event marks the onset; recording every slowed command
+    // would swamp the log (the slowdown itself is visible as inflated or
+    // timed-out command durations).
+    if (!slowdown_recorded_) {
+      slowdown_recorded_ = true;
+      record("fault:slowdown:x" + std::to_string(plan_.slowdown_factor));
+    }
+  }
+  const std::size_t corrupt_window = static_cast<std::size_t>(
+      plan_.corrupt_count > 0 ? plan_.corrupt_count : 1);
+  if (corrupt_at != 0 && i >= corrupt_at && i < corrupt_at + corrupt_window) {
+    perturbation.corrupt = true;
+  }
+  return perturbation;
+}
+
+void FaultInjector::corrupt_word(EventKind site, const std::string& label,
+                                 std::span<float> data) {
+  if (data.empty()) return;
+  // Deterministic target: word and bit derived from the plan seed and the
+  // extent. The flipped bit lands in the mantissa, so the corrupted value
+  // stays ordinary — exactly the silent kind of corruption checksums
+  // exist to catch.
+  const std::size_t word =
+      (static_cast<std::size_t>(plan_.seed) * 2654435761u + data.size()) %
+      data.size();
+  std::uint32_t bits;
+  std::memcpy(&bits, &data[word], sizeof(bits));
+  bits ^= 1u << (plan_.seed % 23u);
+  std::memcpy(&data[word], &bits, sizeof(bits));
+  ++run_corrupt_faults_;
+  record(std::string("fault:bit-flip:") + event_kind_name(site) + ":" +
+         label + "@" + std::to_string(word));
 }
 
 double FaultInjector::backoff_seconds(int attempt, const RetryPolicy& policy) {

@@ -12,7 +12,15 @@
 //   * transfer / kernel enqueue — transient DeviceError on the Nth enqueue
 //     of each site, for a configurable number of consecutive attempts,
 //   * whole-device loss — DeviceLost once K commands have completed, and on
-//     every command after that.
+//     every command after that,
+//   * slowdown — every command from the Nth onward is charged `factor`
+//     times its cost-model duration (a thermally-throttled or contended
+//     device; the queue's watchdog converts severe cases to DeviceTimeout),
+//   * hang — the Nth command never completes (the watchdog abandons it at
+//     the deadline),
+//   * bit-flip — one word of the Nth host-to-device or device-to-host
+//     transfer is corrupted in flight (caught by the queue's end-to-end
+//     checksum).
 // Every injected fault is recorded in the attached ProfilingLog as an
 // EventKind::fault event (and therefore in the Chrome trace), so
 // degradation decisions are observable. All behaviour is a pure function of
@@ -23,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <random>
+#include <span>
 #include <string>
 
 #include "vcl/event.hpp"
@@ -63,10 +72,38 @@ struct FaultPlan {
   /// enqueue, and every one after it, throws DeviceLost.
   std::size_t lose_device_after = 0;
 
+  /// Slowdown: every command (any site) from the Nth enqueue onward is
+  /// charged slowdown_factor times its cost-model duration. Models a
+  /// straggling device — throttled, contended, or failing slowly.
+  std::size_t slow_command_index = 0;
+  /// Duration multiplier applied by the slowdown family (values <= 1 make
+  /// slow_command_index a no-op).
+  double slowdown_factor = 1.0;
+
+  /// Hang: the Nth command (any site) never completes. The queue's
+  /// watchdog abandons it at the deadline and charges the deadline to the
+  /// timeline; the retry (a fresh command) proceeds normally.
+  std::size_t hang_command_index = 0;
+
+  /// Bit-flip: corrupt one word of the Nth host-to-device transfer…
+  std::size_t corrupt_write_index = 0;
+  /// …or the Nth device-to-host transfer, for `corrupt_count` consecutive
+  /// transfers at that site.
+  std::size_t corrupt_read_index = 0;
+  /// How many consecutive transfers at a scheduled corruption site are
+  /// corrupted (1 = a single re-execution reads clean data).
+  int corrupt_count = 1;
+
+  /// True when any fault family is scheduled. Must consider every
+  /// scheduling member above; fault.cpp pins sizeof(FaultPlan) with a
+  /// static_assert so a new member cannot be added without revisiting this
+  /// function, and test_fault_injection enumerates every member.
   bool armed() const {
     return fail_alloc_index != 0 || synthetic_capacity_bytes != 0 ||
            fail_write_index != 0 || fail_read_index != 0 ||
-           fail_kernel_index != 0 || lose_device_after != 0;
+           fail_kernel_index != 0 || lose_device_after != 0 ||
+           slow_command_index != 0 || hang_command_index != 0 ||
+           corrupt_write_index != 0 || corrupt_read_index != 0;
   }
 };
 
@@ -84,6 +121,18 @@ struct RetryPolicy {
   /// Uniform jitter fraction: each backoff is scaled by 1 + jitter * u with
   /// u drawn from the plan-seeded RNG.
   double backoff_jitter = 0.5;
+};
+
+/// How the injector perturbs one accepted command, returned by on_enqueue.
+/// A default-constructed value (scale 1, no hang, no corruption) leaves the
+/// command untouched — the only value an unarmed injector produces.
+struct CommandPerturbation {
+  /// Multiplier on the command's cost-model duration.
+  double time_scale = 1.0;
+  /// The command never completes: the queue's watchdog must abandon it.
+  bool hang = false;
+  /// One word of this transfer's destination is flipped after the copy.
+  bool corrupt = false;
 };
 
 /// Owned by a Device; consulted by the allocator and the command queue.
@@ -116,8 +165,18 @@ class FaultInjector {
 
   /// Enqueue site: called before a transfer or launch executes. `site` is
   /// one of host_to_device / device_to_host / kernel_exec. Throws
-  /// DeviceError (transient, scheduled) or DeviceLost.
-  void on_enqueue(EventKind site, const std::string& label);
+  /// DeviceError (transient, scheduled) or DeviceLost. For a command that
+  /// is accepted, returns how it must be perturbed (slowdown, hang,
+  /// bit-flip); every attempt — including a retry — counts as a fresh
+  /// command, so a hang is absorbed by one retry while a slowdown
+  /// persists.
+  CommandPerturbation on_enqueue(EventKind site, const std::string& label);
+
+  /// Flips one word of `data` in place (deterministically chosen from the
+  /// plan seed and the extent) and records the injection. The queue calls
+  /// this when on_enqueue scheduled a corruption for the transfer.
+  void corrupt_word(EventKind site, const std::string& label,
+                    std::span<float> data);
 
   /// A command completed; advances the device-loss countdown.
   void note_complete() { ++completed_commands_; }
@@ -131,6 +190,7 @@ class FaultInjector {
   std::size_t run_faults() const { return run_faults_; }
   std::size_t run_alloc_faults() const { return run_alloc_faults_; }
   std::size_t run_transient_faults() const { return run_transient_faults_; }
+  std::size_t run_corrupt_faults() const { return run_corrupt_faults_; }
 
   /// Bytes still allocatable under the synthetic capacity (SIZE_MAX when
   /// the plan does not cap memory). The streamed auto-sizer and the planner
@@ -151,10 +211,13 @@ class FaultInjector {
   std::size_t write_index_ = 0;
   std::size_t read_index_ = 0;
   std::size_t kernel_index_ = 0;
+  std::size_t command_index_ = 0;  ///< all enqueue attempts, any site
   std::size_t completed_commands_ = 0;
+  bool slowdown_recorded_ = false;
   std::size_t run_faults_ = 0;
   std::size_t run_alloc_faults_ = 0;
   std::size_t run_transient_faults_ = 0;
+  std::size_t run_corrupt_faults_ = 0;
 };
 
 }  // namespace dfg::vcl

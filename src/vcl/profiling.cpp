@@ -14,6 +14,10 @@ const char* event_kind_name(EventKind kind) {
       return "K-Exe";
     case EventKind::fault:
       return "Fault";
+    case EventKind::timeout:
+      return "T-Out";
+    case EventKind::integrity:
+      return "Chksum";
   }
   return "?";
 }
@@ -26,6 +30,11 @@ void ProfilingLog::record(Event event) {
   wall_seconds_ += event.wall_seconds;
   flops_ += event.flops;
   events_.push_back(std::move(event));
+}
+
+void ProfilingLog::append(const ProfilingLog& other) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (const Event& event : other.events_) record(event);
 }
 
 std::size_t ProfilingLog::count(EventKind kind) const {

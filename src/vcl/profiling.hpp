@@ -20,6 +20,11 @@ class ProfilingLog {
  public:
   void record(Event event);
 
+  /// Appends every event of `other` (the distributed engine executes each
+  /// block into a private log and merges it into the owning rank's log —
+  /// or discards it, when a straggler's attempt is abandoned).
+  void append(const ProfilingLog& other);
+
   /// Number of events of one kind (e.g. Dev-W count for Table II).
   std::size_t count(EventKind kind) const;
   std::size_t total_count() const;

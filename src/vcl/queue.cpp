@@ -3,32 +3,101 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 namespace dfg::vcl {
 
-void CommandQueue::guard(EventKind site, const std::string& label) {
+void CommandQueue::run_command(
+    EventKind site, const std::string& label, std::size_t bytes,
+    std::uint64_t flops, double estimate_seconds,
+    const std::function<std::uint64_t()>& source_checksum,
+    const std::function<std::span<float>()>& execute) {
   FaultInjector& fault = device_->fault();
-  if (!fault.armed()) return;
-  fault.set_sink(log_);
+  const bool armed = fault.armed();
+  if (armed) fault.set_sink(log_);
   const RetryPolicy& policy = device_->retry_policy();
+  const char* site_name = event_kind_name(site);
+
   for (int attempt = 1;; ++attempt) {
-    try {
-      fault.on_enqueue(site, label);
-      return;
-    } catch (const DeviceError&) {
-      // Transient: back off (simulated, seeded) and re-enqueue until the
-      // attempt budget is spent; then let the error reach the fallback
-      // layer, which degrades the strategy instead.
-      if (attempt >= policy.max_attempts) throw;
-      const double backoff = fault.backoff_seconds(attempt, policy);
-      log_->record(Event{EventKind::fault,
-                         "retry:" + std::string(event_kind_name(site)) + ":" +
-                             label,
-                         0, 0, backoff, 0.0});
+    CommandPerturbation perturbation;
+    if (armed) {
+      try {
+        perturbation = fault.on_enqueue(site, label);
+      } catch (const DeviceError&) {
+        // Transient: back off (simulated, seeded) and re-enqueue until the
+        // attempt budget is spent; then let the error reach the fallback
+        // layer, which degrades the strategy instead.
+        if (attempt >= policy.max_attempts) throw;
+        const double backoff = fault.backoff_seconds(attempt, policy);
+        log_->record(Event{EventKind::fault,
+                           "retry:" + std::string(site_name) + ":" + label,
+                           0, 0, backoff, 0.0});
+        continue;
+      }
     }
+
+    // Watchdog: simulated timing is deterministic, so the charged duration
+    // is known before the command runs and an over-deadline command is
+    // abandoned up front — the virtual analogue of a watchdog killing a
+    // wedged or crawling command at the deadline. The deadline itself is
+    // charged to the timeline: the device *was* tied up that long.
+    const double factor = device_->watchdog_factor();
+    const double charged = estimate_seconds * perturbation.time_scale;
+    const bool over_deadline =
+        factor > 0.0 && charged > factor * estimate_seconds;
+    if (perturbation.hang || over_deadline) {
+      const double deadline =
+          factor > 0.0 ? factor * estimate_seconds : estimate_seconds;
+      log_->record(Event{EventKind::timeout,
+                         "timeout:" + std::string(site_name) + ":" + label,
+                         bytes, 0, deadline, 0.0});
+      // A hang is one wedged command: a fresh attempt probes the device
+      // and is absorbed by the retry budget. An over-deadline slowdown is
+      // a device-wide condition — the deadline charge already proved the
+      // device slow, so re-probing would only burn another deadline;
+      // escalate immediately and let the fallback ladder (or the
+      // distributed engine's quarantine) move the work.
+      if (!perturbation.hang || attempt >= policy.max_attempts) {
+        throw DeviceTimeout(device_->spec().name, site_name, label,
+                            estimate_seconds, deadline);
+      }
+      continue;
+    }
+
+    const std::uint64_t expected =
+        source_checksum ? source_checksum() : 0;
+    support::Stopwatch watch;
+    const std::span<float> destination = execute();
+    const double wall = watch.seconds();
+
+    if (armed && perturbation.corrupt && !destination.empty()) {
+      fault.corrupt_word(site, label, destination);
+    }
+    if (source_checksum) {
+      // End-to-end integrity: the destination must mirror the source bit
+      // for bit. A mismatch re-executes the transfer (charged — the
+      // corrupted transfer consumed device time) until the retry budget is
+      // spent, then escalates as DataCorruption.
+      const std::uint64_t actual =
+          support::checksum_floats(destination, integrity_seed_);
+      if (actual != expected) {
+        log_->record(Event{EventKind::integrity,
+                           "checksum:" + std::string(site_name) + ":" +
+                               label,
+                           bytes, 0, charged, wall});
+        if (attempt >= policy.max_attempts) {
+          throw DataCorruption(device_->spec().name, site_name, label);
+        }
+        continue;
+      }
+    }
+
+    log_->record(Event{site, label, bytes, flops, charged, wall});
+    complete();
+    return;
   }
 }
 
@@ -44,13 +113,15 @@ void CommandQueue::write(Buffer& buffer, std::span<const float> host,
                       " elements exceeds buffer '" + label + "' extent " +
                       std::to_string(buffer.size()));
   }
-  guard(EventKind::host_to_device, label);
-  support::Stopwatch watch;
-  std::copy(host.begin(), host.end(), buffer.device_view().begin());
   const std::size_t bytes = host.size() * sizeof(float);
-  log_->record(Event{EventKind::host_to_device, label, bytes, 0,
-                     cost_.transfer_seconds(bytes), watch.seconds()});
-  complete();
+  run_command(
+      EventKind::host_to_device, label, bytes, 0,
+      cost_.transfer_seconds(bytes),
+      [&] { return support::checksum_floats(host, integrity_seed_); },
+      [&]() -> std::span<float> {
+        std::copy(host.begin(), host.end(), buffer.device_view().begin());
+        return buffer.device_view().first(host.size());
+      });
 }
 
 void CommandQueue::read(const Buffer& buffer, std::span<float> host,
@@ -60,29 +131,35 @@ void CommandQueue::read(const Buffer& buffer, std::span<float> host,
                       " elements from larger buffer '" + label + "' of " +
                       std::to_string(buffer.size()));
   }
-  guard(EventKind::device_to_host, label);
-  support::Stopwatch watch;
-  const auto view = buffer.device_view();
-  std::copy(view.begin(), view.end(), host.begin());
   const std::size_t bytes = buffer.bytes();
-  log_->record(Event{EventKind::device_to_host, label, bytes, 0,
-                     cost_.transfer_seconds(bytes), watch.seconds()});
-  complete();
+  run_command(
+      EventKind::device_to_host, label, bytes, 0,
+      cost_.transfer_seconds(bytes),
+      [&] {
+        return support::checksum_floats(buffer.device_view(),
+                                        integrity_seed_);
+      },
+      [&]() -> std::span<float> {
+        const auto view = buffer.device_view();
+        std::copy(view.begin(), view.end(), host.begin());
+        return host.first(buffer.size());
+      });
 }
 
 void CommandQueue::launch(const KernelLaunch& launch) {
   if (!launch.body) {
     throw KernelError("kernel '" + launch.label + "' has no body");
   }
-  guard(EventKind::kernel_exec, launch.label);
-  support::Stopwatch watch;
-  support::parallel_for(launch.ndrange, launch.body);
-  log_->record(Event{
-      EventKind::kernel_exec, launch.label, launch.global_bytes, launch.flops,
+  run_command(
+      EventKind::kernel_exec, launch.label, launch.global_bytes,
+      launch.flops,
       cost_.kernel_seconds(launch.flops, launch.global_bytes,
                            launch.registers_used),
-      watch.seconds()});
-  complete();
+      nullptr,  // kernel output integrity is covered by the readback
+      [&]() -> std::span<float> {
+        support::parallel_for(launch.ndrange, launch.body);
+        return {};
+      });
 }
 
 }  // namespace dfg::vcl

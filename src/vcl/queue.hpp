@@ -5,6 +5,23 @@
 // enqueues, waits and then reads the profiling timestamps), is timed with a
 // wall clock, priced by the device cost model, and recorded in the attached
 // ProfilingLog as a Dev-W / Dev-R / K-Exe event.
+//
+// Two defensive layers wrap every command:
+//   * a watchdog — the command's charged simulated duration is compared
+//     against `device.watchdog_factor()` times its cost-model estimate; a
+//     command that would exceed the deadline (an injected hang or a severe
+//     slowdown) is abandoned and the deadline is charged to the timeline
+//     as a T-Out event. A hang is retried (one wedged command, a fresh
+//     attempt probes the device); a slowdown escalates as DeviceTimeout
+//     immediately — it is a device-wide condition and re-probing would
+//     only burn another deadline;
+//   * end-to-end transfer integrity — a seeded FNV-1a checksum of every
+//     transfer's source is verified against its destination after the
+//     copy; a mismatch (an injected bit-flip) is charged as a Chksum event
+//     and the transfer re-executed, then DataCorruption escapes.
+// Both layers are pure observers on a healthy device: the command stream,
+// event counts and simulated durations of a fault-free run are
+// byte-identical to a build without them.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +30,7 @@
 #include <span>
 #include <string>
 
+#include "support/checksum.hpp"
 #include "vcl/buffer.hpp"
 #include "vcl/cost_model.hpp"
 #include "vcl/device.hpp"
@@ -36,7 +54,10 @@ struct KernelLaunch {
 class CommandQueue {
  public:
   CommandQueue(Device& device, ProfilingLog& log)
-      : device_(&device), log_(&log), cost_(device.spec()) {
+      : device_(&device),
+        log_(&log),
+        cost_(device.spec()),
+        integrity_seed_(support::fnv1a(device.spec().name)) {
     // Injected faults during this queue's lifetime (including allocation
     // faults raised outside the queue) are recorded into this log.
     device_->fault().set_sink(log_);
@@ -59,17 +80,28 @@ class CommandQueue {
   void launch(const KernelLaunch& launch);
 
  private:
-  /// Fault-injection gate in front of every enqueue: consults the device's
-  /// injector, retrying transient faults up to the device retry policy with
-  /// seeded backoff (charged to the timeline as Fault events). A no-op when
-  /// no FaultPlan is armed.
-  void guard(EventKind site, const std::string& label);
+  /// Runs one command through the full defensive stack: fault-injection
+  /// gate (transient retries with seeded backoff), watchdog deadline, the
+  /// command body, integrity verification, and event recording. `execute`
+  /// performs the data movement / dispatch and returns the destination
+  /// span to verify (empty span = no verification, used by kernels whose
+  /// output integrity is covered by the later readback checksum).
+  /// `source_checksum` is recomputed per attempt for transfers.
+  void run_command(EventKind site, const std::string& label,
+                   std::size_t bytes, std::uint64_t flops,
+                   double estimate_seconds,
+                   const std::function<std::uint64_t()>& source_checksum,
+                   const std::function<std::span<float>()>& execute);
+
   /// Marks a command complete (advances the device-loss countdown).
   void complete();
 
   Device* device_;
   ProfilingLog* log_;
   CostModel cost_;
+  /// Seed of the transfer checksums, derived from the device name so two
+  /// devices never share a digest stream.
+  std::uint64_t integrity_seed_;
 };
 
 }  // namespace dfg::vcl

@@ -14,6 +14,10 @@ const char* track_name(EventKind kind) {
       return "compute";
     case EventKind::fault:
       return "faults";
+    case EventKind::timeout:
+      return "timeouts";
+    case EventKind::integrity:
+      return "integrity";
     default:
       return "copy";
   }
@@ -25,6 +29,10 @@ int track_id(EventKind kind) {
       return 2;
     case EventKind::fault:
       return 3;
+    case EventKind::timeout:
+      return 4;
+    case EventKind::integrity:
+      return 5;
     default:
       return 1;
   }
@@ -72,12 +80,16 @@ std::string to_chrome_trace(const ProfilingLog& log,
          << escape(options.device_name) << "\"}}";
     emit(meta.str());
   }
-  // The faults track only appears when the log holds injected-fault or
-  // retry events, keeping fault-free traces identical to the seed's.
-  const bool has_faults = log.count(EventKind::fault) > 0;
+  // The faults / timeouts / integrity tracks only appear when the log
+  // holds such events, keeping fault-free traces identical to the seed's.
   for (const EventKind kind :
-       {EventKind::host_to_device, EventKind::kernel_exec, EventKind::fault}) {
-    if (kind == EventKind::fault && !has_faults) continue;
+       {EventKind::host_to_device, EventKind::kernel_exec, EventKind::fault,
+        EventKind::timeout, EventKind::integrity}) {
+    if ((kind == EventKind::fault || kind == EventKind::timeout ||
+         kind == EventKind::integrity) &&
+        log.count(kind) == 0) {
+      continue;
+    }
     std::ostringstream meta;
     meta << "{\"ph\":\"M\",\"pid\":" << options.pid
          << ",\"tid\":" << track_id(kind)

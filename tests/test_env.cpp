@@ -1,0 +1,77 @@
+// Centralized DFGEN_* environment parsing: typed accessors, malformed
+// values falling back instead of misbehaving, and typo detection via the
+// unknown-variable scan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace {
+
+using namespace dfg::support;
+
+struct ScopedEnv {
+  std::string name;
+  ScopedEnv(const std::string& n, const std::string& value) : name(n) {
+    ::setenv(name.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+TEST(Env, TypedAccessorsParseAndFallBack) {
+  {
+    ScopedEnv runs("DFGEN_RUNS", "7");
+    EXPECT_EQ(env::get_int("DFGEN_RUNS", 1), 7);
+  }
+  EXPECT_EQ(env::get_int("DFGEN_RUNS", 1), 1);  // unset -> fallback
+
+  {
+    ScopedEnv factor("DFGEN_DEADLINE_FACTOR", "12.5");
+    EXPECT_DOUBLE_EQ(env::get_double("DFGEN_DEADLINE_FACTOR", 8.0), 12.5);
+  }
+  {
+    ScopedEnv factor("DFGEN_DEADLINE_FACTOR", "banana");
+    EXPECT_DOUBLE_EQ(env::get_double("DFGEN_DEADLINE_FACTOR", 8.0), 8.0)
+        << "malformed values fall back, never crash";
+  }
+  {
+    ScopedEnv flag("DFGEN_FALLBACK", "1");
+    EXPECT_TRUE(env::get_flag("DFGEN_FALLBACK"));
+  }
+  {
+    ScopedEnv flag("DFGEN_FALLBACK", "0");
+    EXPECT_FALSE(env::get_flag("DFGEN_FALLBACK"));
+  }
+  {
+    ScopedEnv dir("DFGEN_CHECKPOINT_DIR", "/tmp/j");
+    EXPECT_EQ(env::get_string("DFGEN_CHECKPOINT_DIR", ""), "/tmp/j");
+  }
+}
+
+TEST(Env, UnknownVariablesAreReported) {
+  ScopedEnv typo("DFGEN_FALBACK", "1");  // a plausible typo
+  const auto unknowns = env::unknown_variables();
+  EXPECT_NE(std::find(unknowns.begin(), unknowns.end(), "DFGEN_FALBACK"),
+            unknowns.end());
+}
+
+TEST(Env, CanonicalVariablesAreKnown) {
+  // The canonical set is pre-registered: none of these may be flagged.
+  ScopedEnv a("DFGEN_RUNS", "1");
+  ScopedEnv b("DFGEN_FALLBACK", "0");
+  ScopedEnv c("DFGEN_DEADLINE_FACTOR", "8");
+  ScopedEnv d("DFGEN_CHECKPOINT_DIR", "/tmp/j");
+  ScopedEnv e("DFGEN_TRACE_DIR", "/tmp/t");
+  const auto unknowns = env::unknown_variables();
+  for (const char* name :
+       {"DFGEN_RUNS", "DFGEN_FALLBACK", "DFGEN_DEADLINE_FACTOR",
+        "DFGEN_CHECKPOINT_DIR", "DFGEN_TRACE_DIR"}) {
+    EXPECT_EQ(std::find(unknowns.begin(), unknowns.end(), name),
+              unknowns.end())
+        << name << " must be pre-registered";
+  }
+}
+
+}  // namespace
