@@ -1,0 +1,314 @@
+// VM throughput study: what the tiled interpreter and the bytecode
+// optimizer buy over the seed element-at-a-time interpreter, and what the
+// fused-program cache saves across repeated and distributed evaluations.
+//
+// Section 1 times the three paper expressions' fused kernels directly on
+// host arrays (no virtual device in the loop): the element interpreter
+// (run_scalar), the tiled interpreter (run) on the raw program, and the
+// tiled interpreter on the optimized program. Outputs must be bit-identical
+// across all three; in a full (non-smoke) run the optimized tiled
+// interpreter must clear 5x the seed interpreter's cells/sec on the
+// Q-criterion.
+//
+// Section 2 counts fused-program cache traffic over repeated Engine
+// evaluations and one distributed run: generator invocations (misses) must
+// be at least 10x rarer than requests.
+//
+// Results land in BENCH_vm.json in the working directory. DFGEN_SMOKE=1
+// shrinks the grid and skips the throughput thresholds (CI smoke run);
+// correctness assertions always apply.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "distrib/decomposition.hpp"
+#include "distrib/dist_engine.hpp"
+#include "kernels/generator.hpp"
+#include "kernels/optimizer.hpp"
+#include "kernels/program_cache.hpp"
+#include "kernels/vm.hpp"
+#include "runtime/bindings.hpp"
+
+namespace {
+
+using dfg::kernels::BufferBinding;
+using dfg::kernels::Program;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ExprResult {
+  std::string name;
+  std::size_t cells = 0;
+  double scalar_cells_per_sec = 0.0;
+  double tiled_cells_per_sec = 0.0;
+  double optimized_cells_per_sec = 0.0;
+  std::size_t instructions_raw = 0;
+  std::size_t instructions_optimized = 0;
+  int registers_raw = 0;
+  int registers_optimized = 0;
+
+  double tiled_speedup() const {
+    return tiled_cells_per_sec / scalar_cells_per_sec;
+  }
+  double optimized_speedup() const {
+    return optimized_cells_per_sec / scalar_cells_per_sec;
+  }
+};
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Times `fn` (which fills its output buffer) and returns the best seconds
+/// over `reps` runs after one warmup.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();  // warmup
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+ExprResult run_expression(const dfgbench::ExpressionCase& expr,
+                          const dfg::mesh::RectilinearMesh& mesh,
+                          const dfg::mesh::VectorField& field, int reps) {
+  const dfg::dataflow::Network network(
+      dfg::dataflow::build_network(expr.expression));
+  const Program raw = dfg::kernels::generate_fused(network);
+  const Program optimized = dfg::kernels::optimize_program(raw);
+
+  dfg::runtime::FieldBindings bindings;
+  bindings.bind_mesh(mesh);
+  bindings.bind("u", field.u);
+  bindings.bind("v", field.v);
+  bindings.bind("w", field.w);
+  std::vector<BufferBinding> inputs;
+  for (const dfg::kernels::BufferParam& param : raw.params()) {
+    const auto view = bindings.get(param.name);
+    inputs.push_back({view.data(), view.size()});
+  }
+
+  const std::size_t n = mesh.cell_count();
+  std::vector<float> out_scalar(n * raw.out_stride());
+  std::vector<float> out_tiled(n * raw.out_stride());
+  std::vector<float> out_opt(n * raw.out_stride());
+
+  ExprResult result;
+  result.name = expr.short_name;
+  result.cells = n;
+  result.instructions_raw = raw.code().size();
+  result.instructions_optimized = optimized.code().size();
+  result.registers_raw = raw.register_count();
+  result.registers_optimized = optimized.register_count();
+
+  const double scalar_s = best_seconds(reps, [&] {
+    dfg::kernels::run_scalar(raw, inputs, out_scalar.data(),
+                             out_scalar.size(), 0, n);
+  });
+  const double tiled_s = best_seconds(reps, [&] {
+    dfg::kernels::run(raw, inputs, out_tiled.data(), out_tiled.size(), 0, n);
+  });
+  const double opt_s = best_seconds(reps, [&] {
+    dfg::kernels::run(optimized, inputs, out_opt.data(), out_opt.size(), 0,
+                      n);
+  });
+
+  if (!bits_equal(out_tiled, out_scalar) || !bits_equal(out_opt, out_scalar)) {
+    std::fprintf(stderr,
+                 "FAIL: %s tiled/optimized output not bit-identical to the "
+                 "element interpreter\n",
+                 expr.short_name);
+    std::exit(1);
+  }
+
+  result.scalar_cells_per_sec = static_cast<double>(n) / scalar_s;
+  result.tiled_cells_per_sec = static_cast<double>(n) / tiled_s;
+  result.optimized_cells_per_sec = static_cast<double>(n) / opt_s;
+  return result;
+}
+
+struct CacheResult {
+  std::size_t engine_evaluations = 0;
+  std::size_t engine_hits = 0;
+  std::size_t engine_misses = 0;
+  std::size_t distributed_hits = 0;
+  std::size_t distributed_misses = 0;
+
+  double invocation_reduction() const {
+    const std::size_t requests = engine_hits + engine_misses +
+                                 distributed_hits + distributed_misses;
+    const std::size_t misses = engine_misses + distributed_misses;
+    return misses == 0 ? static_cast<double>(requests)
+                       : static_cast<double>(requests) /
+                             static_cast<double>(misses);
+  }
+};
+
+CacheResult run_cache_study(bool smoke) {
+  dfg::kernels::ProgramCache::instance().clear();
+  CacheResult result;
+
+  // Repeated single-node evaluations of the same expression: the paper's
+  // in-situ loop, one evaluation per time step.
+  const dfg::mesh::RectilinearMesh mesh = dfg::mesh::RectilinearMesh::uniform(
+      smoke ? dfg::mesh::Dims{8, 8, 8} : dfg::mesh::Dims{16, 16, 16});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  result.engine_evaluations = 20;
+  for (std::size_t step = 0; step < result.engine_evaluations; ++step) {
+    dfg::vcl::Device device(dfgbench::scaled_cpu());
+    dfg::Engine engine(device, {dfg::runtime::StrategyKind::fusion, {}});
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    const dfg::EvaluationReport report =
+        engine.evaluate(dfg::expressions::kQCriterion);
+    result.engine_hits += report.pipeline_cache_hits;
+    result.engine_misses += report.pipeline_cache_misses;
+  }
+
+  // One distributed run: every block shares the cached pipeline.
+  const dfg::mesh::RectilinearMesh global =
+      dfg::mesh::RectilinearMesh::uniform({16, 16, 16});
+  const dfg::mesh::VectorField gfield = dfg::mesh::rayleigh_taylor_flow(global);
+  dfg::distrib::ClusterConfig config;
+  config.nodes = 2;
+  config.devices_per_node = 2;
+  config.device_spec = dfgbench::scaled_cpu();
+  dfg::distrib::DistributedEngine dist(
+      global, dfg::distrib::GridDecomposition(global.dims(), 2, 2, 2),
+      config);
+  dist.bind_global("u", gfield.u);
+  dist.bind_global("v", gfield.v);
+  dist.bind_global("w", gfield.w);
+  const dfg::distrib::DistributedReport dreport = dist.evaluate(
+      dfg::expressions::kVorticityMagnitude,
+      dfg::runtime::StrategyKind::fusion);
+  result.distributed_hits = dreport.pipeline_cache_hits;
+  result.distributed_misses = dreport.pipeline_cache_misses;
+  return result;
+}
+
+void write_json(const std::vector<ExprResult>& exprs, const CacheResult& cache,
+                bool smoke) {
+  std::FILE* f = std::fopen("BENCH_vm.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_vm.json for writing\n");
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"smoke\": %s,\n  \"expressions\": [\n",
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    const ExprResult& e = exprs[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"cells\": %zu,\n"
+        "     \"scalar_cells_per_sec\": %.3e, \"tiled_cells_per_sec\": "
+        "%.3e,\n"
+        "     \"optimized_cells_per_sec\": %.3e,\n"
+        "     \"tiled_speedup\": %.2f, \"optimized_speedup\": %.2f,\n"
+        "     \"instructions\": {\"raw\": %zu, \"optimized\": %zu},\n"
+        "     \"registers\": {\"raw\": %d, \"optimized\": %d}}%s\n",
+        e.name.c_str(), e.cells, e.scalar_cells_per_sec,
+        e.tiled_cells_per_sec, e.optimized_cells_per_sec, e.tiled_speedup(),
+        e.optimized_speedup(), e.instructions_raw, e.instructions_optimized,
+        e.registers_raw, e.registers_optimized,
+        i + 1 < exprs.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n  \"cache\": {\n"
+      "    \"engine_evaluations\": %zu,\n"
+      "    \"engine_hits\": %zu, \"engine_misses\": %zu,\n"
+      "    \"distributed_hits\": %zu, \"distributed_misses\": %zu,\n"
+      "    \"invocation_reduction\": %.1f\n  }\n}\n",
+      cache.engine_evaluations, cache.engine_hits, cache.engine_misses,
+      cache.distributed_hits, cache.distributed_misses,
+      cache.invocation_reduction());
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = dfg::support::env::get_flag("DFGEN_SMOKE");
+  dfgbench::check_environment();
+
+  const dfg::mesh::RectilinearMesh mesh = dfg::mesh::RectilinearMesh::uniform(
+      smoke ? dfg::mesh::Dims{16, 16, 16} : dfg::mesh::Dims{64, 64, 64});
+  const dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== VM throughput: %zu cells, %d timed reps ===\n",
+              mesh.cell_count(), reps);
+  std::printf("%-10s %14s %14s %14s %8s %8s\n", "expr", "scalar[c/s]",
+              "tiled[c/s]", "optimized[c/s]", "tile-x", "opt-x");
+  std::vector<ExprResult> results;
+  for (const dfgbench::ExpressionCase& expr : dfgbench::paper_expressions()) {
+    const ExprResult r = run_expression(expr, mesh, field, reps);
+    std::printf("%-10s %14.3e %14.3e %14.3e %7.2fx %7.2fx\n", r.name.c_str(),
+                r.scalar_cells_per_sec, r.tiled_cells_per_sec,
+                r.optimized_cells_per_sec, r.tiled_speedup(),
+                r.optimized_speedup());
+    results.push_back(r);
+  }
+
+  const CacheResult cache = run_cache_study(smoke);
+  std::printf(
+      "\n=== Program cache: %zu engine evals + 1 distributed run ===\n",
+      cache.engine_evaluations);
+  std::printf("engine hits/misses: %zu/%zu, distributed: %zu/%zu, "
+              "invocation reduction: %.1fx\n",
+              cache.engine_hits, cache.engine_misses, cache.distributed_hits,
+              cache.distributed_misses, cache.invocation_reduction());
+
+  write_json(results, cache, smoke);
+  std::printf("\nwrote BENCH_vm.json\n");
+
+  // Correctness gates (bit-exactness already enforced per expression).
+  if (cache.engine_misses + cache.distributed_misses == 0) {
+    std::fprintf(stderr, "FAIL: expected at least one generator invocation\n");
+    return 1;
+  }
+  if (cache.invocation_reduction() < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: cache cut generator invocations only %.1fx (< 10x)\n",
+                 cache.invocation_reduction());
+    return 1;
+  }
+  if (!smoke) {
+    const ExprResult& qcrit = results.back();  // Q-Crit is the last case
+    if (qcrit.optimized_speedup() < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: optimized tiled Q-criterion only %.2fx over the "
+                   "element interpreter (< 5x)\n",
+                   qcrit.optimized_speedup());
+      return 1;
+    }
+  }
+  std::printf("all throughput and cache gates passed\n");
+  return 0;
+}

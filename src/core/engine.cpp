@@ -3,6 +3,7 @@
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
 #include "kernels/generator.hpp"
+#include "kernels/program_cache.hpp"
 #include "kernels/source_printer.hpp"
 #include "support/error.hpp"
 
@@ -39,6 +40,8 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   device_->fault().begin_run();
   device_->fault().set_sink(&log_);
 
+  const kernels::ProgramCacheStats cache_before =
+      kernels::ProgramCache::instance().stats();
   runtime::FallbackOutcome outcome = runtime::execute_with_fallback(
       network, bindings_, elements, *device_, log_, options_.strategy,
       options_.fallback, options_.streamed_chunk_cells);
@@ -68,11 +71,20 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.wall_seconds = log_.total_wall_seconds();
   report.memory_high_water_bytes = device_->memory().high_water();
   report.network_script = network.spec().to_script();
+  const kernels::ProgramCacheStats cache_after =
+      kernels::ProgramCache::instance().stats();
+  report.pipeline_cache_hits =
+      (cache_after.pipeline_hits - cache_before.pipeline_hits) +
+      (cache_after.standalone_hits - cache_before.standalone_hits);
+  report.pipeline_cache_misses =
+      (cache_after.pipeline_misses - cache_before.pipeline_misses) +
+      (cache_after.standalone_misses - cache_before.standalone_misses);
   if (outcome.executed == runtime::StrategyKind::fusion ||
       outcome.executed == runtime::StrategyKind::streamed) {
-    const kernels::FusedPipeline pipeline =
-        kernels::generate_fused_pipeline(network);
-    for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+    // The source dump reuses the cached pipeline the strategy just ran.
+    const std::shared_ptr<const kernels::FusedPipeline> pipeline =
+        kernels::ProgramCache::instance().fused_pipeline(network);
+    for (const kernels::FusedPipeline::Stage& stage : pipeline->stages) {
       if (!report.kernel_source.empty()) report.kernel_source += "\n";
       report.kernel_source += kernels::to_opencl_source(stage.program);
     }

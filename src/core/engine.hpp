@@ -77,6 +77,12 @@ struct EvaluationReport {
   /// (Chksum events); each was re-executed before values propagated.
   std::size_t checksum_mismatches = 0;
 
+  /// Fused-program cache traffic during this evaluation: requests served
+  /// from the process-wide cache vs. requests that ran the generator.
+  /// Steady-state re-evaluation of the same expression shows zero misses.
+  std::size_t pipeline_cache_hits = 0;
+  std::size_t pipeline_cache_misses = 0;
+
   /// The network-definition script (inspectable, per the paper's §III-B1).
   std::string network_script;
   /// Generated OpenCL-like source of the fused kernel (fusion strategy

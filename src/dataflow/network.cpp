@@ -1,8 +1,43 @@
 #include "dataflow/network.hpp"
 
+#include <bit>
 #include <queue>
 
+#include "support/checksum.hpp"
+
 namespace dfg::dataflow {
+
+namespace {
+
+std::uint64_t fingerprint_spec(const NetworkSpec& spec) {
+  std::uint64_t hash = support::kFnvOffsetBasis;
+  const auto mix_int = [&hash](std::int64_t value) {
+    hash = support::fnv1a(&value, sizeof(value), hash);
+  };
+  const auto mix_str = [&hash](const std::string& text) {
+    const std::size_t size = text.size();
+    hash = support::fnv1a(&size, sizeof(size), hash);
+    hash = support::fnv1a(text.data(), text.size(), hash);
+  };
+  mix_int(static_cast<std::int64_t>(spec.nodes().size()));
+  for (const SpecNode& node : spec.nodes()) {
+    mix_int(node.id);
+    mix_int(static_cast<std::int64_t>(node.type));
+    mix_str(node.kind);
+    mix_str(node.field_name);
+    mix_int(static_cast<std::int64_t>(
+        std::bit_cast<std::uint64_t>(node.const_value)));
+    mix_int(node.component);
+    mix_int(static_cast<std::int64_t>(node.inputs.size()));
+    for (const int input : node.inputs) mix_int(input);
+    mix_int(node.components);
+    mix_str(node.label);
+  }
+  mix_int(spec.output_id());
+  return hash;
+}
+
+}  // namespace
 
 Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   if (spec_.output_id() < 0) {
@@ -42,6 +77,8 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   if (topo_order_.size() != n) {
     throw NetworkError("network contains a dependency cycle");
   }
+
+  fingerprint_ = fingerprint_spec(spec_);
 }
 
 }  // namespace dfg::dataflow

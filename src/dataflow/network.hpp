@@ -6,6 +6,7 @@
 // as their last consumer has run (reducing memory overhead).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dataflow/spec.hpp"
@@ -32,10 +33,19 @@ class Network {
 
   int output_id() const { return spec_.output_id(); }
 
+  /// Canonical structural fingerprint of the network: an FNV-1a hash over
+  /// every spec node's identity-relevant fields (type, kind, bound field
+  /// name, constant bits, component selections, input wiring, label) and
+  /// the output marker. Two networks share a fingerprint exactly when the
+  /// kernel generator would produce identical programs for them, so it
+  /// serves as the fused-program cache key. Computed once at construction.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   NetworkSpec spec_;
   std::vector<int> topo_order_;
   std::vector<int> use_counts_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace dfg::dataflow

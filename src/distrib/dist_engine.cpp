@@ -7,6 +7,7 @@
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
 #include "distrib/checkpoint.hpp"
+#include "kernels/program_cache.hpp"
 #include "runtime/fallback.hpp"
 #include "runtime/planner.hpp"
 #include "support/checksum.hpp"
@@ -120,6 +121,9 @@ DistributedReport DistributedEngine::evaluate(
     run_key = support::fnv1a(&word, sizeof(word), run_key);
   }
   CheckpointJournal journal(config_.checkpoint_dir, run_key);
+
+  const kernels::ProgramCacheStats cache_before =
+      kernels::ProgramCache::instance().stats();
 
   DistributedReport report;
   report.values.assign(global_dims.cell_count(), 0.0f);
@@ -319,6 +323,15 @@ DistributedReport DistributedEngine::evaluate(
 
     scatter(extent, shape, outcome.values);
   }
+
+  const kernels::ProgramCacheStats cache_after =
+      kernels::ProgramCache::instance().stats();
+  report.pipeline_cache_hits =
+      (cache_after.pipeline_hits - cache_before.pipeline_hits) +
+      (cache_after.standalone_hits - cache_before.standalone_hits);
+  report.pipeline_cache_misses =
+      (cache_after.pipeline_misses - cache_before.pipeline_misses) +
+      (cache_after.standalone_misses - cache_before.standalone_misses);
 
   report.journaled_blocks = journal.journaled_count();
   report.ghost_messages = exchanger.messages();

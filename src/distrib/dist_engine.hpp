@@ -117,6 +117,11 @@ struct DistributedReport {
   std::size_t resumed_blocks = 0;
   /// Valid journal entries on disk when the evaluation finished.
   std::size_t journaled_blocks = 0;
+  /// Fused-program cache traffic across the whole run. Every block of a
+  /// distributed evaluation shares one pipeline, so misses stay O(1) while
+  /// hits grow with the block count.
+  std::size_t pipeline_cache_hits = 0;
+  std::size_t pipeline_cache_misses = 0;
 };
 
 class DistributedEngine {

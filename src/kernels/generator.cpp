@@ -5,18 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "kernels/optimizer.hpp"
 #include "kernels/primitives.hpp"
 #include "support/error.hpp"
 
 namespace dfg::kernels {
 
-namespace {
-
-constexpr std::uint16_t kNoReg = UINT16_MAX;
-
-/// Network nodes that must be materialised to device buffers: computed
-/// values consumed by a gradient's field operand (a stencil cannot read
-/// registers).
 std::set<int> materialization_barriers(const dataflow::Network& network) {
   std::set<int> barriers;
   for (const dataflow::SpecNode& node : network.spec().nodes()) {
@@ -28,6 +22,10 @@ std::set<int> materialization_barriers(const dataflow::Network& network) {
   }
   return barriers;
 }
+
+namespace {
+
+constexpr std::uint16_t kNoReg = UINT16_MAX;
 
 /// Emits one fused program computing `target` from field sources and
 /// previously materialised values (every barrier node except the target
@@ -191,7 +189,8 @@ Program generate_fused(const dataflow::Network& network,
 }
 
 FusedPipeline generate_fused_pipeline(const dataflow::Network& network,
-                                      const std::string& kernel_name) {
+                                      const std::string& kernel_name,
+                                      bool optimize) {
   const std::set<int> barriers = materialization_barriers(network);
   FusedPipeline pipeline;
   // Materialise barrier values in dependency order (topo order restricted
@@ -227,6 +226,7 @@ FusedPipeline generate_fused_pipeline(const dataflow::Network& network,
     pipeline.stages.push_back(FusedPipeline::Stage{
         network.output_id(), emitter.run_whole_network(covered)});
   }
+  if (optimize) pipeline = optimize_pipeline(std::move(pipeline));
   return pipeline;
 }
 

@@ -12,12 +12,18 @@
 // global memory only for external inputs and the single output.
 #pragma once
 
+#include <set>
 #include <string>
 
 #include "dataflow/network.hpp"
 #include "kernels/program.hpp"
 
 namespace dfg::kernels {
+
+/// Network nodes that must be materialised to device buffers: computed
+/// values consumed by a gradient's field operand (a stencil cannot read
+/// registers). Empty for networks a single fused kernel can execute.
+std::set<int> materialization_barriers(const dataflow::Network& network);
 
 /// Generates the fused kernel for a whole network. The program's buffer
 /// parameters are the network's field sources, in first-use order, named
@@ -54,8 +60,13 @@ struct FusedPipeline {
   bool partitioned() const { return stages.size() > 1; }
 };
 
+/// Generates the (possibly single-stage) fused pipeline for a network.
+/// When `optimize` is true (the default) every stage is run through the
+/// bytecode optimizer (optimizer.hpp) — a bit-exact transformation.
+/// generate_fused is left untouched by design: it exposes the raw generator
+/// output for inspection and tests.
 FusedPipeline generate_fused_pipeline(
     const dataflow::Network& network,
-    const std::string& kernel_name = "fused_expression");
+    const std::string& kernel_name = "fused_expression", bool optimize = true);
 
 }  // namespace dfg::kernels

@@ -1,0 +1,403 @@
+#include "kernels/optimizer.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace dfg::kernels {
+
+namespace {
+
+constexpr std::uint16_t kNoReg = UINT16_MAX;
+
+/// Backward observed-lane analysis: for each register, the set of lanes
+/// (bit l = lane l) whose value some consumer can see. A constant fold may
+/// only replace an instruction with load_const — which zeroes lanes 1..3 —
+/// when no *observed* lane changes bit pattern. The code is SSA, so one
+/// backward sweep finalises each mask before its definition is visited.
+std::vector<std::uint8_t> observed_lanes(const std::vector<Instr>& code,
+                                         std::uint16_t num_regs) {
+  std::vector<std::uint8_t> observed(num_regs, 0);
+  for (std::size_t idx = code.size(); idx-- > 0;) {
+    const Instr& in = code[idx];
+    switch (in.op) {
+      case Op::store:
+        observed[in.args[0]] |= 0x1;
+        break;
+      case Op::store_vec:
+        observed[in.args[0]] |= 0xF;
+        break;
+      case Op::component:
+        if (observed[in.dst] & 0x1) {
+          observed[in.args[0]] |=
+              static_cast<std::uint8_t>(1u << in.args[1]);
+        }
+        break;
+      case Op::cmp_gt:
+      case Op::cmp_lt:
+      case Op::cmp_ge:
+      case Op::cmp_le:
+      case Op::cmp_eq:
+      case Op::cmp_ne:
+        if (observed[in.dst] & 0x1) {
+          observed[in.args[0]] |= 0x1;
+          observed[in.args[1]] |= 0x1;
+        }
+        break;
+      case Op::select:
+        if (observed[in.dst] != 0) {
+          observed[in.args[0]] |= 0x1;
+          observed[in.args[1]] |= observed[in.dst];
+          observed[in.args[2]] |= observed[in.dst];
+        }
+        break;
+      default:
+        if (op_is_binary(in.op)) {
+          observed[in.args[0]] |= observed[in.dst];
+          observed[in.args[1]] |= observed[in.dst];
+        } else if (op_is_unary(in.op)) {
+          observed[in.args[0]] |= observed[in.dst];
+        }
+        // Loads and grad3d have no register operands.
+        break;
+    }
+  }
+  return observed;
+}
+
+/// Lane-wise evaluation with exactly the single-precision calls run() uses,
+/// so folded constants are bit-identical to what the VM would compute.
+template <typename F>
+Vec4 lanewise(const Vec4& a, const Vec4& b, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i], b[i]);
+  return r;
+}
+
+template <typename F>
+Vec4 lanewise1(const Vec4& a, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i]);
+  return r;
+}
+
+Vec4 scalar_result(float value) {
+  Vec4 r;
+  r[0] = value;
+  return r;
+}
+
+/// Computes the value an instruction produces when every register operand
+/// holds a known value. Returns nullopt for unfoldable opcodes (memory ops,
+/// grad3d, select — the latter is handled by copy propagation instead).
+std::optional<Vec4> fold_value(
+    const Instr& in, const std::vector<std::optional<Vec4>>& known) {
+  const auto k = [&](int idx) { return known[in.args[idx]]; };
+  switch (in.op) {
+    case Op::load_const:
+      return scalar_result(in.imm);
+    case Op::add:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1), [](float a, float b) { return a + b; });
+    case Op::sub:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1), [](float a, float b) { return a - b; });
+    case Op::mul:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1), [](float a, float b) { return a * b; });
+    case Op::div:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1), [](float a, float b) { return a / b; });
+    case Op::min:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1),
+                      [](float a, float b) { return std::fmin(a, b); });
+    case Op::max:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1),
+                      [](float a, float b) { return std::fmax(a, b); });
+    case Op::pow:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return lanewise(*k(0), *k(1),
+                      [](float a, float b) { return std::pow(a, b); });
+    case Op::sqrt:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::sqrt(a); });
+    case Op::neg:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return -a; });
+    case Op::abs:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::fabs(a); });
+    case Op::sin:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::sin(a); });
+    case Op::cos:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::cos(a); });
+    case Op::tan:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::tan(a); });
+    case Op::exp:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::exp(a); });
+    case Op::log:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::log(a); });
+    case Op::tanh:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::tanh(a); });
+    case Op::floor:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::floor(a); });
+    case Op::ceil:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::ceil(a); });
+    case Op::component:
+      if (!k(0)) return std::nullopt;
+      return scalar_result((*k(0))[in.args[1]]);
+    case Op::cmp_gt:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] > (*k(1))[0] ? 1.0f : 0.0f);
+    case Op::cmp_lt:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] < (*k(1))[0] ? 1.0f : 0.0f);
+    case Op::cmp_ge:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] >= (*k(1))[0] ? 1.0f : 0.0f);
+    case Op::cmp_le:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] <= (*k(1))[0] ? 1.0f : 0.0f);
+    case Op::cmp_eq:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] == (*k(1))[0] ? 1.0f : 0.0f);
+    case Op::cmp_ne:
+      if (!k(0) || !k(1)) return std::nullopt;
+      return scalar_result((*k(0))[0] != (*k(1))[0] ? 1.0f : 0.0f);
+    default:
+      return std::nullopt;
+  }
+}
+
+using CseKey = std::tuple<std::uint8_t, std::uint16_t, std::uint16_t,
+                          std::uint16_t, std::uint16_t, std::uint16_t,
+                          std::uint32_t>;
+
+CseKey cse_key(const Instr& in) {
+  return {static_cast<std::uint8_t>(in.op), in.args[0], in.args[1],
+          in.args[2],  in.args[3],          in.args[4],
+          std::bit_cast<std::uint32_t>(in.imm)};
+}
+
+/// Forward rewrite: constant folding, select copy propagation and CSE.
+/// The CSE map is keyed on instructions *as emitted* — if a definition was
+/// replaced by load_const, later structurally identical expressions do not
+/// merge with it unless their own observed lanes justify the same fold, so
+/// merged registers always hold bit-identical values on every lane.
+bool forward_pass(std::vector<Instr>& code, std::uint16_t num_regs,
+                  OptimizerStats* stats) {
+  const std::vector<std::uint8_t> observed = observed_lanes(code, num_regs);
+  std::vector<std::optional<Vec4>> known(num_regs);
+  std::vector<std::uint16_t> alias(num_regs);
+  for (std::uint16_t r = 0; r < num_regs; ++r) alias[r] = r;
+  std::map<CseKey, std::uint16_t> seen;
+
+  std::vector<Instr> out;
+  out.reserve(code.size());
+  bool changed = false;
+  for (const Instr& original : code) {
+    Instr in = original;
+    const int nops = instr_register_operands(in);
+    for (int k = 0; k < nops; ++k) {
+      const std::uint16_t resolved = alias[in.args[static_cast<std::size_t>(k)]];
+      if (resolved != in.args[static_cast<std::size_t>(k)]) {
+        in.args[static_cast<std::size_t>(k)] = resolved;
+      }
+    }
+
+    // Select with a compile-time condition: forward the chosen branch (the
+    // VM copies all four lanes of it, so aliasing is exact).
+    if (in.op == Op::select && known[in.args[0]]) {
+      const std::uint16_t chosen =
+          (*known[in.args[0]])[0] != 0.0f ? in.args[1] : in.args[2];
+      alias[in.dst] = chosen;
+      ++stats->propagated_copies;
+      changed = true;
+      continue;
+    }
+
+    std::optional<Vec4> value = fold_value(in, known);
+    if (value && in.op != Op::load_const) {
+      // Replacing with load_const zeroes lanes 1..3; only legal when no
+      // observed lane's bit pattern changes (+0.0 exactly — a NaN or -0.0
+      // in an observed lane blocks the fold).
+      bool replace = true;
+      for (int lane = 1; lane < 4; ++lane) {
+        if ((observed[in.dst] & (1u << lane)) != 0 &&
+            std::bit_cast<std::uint32_t>((*value)[lane]) != 0) {
+          replace = false;
+          break;
+        }
+      }
+      if (replace) {
+        in = Instr{Op::load_const, in.dst, {}, (*value)[0]};
+        value = scalar_result((*value)[0]);
+        ++stats->folded_constants;
+        changed = true;
+      }
+    }
+
+    if (op_defines_register(in.op)) {
+      const auto it = seen.find(cse_key(in));
+      if (it != seen.end()) {
+        // Identical emitted instruction => bit-identical value on every
+        // lane; forward every use to the earlier register.
+        alias[in.dst] = it->second;
+        ++stats->eliminated_common;
+        changed = true;
+        continue;
+      }
+      seen.emplace(cse_key(in), in.dst);
+      known[in.dst] = value;
+    }
+    out.push_back(in);
+  }
+  code = std::move(out);
+  return changed;
+}
+
+/// Backward dead-code elimination. Roots: stores (the program output) and
+/// grad3d (its buffer validation and dims slots anchor slab planning, so an
+/// unused gradient keeps executing — matching how the other strategies run
+/// dead statements).
+bool dce(std::vector<Instr>& code, std::uint16_t num_regs,
+         OptimizerStats* stats) {
+  std::vector<char> live(num_regs, 0);
+  std::vector<char> keep(code.size(), 0);
+  for (std::size_t idx = code.size(); idx-- > 0;) {
+    const Instr& in = code[idx];
+    const bool root = in.op == Op::store || in.op == Op::store_vec ||
+                      in.op == Op::grad3d;
+    if (!root && !(op_defines_register(in.op) && live[in.dst])) continue;
+    keep[idx] = 1;
+    const int nops = instr_register_operands(in);
+    for (int k = 0; k < nops; ++k) {
+      live[in.args[static_cast<std::size_t>(k)]] = 1;
+    }
+  }
+  std::vector<Instr> out;
+  out.reserve(code.size());
+  for (std::size_t idx = 0; idx < code.size(); ++idx) {
+    if (keep[idx]) out.push_back(code[idx]);
+  }
+  const bool changed = out.size() != code.size();
+  stats->removed_dead += code.size() - out.size();
+  code = std::move(out);
+  return changed;
+}
+
+/// Linear-scan register coalescing over SSA intervals. An operand whose
+/// live range ends at an instruction frees its physical register *before*
+/// the destination allocates, so dst may reuse an operand's register — the
+/// tiled VM's opcode bodies are written to tolerate exactly that aliasing.
+std::vector<Instr> coalesce(const std::vector<Instr>& code,
+                            std::uint16_t num_regs,
+                            std::uint16_t* out_num_regs) {
+  std::vector<int> last_use(num_regs, -1);
+  for (std::size_t idx = 0; idx < code.size(); ++idx) {
+    const Instr& in = code[idx];
+    const int nops = instr_register_operands(in);
+    for (int k = 0; k < nops; ++k) {
+      last_use[in.args[static_cast<std::size_t>(k)]] = static_cast<int>(idx);
+    }
+    if (op_defines_register(in.op) && last_use[in.dst] < static_cast<int>(idx)) {
+      last_use[in.dst] = static_cast<int>(idx);
+    }
+  }
+
+  std::vector<std::uint16_t> phys(num_regs, kNoReg);
+  std::set<std::uint16_t> free_regs;
+  std::uint16_t next_phys = 0;
+  std::vector<Instr> out = code;
+  for (std::size_t idx = 0; idx < out.size(); ++idx) {
+    Instr& in = out[idx];
+    const int nops = instr_register_operands(in);
+    std::array<std::uint16_t, 5> orig{};
+    for (int k = 0; k < nops; ++k) {
+      orig[static_cast<std::size_t>(k)] = in.args[static_cast<std::size_t>(k)];
+      in.args[static_cast<std::size_t>(k)] =
+          phys[orig[static_cast<std::size_t>(k)]];
+    }
+    for (int k = 0; k < nops; ++k) {
+      const std::uint16_t r = orig[static_cast<std::size_t>(k)];
+      if (last_use[r] == static_cast<int>(idx)) {
+        free_regs.insert(phys[r]);
+      }
+    }
+    if (op_defines_register(in.op)) {
+      const std::uint16_t ssa_dst = in.dst;
+      std::uint16_t p;
+      if (!free_regs.empty()) {
+        p = *free_regs.begin();
+        free_regs.erase(free_regs.begin());
+      } else {
+        p = next_phys++;
+      }
+      phys[ssa_dst] = p;
+      in.dst = p;
+      if (last_use[ssa_dst] == static_cast<int>(idx)) {
+        // Defined but never read (e.g. a dead grad3d kept for its side
+        // effects): release immediately.
+        free_regs.insert(p);
+      }
+    }
+  }
+  *out_num_regs = next_phys;
+  return out;
+}
+
+}  // namespace
+
+Program optimize_program(const Program& program, OptimizerStats* stats) {
+  OptimizerStats local;
+  local.registers_before = program.register_count();
+
+  std::vector<Instr> code = program.code();
+  const std::uint16_t num_regs = program.register_count();
+  bool changed = true;
+  for (int round = 0; round < 4 && changed; ++round) {
+    changed = false;
+    if (forward_pass(code, num_regs, &local)) changed = true;
+    if (dce(code, num_regs, &local)) changed = true;
+  }
+
+  // Metadata (flops/bytes per item, the register-pressure scan) is computed
+  // on the SSA form — the liveness scan assumes single definitions — then
+  // the coalesced code and its smaller register file are swapped in.
+  Program result =
+      Program::assemble(program.name(), code, program.params(), num_regs,
+                        program.out_components());
+  std::uint16_t packed_regs = 0;
+  std::vector<Instr> packed = coalesce(code, num_regs, &packed_regs);
+  result.code_ = std::move(packed);
+  result.num_regs_ = packed_regs;
+
+  local.registers_after = packed_regs;
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+FusedPipeline optimize_pipeline(FusedPipeline pipeline) {
+  for (FusedPipeline::Stage& stage : pipeline.stages) {
+    stage.program = optimize_program(stage.program);
+  }
+  return pipeline;
+}
+
+}  // namespace dfg::kernels

@@ -142,9 +142,7 @@ const char* op_name(Op op) {
   return "?";
 }
 
-namespace {
-
-bool is_binary(Op op) {
+bool op_is_binary(Op op) {
   switch (op) {
     case Op::add:
     case Op::sub:
@@ -165,7 +163,7 @@ bool is_binary(Op op) {
   }
 }
 
-bool is_unary(Op op) {
+bool op_is_unary(Op op) {
   switch (op) {
     case Op::sqrt:
     case Op::neg:
@@ -184,10 +182,9 @@ bool is_unary(Op op) {
   }
 }
 
-/// Number of register operands consumed by an instruction.
-int register_operand_count(const Instr& instr) {
-  if (is_binary(instr.op)) return 2;
-  if (is_unary(instr.op) || instr.op == Op::component ||
+int instr_register_operands(const Instr& instr) {
+  if (op_is_binary(instr.op)) return 2;
+  if (op_is_unary(instr.op) || instr.op == Op::component ||
       instr.op == Op::store || instr.op == Op::store_vec) {
     return 1;
   }
@@ -195,9 +192,11 @@ int register_operand_count(const Instr& instr) {
   return 0;
 }
 
-bool defines_register(Op op) {
+bool op_defines_register(Op op) {
   return op != Op::store && op != Op::store_vec;
 }
+
+namespace {
 
 /// Lanes a register holds as live scalars: vector-valued producers hold 3,
 /// scalar producers 1.
@@ -269,7 +268,7 @@ std::uint16_t ProgramBuilder::emit_load_const(float value) {
 
 std::uint16_t ProgramBuilder::emit_binary(Op op, std::uint16_t a,
                                           std::uint16_t b) {
-  if (!is_binary(op)) {
+  if (!op_is_binary(op)) {
     throw KernelError(std::string("emit_binary called with opcode ") +
                       op_name(op));
   }
@@ -279,7 +278,7 @@ std::uint16_t ProgramBuilder::emit_binary(Op op, std::uint16_t a,
 }
 
 std::uint16_t ProgramBuilder::emit_unary(Op op, std::uint16_t a) {
-  if (!is_unary(op)) {
+  if (!op_is_unary(op)) {
     throw KernelError(std::string("emit_unary called with opcode ") +
                       op_name(op));
   }
@@ -322,23 +321,32 @@ std::uint16_t ProgramBuilder::emit_grad3d(std::uint16_t field_slot,
 }
 
 Program ProgramBuilder::finish(std::uint16_t result_reg, int out_components) {
-  if (out_components != 1 && out_components != 3) {
-    throw KernelError("out_components must be 1 or 3");
-  }
   if (result_reg >= next_reg_) {
     throw KernelError("program '" + name_ + "' stores undefined register r" +
                       std::to_string(result_reg));
+  }
+  if (out_components != 1 && out_components != 3) {
+    throw KernelError("out_components must be 1 or 3");
   }
   code_.push_back(Instr{out_components == 1 ? Op::store : Op::store_vec,
                         0,
                         {result_reg},
                         0.0f});
+  return Program::assemble(std::move(name_), std::move(code_),
+                           std::move(params_), next_reg_, out_components);
+}
 
+Program Program::assemble(std::string name, std::vector<Instr> code,
+                          std::vector<BufferParam> params,
+                          std::uint16_t num_regs, int out_components) {
+  if (out_components != 1 && out_components != 3) {
+    throw KernelError("out_components must be 1 or 3");
+  }
   Program prog;
-  prog.name_ = std::move(name_);
-  prog.code_ = std::move(code_);
-  prog.params_ = std::move(params_);
-  prog.num_regs_ = next_reg_;
+  prog.name_ = std::move(name);
+  prog.code_ = std::move(code);
+  prog.params_ = std::move(params);
+  prog.num_regs_ = num_regs;
   prog.out_components_ = out_components;
 
   // Cost metadata.
@@ -355,7 +363,7 @@ Program ProgramBuilder::finish(std::uint16_t result_reg, int out_components) {
   std::vector<int> widths(prog.num_regs_, 1);
   for (std::size_t i = 0; i < n; ++i) {
     const Instr& instr = prog.code_[i];
-    const int operands = register_operand_count(instr);
+    const int operands = instr_register_operands(instr);
     for (int k = 0; k < operands; ++k) {
       const std::uint16_t reg = instr.args[static_cast<std::size_t>(k)];
       if (reg >= prog.num_regs_ || def_at[reg] < 0) {
@@ -365,7 +373,7 @@ Program ProgramBuilder::finish(std::uint16_t result_reg, int out_components) {
       }
       last_use[reg] = static_cast<int>(i);
     }
-    if (defines_register(instr.op)) {
+    if (op_defines_register(instr.op)) {
       def_at[instr.dst] = static_cast<int>(i);
       widths[instr.dst] = result_width(instr, widths);
       last_use[instr.dst] = static_cast<int>(i);

@@ -25,9 +25,20 @@ struct BufferParam {
   bool is_vec = false;
 };
 
+struct OptimizerStats;
+
 class Program {
  public:
   Program() = default;
+
+  /// Validates a complete instruction sequence (its store included) and
+  /// computes the cost metadata — the shared back half of
+  /// ProgramBuilder::finish, also used by the bytecode optimizer to rebuild
+  /// programs after rewriting. The code must be in SSA form (each register
+  /// defined at most once) for the register-pressure scan to be exact.
+  static Program assemble(std::string name, std::vector<Instr> code,
+                          std::vector<BufferParam> params,
+                          std::uint16_t num_regs, int out_components);
 
   const std::string& name() const { return name_; }
   const std::vector<Instr>& code() const { return code_; }
@@ -47,6 +58,11 @@ class Program {
 
  private:
   friend class ProgramBuilder;
+  /// The optimizer's register coalescing renames registers in place while
+  /// keeping the SSA-computed metadata (the liveness scan above is only
+  /// exact on SSA code, so it runs before renaming).
+  friend Program optimize_program(const Program& program,
+                                  OptimizerStats* stats);
 
   std::string name_;
   std::vector<Instr> code_;

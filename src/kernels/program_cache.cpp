@@ -1,0 +1,113 @@
+#include "kernels/program_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "kernels/primitives.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace dfg::kernels {
+
+ProgramCache::ProgramCache()
+    : caching_enabled_(!support::env::get_flag("DFGEN_NO_PROGRAM_CACHE")),
+      optimizer_enabled_(!support::env::get_flag("DFGEN_NO_VM_OPTIMIZER")) {}
+
+ProgramCache& ProgramCache::instance() {
+  static ProgramCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FusedPipeline> ProgramCache::fused_pipeline(
+    const dataflow::Network& network, const std::string& kernel_name) {
+  std::unique_lock lock(mutex_);
+  const bool optimize = optimizer_enabled_;
+  const PipelineKey key{network.fingerprint(), kernel_name, optimize};
+  if (caching_enabled_) {
+    const auto it = pipelines_.find(key);
+    if (it != pipelines_.end()) {
+      ++stats_.pipeline_hits;
+      return it->second;
+    }
+  }
+  ++stats_.pipeline_misses;
+  // Generation can be slow; run it outside the lock (a racing thread may
+  // generate the same pipeline — both results are identical, last wins).
+  lock.unlock();
+  auto pipeline = std::make_shared<const FusedPipeline>(
+      generate_fused_pipeline(network, kernel_name, optimize));
+  lock.lock();
+  if (caching_enabled_) pipelines_[key] = pipeline;
+  return pipeline;
+}
+
+std::shared_ptr<const Program> ProgramCache::fused_single(
+    const dataflow::Network& network, const std::string& kernel_name) {
+  std::shared_ptr<const FusedPipeline> pipeline =
+      fused_pipeline(network, kernel_name);
+  if (pipeline->partitioned()) {
+    const std::set<int> barriers = materialization_barriers(network);
+    throw KernelError(
+        "network takes the gradient of a computed value ('" +
+        network.spec().node(*barriers.begin()).label +
+        "'); a single fused kernel cannot stencil registers — use "
+        "generate_fused_pipeline (the fusion strategy does this "
+        "automatically)");
+  }
+  // Aliasing shared_ptr: shares ownership of the pipeline, points at its
+  // only stage's program.
+  return std::shared_ptr<const Program>(pipeline,
+                                        &pipeline->stages.front().program);
+}
+
+std::shared_ptr<const Program> ProgramCache::standalone(
+    const std::string& kind, int component, float value) {
+  std::unique_lock lock(mutex_);
+  const StandaloneKey key{kind, component, std::bit_cast<std::uint32_t>(value)};
+  if (caching_enabled_) {
+    const auto it = standalones_.find(key);
+    if (it != standalones_.end()) {
+      ++stats_.standalone_hits;
+      return it->second;
+    }
+  }
+  ++stats_.standalone_misses;
+  lock.unlock();
+  auto program = std::make_shared<const Program>(
+      make_standalone_program(kind, component, value));
+  lock.lock();
+  if (caching_enabled_) standalones_[key] = program;
+  return program;
+}
+
+ProgramCacheStats ProgramCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void ProgramCache::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  stats_ = ProgramCacheStats{};
+}
+
+void ProgramCache::clear() {
+  std::scoped_lock lock(mutex_);
+  pipelines_.clear();
+  standalones_.clear();
+}
+
+void ProgramCache::set_caching_enabled(bool enabled) {
+  std::scoped_lock lock(mutex_);
+  caching_enabled_ = enabled;
+  if (!enabled) {
+    pipelines_.clear();
+    standalones_.clear();
+  }
+}
+
+void ProgramCache::set_optimizer_enabled(bool enabled) {
+  std::scoped_lock lock(mutex_);
+  optimizer_enabled_ = enabled;
+}
+
+}  // namespace dfg::kernels

@@ -1,0 +1,92 @@
+// Kernel layer: process-wide fused-program cache.
+//
+// Kernel generation (and optimisation) is pure: the same network structure
+// always yields the same programs. The cache memoises generate_fused_pipeline
+// results keyed by the network's canonical fingerprint, so repeated
+// Engine::evaluate calls, the planner's estimate replays, and every block of
+// a distributed run generate each pipeline exactly once. Standalone
+// primitive programs (used by the staged and roundtrip strategies) are
+// memoised the same way, keyed by primitive kind / component / constant
+// bits.
+//
+// Environment knobs (read once at first use):
+//   DFGEN_NO_PROGRAM_CACHE=1  — generate fresh programs on every request
+//   DFGEN_NO_VM_OPTIMIZER=1   — cache raw (unoptimized) pipelines
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "dataflow/network.hpp"
+#include "kernels/generator.hpp"
+#include "kernels/program.hpp"
+
+namespace dfg::kernels {
+
+/// Monotonic hit/miss counters (a "miss" is any request that ran the
+/// generator, including requests served while caching is disabled).
+struct ProgramCacheStats {
+  std::uint64_t pipeline_hits = 0;
+  std::uint64_t pipeline_misses = 0;
+  std::uint64_t standalone_hits = 0;
+  std::uint64_t standalone_misses = 0;
+};
+
+class ProgramCache {
+ public:
+  /// The process-wide instance. All methods are thread-safe.
+  static ProgramCache& instance();
+
+  /// The fused pipeline for `network`, generated on first request. The
+  /// returned pointer stays valid for the process lifetime (entries are
+  /// never evicted; clear() only detaches them from the cache).
+  std::shared_ptr<const FusedPipeline> fused_pipeline(
+      const dataflow::Network& network,
+      const std::string& kernel_name = "fused_expression");
+
+  /// The single fused kernel for a non-partitioned network — the cached
+  /// pipeline's only stage. Throws KernelError with generate_fused's
+  /// guidance when the network requires partitioning (the streamed and
+  /// multi-device paths cannot execute pipelines).
+  std::shared_ptr<const Program> fused_single(
+      const dataflow::Network& network,
+      const std::string& kernel_name = "fused_expression");
+
+  /// A standalone primitive program (make_standalone_program memoised).
+  /// `value` is only meaningful for constant-fill programs, `component`
+  /// for decompose. Standalone programs are never optimized: they are
+  /// single-primitive bodies with nothing to fold.
+  std::shared_ptr<const Program> standalone(const std::string& kind,
+                                            int component = 0,
+                                            float value = 0.0f);
+
+  ProgramCacheStats stats() const;
+  void reset_stats();
+  /// Drops all cached entries (outstanding shared_ptrs stay valid).
+  void clear();
+
+  bool caching_enabled() const { return caching_enabled_; }
+  bool optimizer_enabled() const { return optimizer_enabled_; }
+  void set_caching_enabled(bool enabled);
+  void set_optimizer_enabled(bool enabled);
+
+ private:
+  ProgramCache();
+
+  using PipelineKey = std::tuple<std::uint64_t, std::string, bool>;
+  using StandaloneKey = std::tuple<std::string, int, std::uint32_t>;
+
+  mutable std::mutex mutex_;
+  std::map<PipelineKey, std::shared_ptr<const FusedPipeline>> pipelines_;
+  std::map<StandaloneKey, std::shared_ptr<const Program>> standalones_;
+  ProgramCacheStats stats_;
+  bool caching_enabled_ = true;
+  bool optimizer_enabled_ = true;
+};
+
+}  // namespace dfg::kernels

@@ -58,40 +58,44 @@ const char* comparison_operator(Op op) {
 }
 
 void print_instr(std::ostringstream& os, const Program& program,
-                 const Instr& in) {
+                 const Instr& in, bool declare) {
   const auto& params = program.params();
+  // After register coalescing a register may be redefined; declare it at
+  // its first definition only so the emitted source stays valid OpenCL C.
+  const std::string dst =
+      declare ? "float4 " + reg(in.dst) : reg(in.dst);
   os << "    ";
   if (const char* op = infix_operator(in.op)) {
-    os << "float4 " << reg(in.dst) << " = " << reg(in.args[0]) << " " << op
+    os << dst << " = " << reg(in.args[0]) << " " << op
        << " " << reg(in.args[1]) << ";";
   } else if (const char* cmp = comparison_operator(in.op)) {
-    os << "float4 " << reg(in.dst) << " = (float4)((" << reg(in.args[0])
+    os << dst << " = (float4)((" << reg(in.args[0])
        << ".s0 " << cmp << " " << reg(in.args[1])
        << ".s0) ? 1.0f : 0.0f, 0.0f, 0.0f, 0.0f);";
   } else {
     switch (in.op) {
       case Op::load_global:
-        os << "float4 " << reg(in.dst) << " = (float4)("
+        os << dst << " = (float4)("
            << params[in.args[0]].name << "[gid], 0.0f, 0.0f, 0.0f);";
         break;
       case Op::load_global_vec:
-        os << "float4 " << reg(in.dst) << " = vload4(gid, "
+        os << dst << " = vload4(gid, "
            << params[in.args[0]].name << ");";
         break;
       case Op::load_const:
         // Source-code-level constant insertion.
-        os << "float4 " << reg(in.dst) << " = (float4)("
+        os << dst << " = (float4)("
            << support::format_float(in.imm) << "f, 0.0f, 0.0f, 0.0f);";
         break;
       case Op::sqrt:
-        os << "float4 " << reg(in.dst) << " = sqrt(" << reg(in.args[0])
+        os << dst << " = sqrt(" << reg(in.args[0])
            << ");";
         break;
       case Op::neg:
-        os << "float4 " << reg(in.dst) << " = -" << reg(in.args[0]) << ";";
+        os << dst << " = -" << reg(in.args[0]) << ";";
         break;
       case Op::abs:
-        os << "float4 " << reg(in.dst) << " = fabs(" << reg(in.args[0])
+        os << dst << " = fabs(" << reg(in.args[0])
            << ");";
         break;
       case Op::sin:
@@ -102,33 +106,33 @@ void print_instr(std::ostringstream& os, const Program& program,
       case Op::tanh:
       case Op::floor:
       case Op::ceil:
-        os << "float4 " << reg(in.dst) << " = " << op_name(in.op) << "("
+        os << dst << " = " << op_name(in.op) << "("
            << reg(in.args[0]) << ");";
         break;
       case Op::min:
-        os << "float4 " << reg(in.dst) << " = fmin(" << reg(in.args[0])
+        os << dst << " = fmin(" << reg(in.args[0])
            << ", " << reg(in.args[1]) << ");";
         break;
       case Op::max:
-        os << "float4 " << reg(in.dst) << " = fmax(" << reg(in.args[0])
+        os << dst << " = fmax(" << reg(in.args[0])
            << ", " << reg(in.args[1]) << ");";
         break;
       case Op::pow:
-        os << "float4 " << reg(in.dst) << " = pow(" << reg(in.args[0])
+        os << dst << " = pow(" << reg(in.args[0])
            << ", " << reg(in.args[1]) << ");";
         break;
       case Op::component:
         // Source-level decompose: an OpenCL vector sub-component select.
-        os << "float4 " << reg(in.dst) << " = (float4)(" << reg(in.args[0])
+        os << dst << " = (float4)(" << reg(in.args[0])
            << ".s" << in.args[1] << ", 0.0f, 0.0f, 0.0f);";
         break;
       case Op::select:
-        os << "float4 " << reg(in.dst) << " = (" << reg(in.args[0])
+        os << dst << " = (" << reg(in.args[0])
            << ".s0 != 0.0f) ? " << reg(in.args[1]) << " : " << reg(in.args[2])
            << ";";
         break;
       case Op::grad3d:
-        os << "float4 " << reg(in.dst) << " = grad3d("
+        os << dst << " = grad3d("
            << params[in.args[0]].name << ", " << params[in.args[1]].name
            << ", " << params[in.args[2]].name << ", "
            << params[in.args[3]].name << ", " << params[in.args[4]].name
@@ -158,8 +162,11 @@ std::string to_opencl_body(const Program& program) {
   }
   os << "    __global float *out)\n{\n";
   os << "    int gid = get_global_id(0);\n";
+  std::set<std::uint16_t> declared;
   for (const Instr& in : program.code()) {
-    print_instr(os, program, in);
+    const bool declare =
+        op_defines_register(in.op) && declared.insert(in.dst).second;
+    print_instr(os, program, in, declare);
   }
   os << "}\n";
   return os.str();

@@ -1,6 +1,7 @@
 #include "kernels/vm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "support/error.hpp"
@@ -67,6 +68,50 @@ GradContext make_grad_context(const Instr& instr,
   return ctx;
 }
 
+/// Shared prevalidation for both interpreters: argument-count and output
+/// extent checks, scalar/vector load extent checks, and gradient contexts
+/// built once per call.
+std::vector<GradContext> prevalidate(const Program& program,
+                                     std::span<const BufferBinding> inputs,
+                                     std::size_t out_elements,
+                                     std::size_t begin, std::size_t end) {
+  if (inputs.size() != program.params().size()) {
+    throw KernelError("program '" + program.name() + "' expects " +
+                      std::to_string(program.params().size()) +
+                      " buffers, got " + std::to_string(inputs.size()));
+  }
+  const std::size_t stride = program.out_stride();
+  if (end > begin && out_elements < end * stride) {
+    throw KernelError("program '" + program.name() +
+                      "' output buffer too small: " +
+                      std::to_string(out_elements) + " < " +
+                      std::to_string(end * stride));
+  }
+
+  std::vector<GradContext> grads(program.code().size());
+  for (std::size_t pc = 0; pc < program.code().size(); ++pc) {
+    const Instr& instr = program.code()[pc];
+    if (instr.op == Op::grad3d) {
+      grads[pc] = make_grad_context(instr, inputs, program.name());
+    } else if (instr.op == Op::load_global) {
+      const BufferBinding& b = inputs[instr.args[0]];
+      if (end > begin && b.elements < end) {
+        throw KernelError("program '" + program.name() + "' buffer '" +
+                          program.params()[instr.args[0]].name +
+                          "' too small for NDRange");
+      }
+    } else if (instr.op == Op::load_global_vec) {
+      const BufferBinding& b = inputs[instr.args[0]];
+      if (end > begin && b.elements < end * 4) {
+        throw KernelError("program '" + program.name() + "' vec buffer '" +
+                          program.params()[instr.args[0]].name +
+                          "' too small for NDRange");
+      }
+    }
+  }
+  return grads;
+}
+
 /// One-axis derivative of a cell-centered field: central difference on the
 /// interior, one-sided at the boundary — the discretisation used by
 /// rectilinear-gradient filters in VisIt-style pipelines. The coordinate
@@ -111,6 +156,69 @@ inline Vec4 eval_grad(const GradContext& ctx, std::size_t gid) {
   return g;
 }
 
+/// Exact backward lane-liveness, one 4-bit mask per instruction: bit l set
+/// when some later consumer can observe lane l of the value this
+/// instruction defines. Unlike the optimizer's SSA-only analysis this
+/// clears a register's mask at every definition, so it is exact for
+/// coalesced (register-reusing) straight-line code too. The tiled
+/// interpreter skips dead lanes — and whole dead instructions — which is
+/// safe precisely because nothing can read what was skipped.
+std::vector<std::uint8_t> live_lane_masks(const Program& program) {
+  const std::vector<Instr>& code = program.code();
+  std::vector<std::uint8_t> live(program.register_count(), 0);
+  std::vector<std::uint8_t> masks(code.size(), 0);
+  for (std::size_t idx = code.size(); idx-- > 0;) {
+    const Instr& in = code[idx];
+    if (in.op == Op::store) {
+      live[in.args[0]] |= 0x1;
+      masks[idx] = 0xF;  // stores always execute
+      continue;
+    }
+    if (in.op == Op::store_vec) {
+      live[in.args[0]] |= 0xF;
+      masks[idx] = 0xF;
+      continue;
+    }
+    const std::uint8_t m = live[in.dst];
+    masks[idx] = m;
+    live[in.dst] = 0;
+    if (m == 0) continue;  // dead definition: operands stay unobserved
+    switch (in.op) {
+      case Op::component:
+        if (m & 0x1) {
+          live[in.args[0]] |= static_cast<std::uint8_t>(1u << in.args[1]);
+        }
+        break;
+      case Op::cmp_gt:
+      case Op::cmp_lt:
+      case Op::cmp_ge:
+      case Op::cmp_le:
+      case Op::cmp_eq:
+      case Op::cmp_ne:
+        if (m & 0x1) {
+          live[in.args[0]] |= 0x1;
+          live[in.args[1]] |= 0x1;
+        }
+        break;
+      case Op::select:
+        live[in.args[0]] |= 0x1;
+        live[in.args[1]] |= m;
+        live[in.args[2]] |= m;
+        break;
+      default:
+        if (op_is_binary(in.op)) {
+          live[in.args[0]] |= m;
+          live[in.args[1]] |= m;
+        } else if (op_is_unary(in.op)) {
+          live[in.args[0]] |= m;
+        }
+        // Loads and grad3d read buffers, not registers.
+        break;
+    }
+  }
+  return masks;
+}
+
 template <typename F>
 inline Vec4 lanewise(const Vec4& a, const Vec4& b, F f) {
   Vec4 r;
@@ -130,42 +238,312 @@ inline Vec4 lanewise1(const Vec4& a, F f) {
 void run(const Program& program, std::span<const BufferBinding> inputs,
          float* out, std::size_t out_elements, std::size_t begin,
          std::size_t end) {
-  if (inputs.size() != program.params().size()) {
-    throw KernelError("program '" + program.name() + "' expects " +
-                      std::to_string(program.params().size()) +
-                      " buffers, got " + std::to_string(inputs.size()));
-  }
-  const std::size_t stride = program.out_stride();
-  if (end > begin && out_elements < end * stride) {
-    throw KernelError("program '" + program.name() +
-                      "' output buffer too small: " +
-                      std::to_string(out_elements) + " < " +
-                      std::to_string(end * stride));
-  }
+  const std::vector<GradContext> grads =
+      prevalidate(program, inputs, out_elements, begin, end);
+  const std::vector<std::uint8_t> masks = live_lane_masks(program);
 
-  // Validate scalar loads against buffer extents and pre-build gradient
-  // contexts once per chunk.
-  std::vector<GradContext> grads(program.code().size());
-  for (std::size_t pc = 0; pc < program.code().size(); ++pc) {
-    const Instr& instr = program.code()[pc];
-    if (instr.op == Op::grad3d) {
-      grads[pc] = make_grad_context(instr, inputs, program.name());
-    } else if (instr.op == Op::load_global) {
-      const BufferBinding& b = inputs[instr.args[0]];
-      if (end > begin && b.elements < end) {
-        throw KernelError("program '" + program.name() + "' buffer '" +
-                          program.params()[instr.args[0]].name +
-                          "' too small for NDRange");
+  // Per-tile register file: column arrays in structure-of-arrays layout,
+  // kTileSize floats per lane, the four lanes of a register contiguous.
+  std::vector<float> ws(static_cast<std::size_t>(program.register_count()) *
+                        4 * kTileSize);
+  const auto col = [&ws](std::uint16_t reg, int lane) {
+    return ws.data() +
+           (static_cast<std::size_t>(reg) * 4 + static_cast<std::size_t>(lane)) *
+               kTileSize;
+  };
+
+  for (std::size_t t0 = begin; t0 < end; t0 += kTileSize) {
+    const std::size_t count = std::min(kTileSize, end - t0);
+
+    // Zero the *live* lanes among 1..3 of a freshly defined
+    // scalar-producing register, matching the element interpreter's
+    // `regs[dst] = Vec4{}` reset on every lane a consumer can observe.
+    const auto zero_high = [&](std::uint16_t reg, std::uint8_t mask) {
+      for (int lane = 1; lane < 4; ++lane) {
+        if (mask & (1u << lane)) {
+          std::memset(col(reg, lane), 0, count * sizeof(float));
+        }
       }
-    } else if (instr.op == Op::load_global_vec) {
-      const BufferBinding& b = inputs[instr.args[0]];
-      if (end > begin && b.elements < end * 4) {
-        throw KernelError("program '" + program.name() + "' vec buffer '" +
-                          program.params()[instr.args[0]].name +
-                          "' too small for NDRange");
+    };
+    // Lane-wise binary/unary bodies over the live lanes only. Element-wise
+    // read-before-write keeps them correct when register coalescing makes
+    // dst alias an operand.
+    const auto binary = [&](const Instr& in, std::uint8_t mask, auto f) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (!(mask & (1u << lane))) continue;
+        const float* a = col(in.args[0], lane);
+        const float* b = col(in.args[1], lane);
+        float* d = col(in.dst, lane);
+        for (std::size_t e = 0; e < count; ++e) d[e] = f(a[e], b[e]);
+      }
+    };
+    const auto unary = [&](const Instr& in, std::uint8_t mask, auto f) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (!(mask & (1u << lane))) continue;
+        const float* a = col(in.args[0], lane);
+        float* d = col(in.dst, lane);
+        for (std::size_t e = 0; e < count; ++e) d[e] = f(a[e]);
+      }
+    };
+    const auto compare = [&](const Instr& in, std::uint8_t mask, auto f) {
+      if (mask & 0x1) {
+        const float* a = col(in.args[0], 0);
+        const float* b = col(in.args[1], 0);
+        float* d = col(in.dst, 0);
+        for (std::size_t e = 0; e < count; ++e) {
+          d[e] = f(a[e], b[e]) ? 1.0f : 0.0f;
+        }
+      }
+      zero_high(in.dst, mask);
+    };
+
+    for (std::size_t pc = 0; pc < program.code().size(); ++pc) {
+      const Instr& in = program.code()[pc];
+      const std::uint8_t mask = masks[pc];
+      // A definition nothing can observe needs no work at all (stores and
+      // the out-buffer writes always carry mask 0xF).
+      if (mask == 0 && op_defines_register(in.op)) continue;
+      switch (in.op) {
+        case Op::load_global: {
+          if (mask & 0x1) {
+            std::memcpy(col(in.dst, 0), inputs[in.args[0]].data + t0,
+                        count * sizeof(float));
+          }
+          zero_high(in.dst, mask);
+          break;
+        }
+        case Op::load_global_vec: {
+          const float* p = inputs[in.args[0]].data + t0 * 4;
+          for (int lane = 0; lane < 4; ++lane) {
+            if (!(mask & (1u << lane))) continue;
+            float* d = col(in.dst, lane);
+            for (std::size_t e = 0; e < count; ++e) {
+              d[e] = p[e * 4 + static_cast<std::size_t>(lane)];
+            }
+          }
+          break;
+        }
+        case Op::load_const: {
+          if (mask & 0x1) {
+            float* d = col(in.dst, 0);
+            for (std::size_t e = 0; e < count; ++e) d[e] = in.imm;
+          }
+          zero_high(in.dst, mask);
+          break;
+        }
+        case Op::add:
+          binary(in, mask, [](float a, float b) { return a + b; });
+          break;
+        case Op::sub:
+          binary(in, mask, [](float a, float b) { return a - b; });
+          break;
+        case Op::mul:
+          binary(in, mask, [](float a, float b) { return a * b; });
+          break;
+        case Op::div:
+          binary(in, mask, [](float a, float b) { return a / b; });
+          break;
+        case Op::min:
+          binary(in, mask, [](float a, float b) { return std::fmin(a, b); });
+          break;
+        case Op::max:
+          binary(in, mask, [](float a, float b) { return std::fmax(a, b); });
+          break;
+        case Op::pow:
+          binary(in, mask, [](float a, float b) { return std::pow(a, b); });
+          break;
+        case Op::sqrt:
+          unary(in, mask, [](float a) { return std::sqrt(a); });
+          break;
+        case Op::neg:
+          unary(in, mask, [](float a) { return -a; });
+          break;
+        case Op::abs:
+          unary(in, mask, [](float a) { return std::fabs(a); });
+          break;
+        case Op::sin:
+          unary(in, mask, [](float a) { return std::sin(a); });
+          break;
+        case Op::cos:
+          unary(in, mask, [](float a) { return std::cos(a); });
+          break;
+        case Op::tan:
+          unary(in, mask, [](float a) { return std::tan(a); });
+          break;
+        case Op::exp:
+          unary(in, mask, [](float a) { return std::exp(a); });
+          break;
+        case Op::log:
+          unary(in, mask, [](float a) { return std::log(a); });
+          break;
+        case Op::tanh:
+          unary(in, mask, [](float a) { return std::tanh(a); });
+          break;
+        case Op::floor:
+          unary(in, mask, [](float a) { return std::floor(a); });
+          break;
+        case Op::ceil:
+          unary(in, mask, [](float a) { return std::ceil(a); });
+          break;
+        case Op::component: {
+          if (mask & 0x1) {
+            const float* src = col(in.args[0], static_cast<int>(in.args[1]));
+            float* d = col(in.dst, 0);
+            for (std::size_t e = 0; e < count; ++e) d[e] = src[e];
+          }
+          zero_high(in.dst, mask);
+          break;
+        }
+        case Op::cmp_gt:
+          compare(in, mask, [](float a, float b) { return a > b; });
+          break;
+        case Op::cmp_lt:
+          compare(in, mask, [](float a, float b) { return a < b; });
+          break;
+        case Op::cmp_ge:
+          compare(in, mask, [](float a, float b) { return a >= b; });
+          break;
+        case Op::cmp_le:
+          compare(in, mask, [](float a, float b) { return a <= b; });
+          break;
+        case Op::cmp_eq:
+          compare(in, mask, [](float a, float b) { return a == b; });
+          break;
+        case Op::cmp_ne:
+          compare(in, mask, [](float a, float b) { return a != b; });
+          break;
+        case Op::select: {
+          // Lane 0 last: when coalescing makes dst alias the condition
+          // register, the condition column must survive the lane-1..3
+          // passes, and the lane-0 pass itself reads before it writes.
+          const float* c0 = col(in.args[0], 0);
+          for (int lane = 3; lane >= 0; --lane) {
+            if (!(mask & (1u << lane))) continue;
+            const float* tv = col(in.args[1], lane);
+            const float* ev = col(in.args[2], lane);
+            float* d = col(in.dst, lane);
+            for (std::size_t e = 0; e < count; ++e) {
+              d[e] = c0[e] != 0.0f ? tv[e] : ev[e];
+            }
+          }
+          break;
+        }
+        case Op::grad3d: {
+          // Row-wise stencil: within one x-row (fixed j, k) the y- and
+          // z-neighbour offsets are constant, so both lanes reduce to
+          // streaming subtract/divide over contiguous spans; the x lane is
+          // contiguous too once its (at most two) boundary cells are
+          // peeled. Arithmetic is operand-for-operand the one
+          // axis_derivative performs, so results stay bit-identical to the
+          // element interpreter.
+          const GradContext& g = grads[pc];
+          const std::size_t plane = g.nx * g.ny;
+          std::size_t i = t0 % g.nx;
+          std::size_t j = (t0 / g.nx) % g.ny;
+          std::size_t k = t0 / plane;
+          float* d0 = col(in.dst, 0);
+          float* d1 = col(in.dst, 1);
+          float* d2 = col(in.dst, 2);
+          float* d3 = col(in.dst, 3);
+          std::size_t e = 0;
+          while (e < count) {
+            const std::size_t row_len = std::min(count - e, g.nx - i);
+            const std::size_t row_base = j * g.nx + k * plane;
+            // d/dx: neighbours along i within this row.
+            if (!(mask & 0x1)) {
+            } else if (g.nx == 1) {
+              for (std::size_t t = 0; t < row_len; ++t) d0[e + t] = 0.0f;
+            } else {
+              const float* f = g.field + row_base;
+              const float* cx = g.x + row_base;
+              std::size_t t = 0;
+              if (i == 0) {
+                d0[e] = axis_derivative(g.field, g.x, 0, g.nx, 1, row_base);
+                t = 1;
+              }
+              const std::size_t t_end =
+                  (i + row_len == g.nx) ? row_len - 1 : row_len;
+              for (; t < t_end; ++t) {
+                const std::size_t ii = i + t;
+                const float df = f[ii + 1] - f[ii - 1];
+                const float dc = cx[ii + 1] - cx[ii - 1];
+                d0[e + t] = dc == 0.0f ? 0.0f : df / dc;
+              }
+              if (t_end < row_len) {
+                d0[e + row_len - 1] = axis_derivative(g.field, g.x, g.nx - 1,
+                                                      g.nx, 1, row_base);
+              }
+            }
+            // d/dy: the whole row shares one (lo_j, hi_j) pair.
+            if (!(mask & 0x2)) {
+            } else if (g.ny == 1) {
+              for (std::size_t t = 0; t < row_len; ++t) d1[e + t] = 0.0f;
+            } else {
+              const std::size_t lo_j = j - (j > 0 ? 1 : 0);
+              const std::size_t hi_j = j + (j < g.ny - 1 ? 1 : 0);
+              const float* fhi = g.field + k * plane + hi_j * g.nx + i;
+              const float* flo = g.field + k * plane + lo_j * g.nx + i;
+              const float* chi = g.y + k * plane + hi_j * g.nx + i;
+              const float* clo = g.y + k * plane + lo_j * g.nx + i;
+              for (std::size_t t = 0; t < row_len; ++t) {
+                const float df = fhi[t] - flo[t];
+                const float dc = chi[t] - clo[t];
+                d1[e + t] = dc == 0.0f ? 0.0f : df / dc;
+              }
+            }
+            // d/dz: likewise one (lo_k, hi_k) pair per row.
+            if (!(mask & 0x4)) {
+            } else if (g.nz == 1) {
+              for (std::size_t t = 0; t < row_len; ++t) d2[e + t] = 0.0f;
+            } else {
+              const std::size_t lo_k = k - (k > 0 ? 1 : 0);
+              const std::size_t hi_k = k + (k < g.nz - 1 ? 1 : 0);
+              const float* fhi = g.field + j * g.nx + hi_k * plane + i;
+              const float* flo = g.field + j * g.nx + lo_k * plane + i;
+              const float* chi = g.z + j * g.nx + hi_k * plane + i;
+              const float* clo = g.z + j * g.nx + lo_k * plane + i;
+              for (std::size_t t = 0; t < row_len; ++t) {
+                const float df = fhi[t] - flo[t];
+                const float dc = chi[t] - clo[t];
+                d2[e + t] = dc == 0.0f ? 0.0f : df / dc;
+              }
+            }
+            if (mask & 0x8) {
+              for (std::size_t t = 0; t < row_len; ++t) d3[e + t] = 0.0f;
+            }
+            e += row_len;
+            i = 0;
+            if (++j == g.ny) {
+              j = 0;
+              ++k;
+            }
+          }
+          break;
+        }
+        case Op::store: {
+          std::memcpy(out + t0, col(in.args[0], 0), count * sizeof(float));
+          break;
+        }
+        case Op::store_vec: {
+          float* p = out + t0 * 4;
+          for (int lane = 0; lane < 4; ++lane) {
+            const float* s = col(in.args[0], lane);
+            for (std::size_t e = 0; e < count; ++e) {
+              p[e * 4 + static_cast<std::size_t>(lane)] = s[e];
+            }
+          }
+          break;
+        }
       }
     }
   }
+}
+
+void run_scalar(const Program& program, std::span<const BufferBinding> inputs,
+                float* out, std::size_t out_elements, std::size_t begin,
+                std::size_t end) {
+  const std::vector<GradContext> grads =
+      prevalidate(program, inputs, out_elements, begin, end);
 
   std::vector<Vec4> regs(program.register_count());
   for (std::size_t gid = begin; gid < end; ++gid) {
@@ -257,44 +635,60 @@ void run(const Program& program, std::span<const BufferBinding> inputs,
           regs[in.dst] = lanewise1(regs[in.args[0]],
                                    [](float a) { return std::ceil(a); });
           break;
-        case Op::component:
+        case Op::component: {
+          const float value = regs[in.args[0]][in.args[1]];
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] = regs[in.args[0]][in.args[1]];
+          regs[in.dst][0] = value;
           break;
-        case Op::cmp_gt:
-          regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+        }
+        case Op::cmp_gt: {
+          const float value =
               regs[in.args[0]][0] > regs[in.args[1]][0] ? 1.0f : 0.0f;
-          break;
-        case Op::cmp_lt:
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+          regs[in.dst][0] = value;
+          break;
+        }
+        case Op::cmp_lt: {
+          const float value =
               regs[in.args[0]][0] < regs[in.args[1]][0] ? 1.0f : 0.0f;
-          break;
-        case Op::cmp_ge:
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+          regs[in.dst][0] = value;
+          break;
+        }
+        case Op::cmp_ge: {
+          const float value =
               regs[in.args[0]][0] >= regs[in.args[1]][0] ? 1.0f : 0.0f;
-          break;
-        case Op::cmp_le:
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+          regs[in.dst][0] = value;
+          break;
+        }
+        case Op::cmp_le: {
+          const float value =
               regs[in.args[0]][0] <= regs[in.args[1]][0] ? 1.0f : 0.0f;
-          break;
-        case Op::cmp_eq:
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+          regs[in.dst][0] = value;
+          break;
+        }
+        case Op::cmp_eq: {
+          const float value =
               regs[in.args[0]][0] == regs[in.args[1]][0] ? 1.0f : 0.0f;
-          break;
-        case Op::cmp_ne:
           regs[in.dst] = Vec4{};
-          regs[in.dst][0] =
+          regs[in.dst][0] = value;
+          break;
+        }
+        case Op::cmp_ne: {
+          const float value =
               regs[in.args[0]][0] != regs[in.args[1]][0] ? 1.0f : 0.0f;
+          regs[in.dst] = Vec4{};
+          regs[in.dst][0] = value;
           break;
-        case Op::select:
-          regs[in.dst] = regs[in.args[0]][0] != 0.0f ? regs[in.args[1]]
-                                                     : regs[in.args[2]];
+        }
+        case Op::select: {
+          const Vec4 picked = regs[in.args[0]][0] != 0.0f ? regs[in.args[1]]
+                                                          : regs[in.args[2]];
+          regs[in.dst] = picked;
           break;
+        }
         case Op::grad3d:
           regs[in.dst] = eval_grad(grads[pc], gid);
           break;

@@ -4,6 +4,15 @@
 // parameters through BufferBinding views and writing the output buffer.
 // This is the "device" compute engine behind CommandQueue::launch: the
 // strategies build a KernelLaunch whose body calls run() on a chunk.
+//
+// run() interprets the program *tile-wise*: each instruction processes a
+// contiguous tile of up to kTileSize work-items before the next instruction
+// dispatches, with registers held as per-tile column arrays. Opcode bodies
+// become tight branch-free loops the compiler auto-vectorizes, so the
+// per-instruction dispatch cost is amortized over the whole tile instead of
+// being paid per element. run_scalar() preserves the original
+// element-at-a-time interpreter as the differential baseline; both produce
+// bit-identical results.
 #pragma once
 
 #include <cstddef>
@@ -14,13 +23,19 @@
 
 namespace dfg::kernels {
 
+/// Work-items interpreted per instruction dispatch by the tiled VM. Also the
+/// default parallel_for grain (support::kDefaultGrain mirrors this value so
+/// a tile is never split across two workers).
+inline constexpr std::size_t kTileSize = 1024;
+
 /// A read-only view of one bound buffer argument.
 struct BufferBinding {
   const float* data = nullptr;
   std::size_t elements = 0;  ///< total floats in the buffer
 };
 
-/// Executes `program` for global ids [begin, end).
+/// Executes `program` for global ids [begin, end) with the tiled
+/// interpreter.
 ///
 /// * inputs must match program.params() in count; a `is_vec` parameter must
 ///   hold 4 floats per element.
@@ -32,6 +47,14 @@ struct BufferBinding {
 void run(const Program& program, std::span<const BufferBinding> inputs,
          float* out, std::size_t out_elements, std::size_t begin,
          std::size_t end);
+
+/// Executes `program` element-at-a-time: the full instruction sequence is
+/// dispatched for one global id before moving to the next. Identical
+/// semantics and bit-identical output to run(); kept as the differential
+/// reference and as the interpreter-baseline stage of bench_vm_throughput.
+void run_scalar(const Program& program, std::span<const BufferBinding> inputs,
+                float* out, std::size_t out_elements, std::size_t begin,
+                std::size_t end);
 
 /// Convenience wrapper executing the whole NDRange serially (used by tests).
 void run_all(const Program& program, std::span<const BufferBinding> inputs,

@@ -13,15 +13,34 @@
 // the partitioned pipeline: one fused kernel per materialisation barrier,
 // intermediates staying on the device, still with (unique inputs) uploads
 // and a single readback.
+//
+// The pipeline comes from the process-wide ProgramCache (generated once per
+// network structure), and buffer-name lookups are resolved to dense slot
+// indices up front, so the per-evaluation path performs no string-keyed map
+// lookups.
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "kernels/generator.hpp"
+#include "kernels/program_cache.hpp"
 #include "kernels/vm.hpp"
 #include "runtime/strategy.hpp"
 #include "support/error.hpp"
 
 namespace dfg::runtime {
+
+namespace {
+
+/// Per-stage buffer wiring with every parameter name resolved to a dense
+/// slot index (resolved once per pipeline, reused across stages).
+struct StagePlan {
+  std::vector<std::size_t> param_slots;
+  std::size_t out_slot = 0;
+};
+
+}  // namespace
 
 std::vector<float> FusionStrategy::execute(const dataflow::Network& network,
                                            const FieldBindings& bindings,
@@ -29,51 +48,72 @@ std::vector<float> FusionStrategy::execute(const dataflow::Network& network,
                                            vcl::Device& device,
                                            vcl::ProfilingLog& log) const {
   vcl::CommandQueue queue(device, log);
-  const kernels::FusedPipeline pipeline =
-      kernels::generate_fused_pipeline(network);
+  const std::shared_ptr<const kernels::FusedPipeline> pipeline =
+      kernels::ProgramCache::instance().fused_pipeline(network);
+
+  // Resolve every buffer name (fields, materialised intermediates, the
+  // output) to a slot index.
+  std::vector<std::string> slot_names;
+  std::map<std::string, std::size_t> slot_index;
+  const auto slot_for = [&](const std::string& name) {
+    const auto it = slot_index.find(name);
+    if (it != slot_index.end()) return it->second;
+    const std::size_t slot = slot_names.size();
+    slot_names.push_back(name);
+    slot_index.emplace(name, slot);
+    return slot;
+  };
+  const int output_id = network.output_id();
+  std::vector<StagePlan> plans;
+  plans.reserve(pipeline->stages.size());
+  for (const kernels::FusedPipeline::Stage& stage : pipeline->stages) {
+    StagePlan plan;
+    plan.param_slots.reserve(stage.program.params().size());
+    for (const kernels::BufferParam& param : stage.program.params()) {
+      plan.param_slots.push_back(slot_for(param.name));
+    }
+    plan.out_slot = slot_for(
+        stage.node_id == output_id && !pipeline->partitioned()
+            ? std::string("out")
+            : kernels::materialized_param_name(stage.node_id));
+    plans.push_back(std::move(plan));
+  }
+  const std::size_t final_slot =
+      slot_index.at(pipeline->partitioned()
+                        ? kernels::materialized_param_name(output_id)
+                        : std::string("out"));
 
   // Buffers live for the whole pipeline: field uploads happen once at
-  // first use; materialised intermediates are written by their stage and
+  // first use (in stage-parameter order, matching the uncached event
+  // stream); materialised intermediates are written by their stage and
   // read by later stages' kernels without further transfers.
-  std::map<std::string, vcl::Buffer> buffers;
-  const auto buffer_for = [&](const std::string& name)
-      -> kernels::BufferBinding {
-    auto it = buffers.find(name);
-    if (it == buffers.end()) {
-      // A field parameter seen for the first time: upload the binding.
-      // (Materialised parameters are created by their producing stage and
-      // are always present by the time a consumer asks.)
-      const auto view = bindings.get(name);
-      vcl::Buffer buffer = device.allocate(view.size());
-      queue.write(buffer, view, name);
-      it = buffers.emplace(name, std::move(buffer)).first;
-    }
-    return kernels::BufferBinding{it->second.device_view().data(),
-                                  it->second.size()};
-  };
-
-  const int output_id = network.output_id();
-  for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+  std::vector<std::optional<vcl::Buffer>> buffers(slot_names.size());
+  for (std::size_t s = 0; s < pipeline->stages.size(); ++s) {
+    const kernels::FusedPipeline::Stage& stage = pipeline->stages[s];
+    const StagePlan& plan = plans[s];
     std::vector<kernels::BufferBinding> stage_inputs;
-    stage_inputs.reserve(stage.program.params().size());
-    for (const kernels::BufferParam& param : stage.program.params()) {
-      stage_inputs.push_back(buffer_for(param.name));
+    stage_inputs.reserve(plan.param_slots.size());
+    for (const std::size_t slot : plan.param_slots) {
+      if (!buffers[slot]) {
+        // A field parameter seen for the first time: upload the binding.
+        // (Materialised parameters are created by their producing stage
+        // and are always present by the time a consumer asks.)
+        const auto view = bindings.get(slot_names[slot]);
+        vcl::Buffer buffer = device.allocate(view.size());
+        queue.write(buffer, view, slot_names[slot]);
+        buffers[slot] = std::move(buffer);
+      }
+      stage_inputs.push_back(kernels::BufferBinding{
+          buffers[slot]->device_view().data(), buffers[slot]->size()});
     }
-    const std::string out_name =
-        stage.node_id == output_id && !pipeline.partitioned()
-            ? std::string("out")
-            : kernels::materialized_param_name(stage.node_id);
     vcl::Buffer out_buffer =
         device.allocate(elements * stage.program.out_stride());
     launch_program(queue, stage.program, std::move(stage_inputs),
                    out_buffer.device_view(), elements);
-    buffers.emplace(out_name, std::move(out_buffer));
+    buffers[plan.out_slot] = std::move(out_buffer);
   }
 
-  const std::string final_name =
-      pipeline.partitioned() ? kernels::materialized_param_name(output_id)
-                             : std::string("out");
-  const vcl::Buffer& final_buffer = buffers.at(final_name);
+  const vcl::Buffer& final_buffer = *buffers[final_slot];
   std::vector<float> result(final_buffer.size());
   queue.read(final_buffer, result,
              network.spec().node(output_id).label);

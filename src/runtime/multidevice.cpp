@@ -1,8 +1,10 @@
 #include "runtime/multidevice.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "kernels/generator.hpp"
+#include "kernels/program_cache.hpp"
 #include "runtime/slab.hpp"
 #include "support/error.hpp"
 
@@ -19,8 +21,12 @@ MultiDeviceReport execute_multi_device_fusion(
     throw NetworkError("multi-device execution needs one log per device");
   }
 
-  const kernels::Program program = kernels::generate_fused(network);
+  const std::shared_ptr<const kernels::Program> program_ptr =
+      kernels::ProgramCache::instance().fused_single(network);
+  const kernels::Program& program = *program_ptr;
   const SlabPlan plan = make_slab_plan(program, bindings, elements);
+  const std::vector<SlabParam> params =
+      resolve_slab_params(program, bindings);
 
   MultiDeviceReport report;
   report.values.assign(elements, 0.0f);
@@ -35,7 +41,7 @@ MultiDeviceReport execute_multi_device_fusion(
     const std::size_t span = base + (d < extra ? 1 : 0);
     if (span == 0) continue;
     const std::size_t end = begin + span;
-    run_fused_slab(program, bindings, plan, begin, end, *devices[d],
+    run_fused_slab(program, params, plan, begin, end, *devices[d],
                    logs[d], report.values);
     begin = end;
     ++report.devices_used;

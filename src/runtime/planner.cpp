@@ -6,6 +6,7 @@
 
 #include "kernels/generator.hpp"
 #include "kernels/primitives.hpp"
+#include "kernels/program_cache.hpp"
 #include "runtime/slab.hpp"
 #include "support/error.hpp"
 #include "vcl/cost_model.hpp"
@@ -91,12 +92,13 @@ std::size_t fusion_high_water(const dataflow::Network& network,
                               std::size_t elements) {
   // Covers both the single-kernel case (inputs + output) and the
   // partitioned pipeline, whose materialised intermediates stay on the
-  // device for the whole run.
-  const kernels::FusedPipeline pipeline =
-      kernels::generate_fused_pipeline(network);
+  // device for the whole run. The cached pipeline is the very object the
+  // fusion strategy executes, so the estimate replays its exact programs.
+  const std::shared_ptr<const kernels::FusedPipeline> pipeline =
+      kernels::ProgramCache::instance().fused_pipeline(network);
   std::set<std::string> fields;
   std::size_t floats = 0;
-  for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+  for (const kernels::FusedPipeline::Stage& stage : pipeline->stages) {
     floats += elements * stage.program.out_stride();
     for (const kernels::BufferParam& param : stage.program.params()) {
       if (param.name.rfind("__m", 0) == 0) continue;  // a stage output
@@ -127,7 +129,9 @@ std::size_t streamed_high_water(const dataflow::Network& network,
                                 const FieldBindings& bindings,
                                 std::size_t elements,
                                 std::size_t chunk_cells) {
-  const kernels::Program program = kernels::generate_fused(network);
+  const std::shared_ptr<const kernels::Program> program_ptr =
+      kernels::ProgramCache::instance().fused_single(network);
+  const kernels::Program& program = *program_ptr;
   const SlabPlan plan = make_slab_plan(program, bindings, elements);
 
   const std::size_t chunk_planes = planes_for_chunk(plan, chunk_cells);
@@ -156,12 +160,12 @@ std::size_t streamed_high_water(const dataflow::Network& network,
 double fusion_sim_seconds(const dataflow::Network& network,
                           const FieldBindings& bindings,
                           std::size_t elements, const vcl::CostModel& cost) {
-  const kernels::FusedPipeline pipeline =
-      kernels::generate_fused_pipeline(network);
+  const std::shared_ptr<const kernels::FusedPipeline> pipeline =
+      kernels::ProgramCache::instance().fused_pipeline(network);
   std::set<std::string> fields;
   double seconds = 0.0;
   std::size_t final_stride = 1;
-  for (const kernels::FusedPipeline::Stage& stage : pipeline.stages) {
+  for (const kernels::FusedPipeline::Stage& stage : pipeline->stages) {
     for (const kernels::BufferParam& param : stage.program.params()) {
       if (param.name.rfind("__m", 0) == 0) continue;  // a stage output
       if (fields.insert(param.name).second) {
@@ -199,11 +203,13 @@ double staged_sim_seconds(const dataflow::Network& network,
       seconds += cost.transfer_seconds(bindings.get(node.field_name).size() *
                                        sizeof(float));
     } else {  // constant: one fill kernel
-      const kernels::Program fill = kernels::make_standalone_program(
-          "const_fill", 0, static_cast<float>(node.const_value));
-      seconds += cost.kernel_seconds(fill.flops_per_item() * elements,
-                                     fill.global_bytes_per_item() * elements,
-                                     fill.max_live_scalar_registers());
+      const std::shared_ptr<const kernels::Program> fill =
+          kernels::ProgramCache::instance().standalone(
+              "const_fill", 0, static_cast<float>(node.const_value));
+      seconds += cost.kernel_seconds(
+          fill->flops_per_item() * elements,
+          fill->global_bytes_per_item() * elements,
+          fill->max_live_scalar_registers());
     }
   };
 
@@ -215,11 +221,13 @@ double staged_sim_seconds(const dataflow::Network& network,
         materialise_source(in);
       }
     }
-    const kernels::Program program =
-        kernels::make_standalone_program(node.kind, node.component);
-    seconds += cost.kernel_seconds(program.flops_per_item() * elements,
-                                   program.global_bytes_per_item() * elements,
-                                   program.max_live_scalar_registers());
+    const std::shared_ptr<const kernels::Program> program =
+        kernels::ProgramCache::instance().standalone(node.kind,
+                                                     node.component);
+    seconds += cost.kernel_seconds(
+        program->flops_per_item() * elements,
+        program->global_bytes_per_item() * elements,
+        program->max_live_scalar_registers());
     materialised[id] = true;
   }
 
@@ -247,12 +255,14 @@ double roundtrip_sim_seconds(const dataflow::Network& network,
       seconds += cost.transfer_seconds(
           value_floats(spec, in, bindings, elements) * sizeof(float));
     }
-    const kernels::Program program =
-        kernels::make_standalone_program(node.kind, node.component);
-    seconds += cost.kernel_seconds(program.flops_per_item() * elements,
-                                   program.global_bytes_per_item() * elements,
-                                   program.max_live_scalar_registers());
-    seconds += cost.transfer_seconds(elements * program.out_stride() *
+    const std::shared_ptr<const kernels::Program> program =
+        kernels::ProgramCache::instance().standalone(node.kind,
+                                                     node.component);
+    seconds += cost.kernel_seconds(
+        program->flops_per_item() * elements,
+        program->global_bytes_per_item() * elements,
+        program->max_live_scalar_registers());
+    seconds += cost.transfer_seconds(elements * program->out_stride() *
                                      sizeof(float));
   }
   return seconds;
@@ -264,7 +274,9 @@ std::vector<vcl::ChunkCost> streamed_chunk_costs(
     const dataflow::Network& network, const FieldBindings& bindings,
     std::size_t elements, const vcl::DeviceSpec& spec,
     std::size_t chunk_cells) {
-  const kernels::Program program = kernels::generate_fused(network);
+  const std::shared_ptr<const kernels::Program> program_ptr =
+      kernels::ProgramCache::instance().fused_single(network);
+  const kernels::Program& program = *program_ptr;
   const SlabPlan plan = make_slab_plan(program, bindings, elements);
   const std::size_t chunk_planes = planes_for_chunk(plan, chunk_cells);
   const std::size_t dims_params =

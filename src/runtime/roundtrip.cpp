@@ -9,9 +9,11 @@
 // materialised as host arrays uploaded per use (both per the device-event
 // accounting of the paper's Table II).
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "kernels/primitives.hpp"
+#include "kernels/program_cache.hpp"
 #include "kernels/vm.hpp"
 #include "runtime/strategy.hpp"
 #include "support/error.hpp"
@@ -76,8 +78,10 @@ std::vector<float> RoundtripStrategy::execute(const dataflow::Network& network,
       continue;
     }
 
-    const kernels::Program program =
-        kernels::make_standalone_program(node.kind, node.component);
+    const std::shared_ptr<const kernels::Program> program_ptr =
+        kernels::ProgramCache::instance().standalone(node.kind,
+                                                     node.component);
+    const kernels::Program& program = *program_ptr;
 
     // Upload one buffer per argument occurrence.
     std::vector<vcl::Buffer> arg_buffers;

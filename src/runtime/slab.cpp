@@ -61,8 +61,23 @@ SlabPlan make_slab_plan(const kernels::Program& program,
   return plan;
 }
 
+std::vector<SlabParam> resolve_slab_params(const kernels::Program& program,
+                                           const FieldBindings& bindings) {
+  const std::set<std::uint16_t> dims = dims_slots(program);
+  std::vector<SlabParam> params;
+  params.reserve(program.params().size());
+  for (std::size_t slot = 0; slot < program.params().size(); ++slot) {
+    SlabParam param;
+    param.name = program.params()[slot].name;
+    param.is_dims = dims.count(static_cast<std::uint16_t>(slot)) != 0;
+    if (!param.is_dims) param.view = bindings.get(param.name);
+    params.push_back(std::move(param));
+  }
+  return params;
+}
+
 void run_fused_slab(const kernels::Program& program,
-                    const FieldBindings& bindings, const SlabPlan& plan,
+                    std::span<const SlabParam> params, const SlabPlan& plan,
                     std::size_t begin_plane, std::size_t end_plane,
                     vcl::Device& device, vcl::ProfilingLog& log,
                     std::span<float> out_global) {
@@ -81,7 +96,6 @@ void run_fused_slab(const kernels::Program& program,
   const std::size_t slab_cells = slab_planes * plan.plane_cells;
 
   vcl::CommandQueue queue(device, log);
-  const std::set<std::uint16_t> dims = dims_slots(program);
 
   // The per-slab dims array: local plane count, same transverse shape.
   const std::vector<float> local_dims{static_cast<float>(plan.nx),
@@ -90,26 +104,25 @@ void run_fused_slab(const kernels::Program& program,
 
   std::vector<vcl::Buffer> buffers;
   std::vector<kernels::BufferBinding> vm_bindings;
-  buffers.reserve(program.params().size());
-  vm_bindings.reserve(program.params().size());
-  for (std::size_t slot = 0; slot < program.params().size(); ++slot) {
-    const std::string& name = program.params()[slot].name;
-    if (dims.count(static_cast<std::uint16_t>(slot)) != 0) {
+  buffers.reserve(params.size());
+  vm_bindings.reserve(params.size());
+  for (const SlabParam& param : params) {
+    if (param.is_dims) {
       vcl::Buffer buffer = device.allocate(3);
-      queue.write(buffer, local_dims, name + "@slab");
+      queue.write(buffer, local_dims, param.name + "@slab");
       vm_bindings.push_back(kernels::BufferBinding{
           buffer.device_view().data(), buffer.size()});
       buffers.push_back(std::move(buffer));
       continue;
     }
-    const auto view = bindings.get(name);
     const std::size_t offset = slab_lo * plan.plane_cells;
-    if (view.size() < offset + slab_cells) {
-      throw NetworkError("field '" + name +
+    if (param.view.size() < offset + slab_cells) {
+      throw NetworkError("field '" + param.name +
                          "' too small for the requested slab");
     }
     vcl::Buffer buffer = device.allocate(slab_cells);
-    queue.write(buffer, view.subspan(offset, slab_cells), name + "@slab");
+    queue.write(buffer, param.view.subspan(offset, slab_cells),
+                param.name + "@slab");
     vm_bindings.push_back(kernels::BufferBinding{
         buffer.device_view().data(), buffer.size()});
     buffers.push_back(std::move(buffer));
@@ -131,6 +144,17 @@ void run_fused_slab(const kernels::Program& program,
               interior_cells,
               out_global.begin() +
                   static_cast<long>(begin_plane * plan.plane_cells));
+}
+
+void run_fused_slab(const kernels::Program& program,
+                    const FieldBindings& bindings, const SlabPlan& plan,
+                    std::size_t begin_plane, std::size_t end_plane,
+                    vcl::Device& device, vcl::ProfilingLog& log,
+                    std::span<float> out_global) {
+  const std::vector<SlabParam> params =
+      resolve_slab_params(program, bindings);
+  run_fused_slab(program, params, plan, begin_plane, end_plane, device, log,
+                 out_global);
 }
 
 }  // namespace dfg::runtime

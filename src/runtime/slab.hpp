@@ -49,11 +49,35 @@ struct SlabPlan {
 SlabPlan make_slab_plan(const kernels::Program& program,
                         const FieldBindings& bindings, std::size_t elements);
 
+/// One buffer parameter of a program resolved for slab execution: the
+/// bound host view (name lookups done once per program, not once per slab)
+/// and whether the slot carries a grad3d `dims` argument, which is
+/// rewritten per slab rather than slabbed.
+struct SlabParam {
+  std::string name;
+  bool is_dims = false;
+  std::span<const float> view;  ///< empty for dims slots
+};
+
+/// Resolves every parameter of `program` against `bindings` exactly once
+/// (the string-keyed lookups that used to run per slab). Throws
+/// NetworkError on unbound fields.
+std::vector<SlabParam> resolve_slab_params(const kernels::Program& program,
+                                           const FieldBindings& bindings);
+
 /// Executes `program` over planes [begin_plane, end_plane), uploading slab
 /// sub-ranges of every parameter, dispatching one kernel, and copying the
 /// interior result into out_global (a full-size array indexed by global
 /// cell id). All traffic is profiled against `log`; allocations count
-/// against `device` and are released before returning.
+/// against `device` and are released before returning. `params` must come
+/// from resolve_slab_params on the same program.
+void run_fused_slab(const kernels::Program& program,
+                    std::span<const SlabParam> params, const SlabPlan& plan,
+                    std::size_t begin_plane, std::size_t end_plane,
+                    vcl::Device& device, vcl::ProfilingLog& log,
+                    std::span<float> out_global);
+
+/// Convenience overload resolving the bindings itself (one-shot callers).
 void run_fused_slab(const kernels::Program& program,
                     const FieldBindings& bindings, const SlabPlan& plan,
                     std::size_t begin_plane, std::size_t end_plane,

@@ -9,9 +9,11 @@
 // materialised by one constant-fill kernel — and the device footprint is
 // the largest of the three strategies, bounded by reference counting that
 // releases each intermediate after its last consumer has run.
+#include <memory>
 #include <vector>
 
 #include "kernels/primitives.hpp"
+#include "kernels/program_cache.hpp"
 #include "kernels/vm.hpp"
 #include "runtime/strategy.hpp"
 #include "support/error.hpp"
@@ -41,9 +43,10 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
       queue.write(buffers[id], view, node.field_name);
     } else {  // constant
       buffers[id] = device.allocate(elements);
-      const kernels::Program fill = kernels::make_standalone_program(
-          "const_fill", 0, static_cast<float>(node.const_value));
-      launch_program(queue, fill, {}, buffers[id].device_view(), elements);
+      const std::shared_ptr<const kernels::Program> fill =
+          kernels::ProgramCache::instance().standalone(
+              "const_fill", 0, static_cast<float>(node.const_value));
+      launch_program(queue, *fill, {}, buffers[id].device_view(), elements);
     }
   };
 
@@ -64,14 +67,15 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
     const dataflow::SpecNode& node = spec.node(id);
     if (node.type != dataflow::NodeType::filter) continue;
 
-    const kernels::Program program =
-        kernels::make_standalone_program(node.kind, node.component);
+    const std::shared_ptr<const kernels::Program> program =
+        kernels::ProgramCache::instance().standalone(node.kind,
+                                                     node.component);
     std::vector<kernels::BufferBinding> inputs;
     inputs.reserve(node.inputs.size());
     for (const int in : node.inputs) inputs.push_back(binding_of(in));
 
-    buffers[id] = device.allocate(elements * program.out_stride());
-    launch_program(queue, program, std::move(inputs),
+    buffers[id] = device.allocate(elements * program->out_stride());
+    launch_program(queue, *program, std::move(inputs),
                    buffers[id].device_view(), elements);
 
     // Reference counting: release intermediates after their last consumer.

@@ -45,6 +45,7 @@ void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
   launch.flops = program.flops_per_item() * elements;
   launch.global_bytes = program.global_bytes_per_item() * elements;
   launch.registers_used = program.max_live_scalar_registers();
+  launch.grain = kernels::kTileSize;
   float* out_data = out.data();
   const std::size_t out_elements = out.size();
   launch.body = [&program, bindings = std::move(inputs), out_data,

@@ -10,8 +10,10 @@
 // still run — at the price of extra transfers and dispatches. Interior
 // results are bit-identical to single-kernel fusion.
 #include <algorithm>
+#include <memory>
 
 #include "kernels/generator.hpp"
+#include "kernels/program_cache.hpp"
 #include "runtime/slab.hpp"
 #include "runtime/strategy.hpp"
 #include "support/error.hpp"
@@ -51,8 +53,12 @@ std::size_t StreamedFusionStrategy::pick_chunk_planes(
 std::vector<float> StreamedFusionStrategy::execute(
     const dataflow::Network& network, const FieldBindings& bindings,
     std::size_t elements, vcl::Device& device, vcl::ProfilingLog& log) const {
-  const kernels::Program program = kernels::generate_fused(network);
+  const std::shared_ptr<const kernels::Program> program_ptr =
+      kernels::ProgramCache::instance().fused_single(network);
+  const kernels::Program& program = *program_ptr;
   const SlabPlan plan = make_slab_plan(program, bindings, elements);
+  const std::vector<SlabParam> params =
+      resolve_slab_params(program, bindings);
 
   std::vector<float> result(elements, 0.0f);
   const std::size_t chunk_planes = pick_chunk_planes(plan, program, device);
@@ -60,7 +66,7 @@ std::vector<float> StreamedFusionStrategy::execute(
        begin += chunk_planes) {
     const std::size_t end =
         std::min(plan.total_planes, begin + chunk_planes);
-    run_fused_slab(program, bindings, plan, begin, end, device, log, result);
+    run_fused_slab(program, params, plan, begin, end, device, log, result);
   }
   return result;
 }

@@ -1,11 +1,6 @@
 #include "support/parallel.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace dfg::support {
 
@@ -25,37 +20,6 @@ std::size_t worker_count() {
 
 void set_worker_count(std::size_t workers) {
   g_worker_override.store(workers, std::memory_order_relaxed);
-}
-
-void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t workers = std::min(worker_count(), n);
-  if (workers <= 1) {
-    body(0, n);
-    return;
-  }
-
-  const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&, begin, end] {
-      try {
-        body(begin, end);
-      } catch (...) {
-        std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace dfg::support

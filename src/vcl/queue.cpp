@@ -157,7 +157,7 @@ void CommandQueue::launch(const KernelLaunch& launch) {
                            launch.registers_used),
       nullptr,  // kernel output integrity is covered by the readback
       [&]() -> std::span<float> {
-        support::parallel_for(launch.ndrange, launch.body);
+        support::parallel_for(launch.ndrange, launch.body, launch.grain);
         return {};
       });
 }

@@ -48,6 +48,11 @@ struct KernelLaunch {
   std::uint64_t flops = 0;
   std::size_t global_bytes = 0;
   int registers_used = 0;
+  /// Work-partitioning grain: worker chunks are multiples of this (except
+  /// the NDRange tail). Strategies launching bytecode programs set it to
+  /// kernels::kTileSize so the tiled VM only ever sees whole tiles; the
+  /// default of 1 reproduces plain ceil(n/workers) chunking.
+  std::size_t grain = 1;
   std::function<void(std::size_t, std::size_t)> body;
 };
 
