@@ -40,8 +40,10 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   device_->fault().begin_run();
   device_->fault().set_sink(&log_);
 
+  // Thread-local snapshot: concurrent evaluations on other threads must
+  // not leak their cache traffic into this report (or vice versa).
   const kernels::ProgramCacheStats cache_before =
-      kernels::ProgramCache::instance().stats();
+      kernels::ProgramCache::instance().thread_stats();
   runtime::FallbackOutcome outcome = runtime::execute_with_fallback(
       network, bindings_, elements, *device_, log_, options_.strategy,
       options_.fallback, options_.streamed_chunk_cells);
@@ -72,7 +74,7 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.memory_high_water_bytes = device_->memory().high_water();
   report.network_script = network.spec().to_script();
   const kernels::ProgramCacheStats cache_after =
-      kernels::ProgramCache::instance().stats();
+      kernels::ProgramCache::instance().thread_stats();
   report.pipeline_cache_hits =
       (cache_after.pipeline_hits - cache_before.pipeline_hits) +
       (cache_after.standalone_hits - cache_before.standalone_hits);

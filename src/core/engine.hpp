@@ -90,6 +90,15 @@ struct EvaluationReport {
   std::string kernel_source;
 };
 
+/// Thread-safety contract (relied on by service::EvalService): one Engine
+/// instance must be driven by one thread at a time, but concurrent
+/// evaluate() calls on *distinct engines bound to distinct devices* are
+/// safe. Everything an evaluation mutates is engine-local (bindings, log)
+/// or device-local (memory tracker, fault injector, watchdog/retry
+/// policies — the device must not be shared across engines evaluating
+/// concurrently); the only process-wide state touched is the
+/// kernels::ProgramCache, which is internally synchronized and whose
+/// traffic is attributed per thread (thread_stats).
 class Engine {
  public:
   /// The device must outlive the engine.

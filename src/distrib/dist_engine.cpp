@@ -122,8 +122,11 @@ DistributedReport DistributedEngine::evaluate(
   }
   CheckpointJournal journal(config_.checkpoint_dir, run_key);
 
+  // Thread-local snapshot: ranks execute on this thread, so the delta is
+  // exactly this evaluation's cache traffic even when other engines
+  // evaluate concurrently on other threads.
   const kernels::ProgramCacheStats cache_before =
-      kernels::ProgramCache::instance().stats();
+      kernels::ProgramCache::instance().thread_stats();
 
   DistributedReport report;
   report.values.assign(global_dims.cell_count(), 0.0f);
@@ -325,7 +328,7 @@ DistributedReport DistributedEngine::evaluate(
   }
 
   const kernels::ProgramCacheStats cache_after =
-      kernels::ProgramCache::instance().stats();
+      kernels::ProgramCache::instance().thread_stats();
   report.pipeline_cache_hits =
       (cache_after.pipeline_hits - cache_before.pipeline_hits) +
       (cache_after.standalone_hits - cache_before.standalone_hits);

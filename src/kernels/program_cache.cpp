@@ -9,6 +9,11 @@
 
 namespace dfg::kernels {
 
+namespace {
+// Per-thread mirror of the process-wide counters (see thread_stats()).
+thread_local ProgramCacheStats t_stats;
+}  // namespace
+
 ProgramCache::ProgramCache()
     : caching_enabled_(!support::env::get_flag("DFGEN_NO_PROGRAM_CACHE")),
       optimizer_enabled_(!support::env::get_flag("DFGEN_NO_VM_OPTIMIZER")) {}
@@ -27,10 +32,12 @@ std::shared_ptr<const FusedPipeline> ProgramCache::fused_pipeline(
     const auto it = pipelines_.find(key);
     if (it != pipelines_.end()) {
       ++stats_.pipeline_hits;
+      ++t_stats.pipeline_hits;
       return it->second;
     }
   }
   ++stats_.pipeline_misses;
+  ++t_stats.pipeline_misses;
   // Generation can be slow; run it outside the lock (a racing thread may
   // generate the same pipeline — both results are identical, last wins).
   lock.unlock();
@@ -68,10 +75,12 @@ std::shared_ptr<const Program> ProgramCache::standalone(
     const auto it = standalones_.find(key);
     if (it != standalones_.end()) {
       ++stats_.standalone_hits;
+      ++t_stats.standalone_hits;
       return it->second;
     }
   }
   ++stats_.standalone_misses;
+  ++t_stats.standalone_misses;
   lock.unlock();
   auto program = std::make_shared<const Program>(
       make_standalone_program(kind, component, value));
@@ -83,6 +92,11 @@ std::shared_ptr<const Program> ProgramCache::standalone(
 ProgramCacheStats ProgramCache::stats() const {
   std::scoped_lock lock(mutex_);
   return stats_;
+}
+
+ProgramCacheStats ProgramCache::thread_stats() const {
+  // Thread-local: no lock needed, no other thread ever writes it.
+  return t_stats;
 }
 
 void ProgramCache::reset_stats() {

@@ -66,6 +66,17 @@ class ProgramCache {
                                             float value = 0.0f);
 
   ProgramCacheStats stats() const;
+
+  /// Stats accumulated by requests issued from the *calling thread* only
+  /// (monotonic per thread, never reset). Concurrent evaluations attribute
+  /// cache traffic to their own report by taking before/after deltas of
+  /// this instead of the process-wide totals, which race under concurrency:
+  /// a delta of stats() spanning another engine's evaluation charges this
+  /// report with that engine's hits and misses. Every cache request an
+  /// evaluation makes (strategies, planner replays, the engine's source
+  /// dump) happens on the evaluating thread, so thread deltas are exact.
+  ProgramCacheStats thread_stats() const;
+
   void reset_stats();
   /// Drops all cached entries (outstanding shared_ptrs stay valid).
   void clear();

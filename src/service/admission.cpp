@@ -1,0 +1,34 @@
+#include "service/admission.hpp"
+
+#include <limits>
+
+#include "runtime/fallback.hpp"
+#include "runtime/planner.hpp"
+#include "support/error.hpp"
+
+namespace dfg::service {
+
+std::size_t projected_floor_bytes(const dataflow::Network& network,
+                                  const runtime::FieldBindings& bindings,
+                                  std::size_t elements,
+                                  runtime::StrategyKind requested,
+                                  bool fallback_enabled) {
+  std::size_t floor = std::numeric_limits<std::size_t>::max();
+  const std::size_t first = runtime::ladder_position(requested);
+  const std::size_t last =
+      fallback_enabled ? std::size(runtime::kMemoryLadder) : first + 1;
+  for (std::size_t i = first; i < last; ++i) {
+    try {
+      floor = std::min(floor,
+                       runtime::estimate_high_water(
+                           network, bindings, elements,
+                           runtime::kMemoryLadder[i]));
+    } catch (const KernelError&) {
+      // Rung structurally unsupported for this network (e.g. streamed on
+      // gradients of computed values) — the ladder would skip it too.
+    }
+  }
+  return floor;
+}
+
+}  // namespace dfg::service

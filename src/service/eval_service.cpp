@@ -1,0 +1,536 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "dataflow/builder.hpp"
+#include "runtime/planner.hpp"
+#include "service/admission.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "vcl/trace.hpp"
+
+namespace dfg::service {
+
+namespace {
+
+constexpr std::size_t kNoFloor = std::numeric_limits<std::size_t>::max();
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Largest streamed chunk (cells) whose planned high-water fits `budget`,
+/// or 0 when even the minimal chunk does not (the quota guard then vetoes
+/// the rung and the ladder moves on). The streamed strategy auto-sizes its
+/// chunks from the device's *free memory*, which a session quota does not
+/// shrink — so the service must pick the chunk explicitly or a quota-capped
+/// tenant would be vetoed on a rung that could have fit. The planner's
+/// estimates are bit-exact against the tracker, so the largest fitting
+/// chunk is decidable by binary search.
+std::size_t quota_chunk_cells(const dataflow::Network& network,
+                              const runtime::FieldBindings& bindings,
+                              std::size_t elements, std::size_t budget) {
+  const auto fits = [&](std::size_t chunk) {
+    return runtime::estimate_high_water(network, bindings, elements,
+                                        runtime::StrategyKind::streamed,
+                                        chunk) <= budget;
+  };
+  try {
+    if (!fits(1)) return 0;
+    std::size_t lo = 1;  // fits
+    std::size_t hi = elements;
+    if (fits(hi)) return hi;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      (fits(mid) ? lo : hi) = mid;
+    }
+    return lo;
+  } catch (const KernelError&) {
+    return 0;  // streamed cannot execute this network at all
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ticket
+
+const ServiceReport& Ticket::wait() const {
+  if (state_ == nullptr) throw Error("wait() on an empty Ticket");
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->report;
+}
+
+bool Ticket::ready() const {
+  if (state_ == nullptr) return false;
+  std::scoped_lock lock(state_->mutex);
+  return state_->done;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceOptions
+
+ServiceOptions ServiceOptions::from_env() {
+  ServiceOptions options;
+  options.max_queue_depth = static_cast<std::size_t>(
+      std::max(1, support::env::get_int("DFGEN_SERVICE_QUEUE_DEPTH",
+                                        static_cast<int>(
+                                            options.max_queue_depth))));
+  const int quota_mb = support::env::get_int("DFGEN_SERVICE_QUOTA_MB", 0);
+  if (quota_mb > 0) {
+    options.default_session_quota_bytes = static_cast<std::size_t>(quota_mb)
+                                          << 20;
+  }
+  const int backlog_mb = support::env::get_int("DFGEN_SERVICE_BACKLOG_MB", 0);
+  if (backlog_mb > 0) {
+    options.max_backlog_bytes = static_cast<std::size_t>(backlog_mb) << 20;
+  }
+  options.coalescing =
+      support::env::get_flag("DFGEN_SERVICE_COALESCE", options.coalescing);
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// EvalService
+
+EvalService::EvalService(std::vector<vcl::Device*> devices,
+                         ServiceOptions options)
+    : devices_(std::move(devices)), options_(options),
+      paused_(options.start_paused), device_logs_(devices_.size()) {
+  if (devices_.empty()) {
+    throw Error("EvalService requires at least one device");
+  }
+  workers_.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+EvalService::~EvalService() {
+  drain();
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : workers_) thread.join();
+}
+
+void EvalService::resume() {
+  {
+    std::scoped_lock lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void EvalService::drain() {
+  std::unique_lock lock(mutex_);
+  // Dispatch must be running for the queue to empty.
+  if (paused_) {
+    paused_ = false;
+    work_cv_.notify_all();
+  }
+  drain_cv_.wait(lock, [&] { return queued_count_ == 0 && in_flight_ == 0; });
+}
+
+void EvalService::configure_session(const std::string& id,
+                                    SessionConfig config) {
+  std::scoped_lock lock(mutex_);
+  Session& session = session_locked(id);
+  config.weight = std::max(config.weight, 1);
+  session.config = config;
+  scheduler_.add_session(id, config.weight);
+}
+
+EvalService::Session& EvalService::session_locked(const std::string& id) {
+  auto [it, inserted] = sessions_.try_emplace(id);
+  if (inserted) {
+    it->second.config.weight = 1;
+    it->second.config.quota_bytes = options_.default_session_quota_bytes;
+    scheduler_.add_session(id, 1);
+  }
+  return it->second;
+}
+
+void EvalService::reject(const std::shared_ptr<detail::TicketState>& ticket,
+                         std::string reason) {
+  std::scoped_lock lock(ticket->mutex);
+  ticket->report.status = RequestStatus::rejected;
+  ticket->report.reject_reason = std::move(reason);
+  ticket->done = true;
+  ticket->cv.notify_all();
+}
+
+void EvalService::resolve(const std::shared_ptr<Pending>& pending,
+                          ServiceReport report) {
+  const std::shared_ptr<detail::TicketState>& ticket = pending->ticket;
+  std::scoped_lock lock(ticket->mutex);
+  ticket->report = std::move(report);
+  ticket->done = true;
+  ticket->cv.notify_all();
+}
+
+Ticket EvalService::submit(Request request) {
+  auto state = std::make_shared<detail::TicketState>();
+  state->report.session = request.session;
+  Ticket ticket(state);
+
+  // Parse and resolve outside the service lock: admission work scales with
+  // the submitting tenants, not with the dispatch path.
+  std::shared_ptr<dataflow::Network> network;
+  std::string failure;
+  try {
+    network = std::make_shared<dataflow::Network>(
+        dataflow::build_network(request.expression, {}));
+  } catch (const std::exception& error) {
+    failure = error.what();
+  }
+
+  std::size_t elements = request.elements;
+  if (failure.empty() && elements == 0) {
+    if (request.mesh != nullptr) {
+      elements = request.mesh->cell_count();
+    } else {
+      for (const std::string& name : network->spec().field_names()) {
+        if (name == "x" || name == "y" || name == "z" || name == "dims") {
+          continue;
+        }
+        for (const FieldRef& field : request.fields) {
+          if (field.name == name) {
+            elements = field.values.size();
+            break;
+          }
+        }
+        if (elements != 0) break;
+      }
+      if (elements == 0) {
+        failure =
+            "cannot infer the output element count: bind a mesh or set "
+            "Request::elements";
+      }
+    }
+  }
+
+  std::size_t floor = kNoFloor;
+  if (failure.empty()) {
+    runtime::FieldBindings probe;
+    if (request.mesh != nullptr) probe.bind_mesh(*request.mesh);
+    for (const FieldRef& field : request.fields) {
+      probe.bind(field.name, field.values);
+    }
+    floor = projected_floor_bytes(*network, probe, elements, request.strategy,
+                                  options_.fallback.enabled);
+  }
+
+  std::vector<std::shared_ptr<Pending>> batch_to_notify;
+  {
+    std::scoped_lock lock(mutex_);
+    ++snapshot_.submitted;
+    Session& session = session_locked(request.session);
+    ++snapshot_.sessions[request.session].submitted;
+
+    if (!failure.empty()) {
+      ++snapshot_.failed_requests;
+      ++snapshot_.sessions[request.session].failed;
+      std::scoped_lock ticket_lock(state->mutex);
+      state->report.status = RequestStatus::failed;
+      state->report.error = failure;
+      state->done = true;
+      state->cv.notify_all();
+      return ticket;
+    }
+
+    std::string reject_reason;
+    if (queued_count_ >= options_.max_queue_depth) {
+      ++snapshot_.rejected_queue_full;
+      reject_reason = "queue full: " + std::to_string(queued_count_) +
+                      " requests queued (limit " +
+                      std::to_string(options_.max_queue_depth) + ")";
+    } else if (floor != kNoFloor) {
+      std::size_t best_capacity = 0;
+      for (const vcl::Device* device : devices_) {
+        best_capacity = std::max(best_capacity, device->memory().capacity());
+      }
+      const std::size_t quota = session.config.quota_bytes;
+      if (floor > best_capacity) {
+        ++snapshot_.rejected_projection;
+        reject_reason = "projected device-memory floor of " +
+                        std::to_string(floor) + " bytes exceeds every "
+                        "device's capacity (largest " +
+                        std::to_string(best_capacity) + " bytes)";
+      } else if (quota > 0 && floor > quota) {
+        ++snapshot_.rejected_quota;
+        reject_reason = "projected device-memory floor of " +
+                        std::to_string(floor) + " bytes exceeds session '" +
+                        request.session + "' quota of " +
+                        std::to_string(quota) + " bytes on every "
+                        "permissible strategy rung";
+      } else if (options_.max_backlog_bytes > 0 &&
+                 backlog_bytes_ + floor > options_.max_backlog_bytes) {
+        ++snapshot_.rejected_projection;
+        reject_reason = "projected backlog of " +
+                        std::to_string(backlog_bytes_ + floor) +
+                        " bytes exceeds the limit of " +
+                        std::to_string(options_.max_backlog_bytes) + " bytes";
+      }
+    }
+    if (!reject_reason.empty()) {
+      ++snapshot_.sessions[request.session].rejected;
+      std::scoped_lock ticket_lock(state->mutex);
+      state->report.status = RequestStatus::rejected;
+      state->report.reject_reason = std::move(reject_reason);
+      state->done = true;
+      state->cv.notify_all();
+      return ticket;
+    }
+
+    auto pending = std::make_shared<Pending>();
+    pending->key = make_coalesce_key(request, *network, elements);
+    pending->request = std::move(request);
+    pending->elements = elements;
+    pending->floor_bytes = floor == kNoFloor ? 0 : floor;
+    pending->ticket = state;
+    pending->admitted_at = std::chrono::steady_clock::now();
+    session.queue.push_back(std::move(pending));
+    ++queued_count_;
+    backlog_bytes_ += floor == kNoFloor ? 0 : floor;
+    ++snapshot_.admitted;
+    snapshot_.max_queue_depth_seen =
+        std::max(snapshot_.max_queue_depth_seen, queued_count_);
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::shared_ptr<EvalService::Pending> EvalService::pop_locked(
+    Session& session) {
+  // Highest priority first; FIFO among equals.
+  auto best = session.queue.begin();
+  for (auto it = session.queue.begin(); it != session.queue.end(); ++it) {
+    if ((*it)->request.priority > (*best)->request.priority) best = it;
+  }
+  std::shared_ptr<Pending> pending = *best;
+  session.queue.erase(best);
+  --queued_count_;
+  backlog_bytes_ -= std::min(backlog_bytes_, pending->floor_bytes);
+  return pending;
+}
+
+void EvalService::worker(std::size_t device_index) {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (!paused_ && queued_count_ > 0);
+    });
+    if (queued_count_ == 0) {
+      if (stopping_) return;
+      continue;
+    }
+
+    const std::string picked = scheduler_.pick([&](const std::string& id) {
+      auto it = sessions_.find(id);
+      return it != sessions_.end() && !it->second.queue.empty();
+    });
+    if (picked.empty()) continue;
+
+    std::vector<std::shared_ptr<Pending>> batch;
+    batch.push_back(pop_locked(sessions_.at(picked)));
+    if (options_.coalescing) {
+      const CoalesceKey& key = batch.front()->key;
+      for (auto& [id, session] : sessions_) {
+        for (auto it = session.queue.begin(); it != session.queue.end();) {
+          if ((*it)->key == key) {
+            batch.push_back(*it);
+            it = session.queue.erase(it);
+            --queued_count_;
+            backlog_bytes_ -=
+                std::min(backlog_bytes_, batch.back()->floor_bytes);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    ++in_flight_;
+    lock.unlock();
+    // More queued work may remain for the other workers.
+    work_cv_.notify_one();
+
+    execute_batch(device_index, std::move(batch));
+
+    lock.lock();
+    --in_flight_;
+    if (queued_count_ == 0 && in_flight_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void EvalService::execute_batch(std::size_t device_index,
+                                std::vector<std::shared_ptr<Pending>> batch) {
+  const std::shared_ptr<Pending>& leader = batch.front();
+  const std::string& session_id = leader->request.session;
+
+  std::size_t dispatch_index = 0;
+  std::size_t quota_bytes = 0;
+  SessionUsage* usage = nullptr;
+  {
+    std::scoped_lock lock(mutex_);
+    dispatch_index = ++dispatch_counter_;
+    Session& session = session_locked(session_id);
+    quota_bytes = session.config.quota_bytes;
+    usage = &session.usage;
+  }
+
+  // The batch runs under its leader's strategy, session and deadline.
+  EngineOptions engine_options;
+  engine_options.strategy = leader->request.strategy;
+  engine_options.fallback = options_.fallback;
+  engine_options.fallback.deadline_factor =
+      leader->request.deadline_factor > 0.0 ? leader->request.deadline_factor
+                                            : options_.default_deadline_factor;
+  if (quota_bytes > 0) {
+    // Size streamed chunks to the quota, not the device's free memory.
+    try {
+      const dataflow::Network network(dataflow::build_network(
+          leader->request.expression, {}));
+      runtime::FieldBindings probe;
+      if (leader->request.mesh != nullptr) probe.bind_mesh(*leader->request.mesh);
+      for (const FieldRef& field : leader->request.fields) {
+        probe.bind(field.name, field.values);
+      }
+      engine_options.streamed_chunk_cells = quota_chunk_cells(
+          network, probe, leader->elements, quota_bytes);
+    } catch (const std::exception&) {
+      // Planning is advisory: fall through to auto-sizing on any failure.
+    }
+  }
+
+  vcl::Device& device = *devices_[device_index];
+  Engine engine(device, engine_options);
+  if (leader->request.mesh != nullptr) engine.bind_mesh(*leader->request.mesh);
+  for (const FieldRef& field : leader->request.fields) {
+    engine.bind(field.name, field.values);
+  }
+
+  std::shared_ptr<const EvaluationReport> evaluation;
+  std::string error;
+  {
+    // Every device byte this batch reserves is charged to the leading
+    // session; a veto surfaces as DeviceOutOfMemory inside evaluate and
+    // degrades the strategy via the fallback ladder.
+    SessionQuotaGuard guard(session_id, quota_bytes, *usage);
+    ScopedAllocationHook scoped(device.memory(), &guard);
+    try {
+      evaluation = std::make_shared<const EvaluationReport>(
+          engine.evaluate(leader->request.expression, leader->elements));
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+
+  {
+    std::scoped_lock lock(mutex_);
+    ++snapshot_.executed_evaluations;
+    device_logs_[device_index].append(engine.log());
+    SessionStats& leader_stats = snapshot_.sessions[session_id];
+    ++leader_stats.evaluations;
+    leader_stats.quota_high_water_bytes =
+        std::max(leader_stats.quota_high_water_bytes, usage->high_water());
+    if (evaluation != nullptr) {
+      snapshot_.degradations += evaluation->degradations.size();
+      leader_stats.degradations += evaluation->degradations.size();
+      snapshot_.command_timeouts += evaluation->command_timeouts;
+      snapshot_.command_retries += evaluation->command_retries;
+      snapshot_.injected_faults += evaluation->injected_faults;
+    } else {
+      // The failed evaluation left no report; its device events still count.
+      snapshot_.command_timeouts +=
+          engine.log().count(vcl::EventKind::timeout);
+      snapshot_.injected_faults += device.fault().run_faults();
+    }
+    for (const std::shared_ptr<Pending>& pending : batch) {
+      SessionStats& stats = snapshot_.sessions[pending->request.session];
+      const double wait = seconds_since(pending->admitted_at);
+      stats.queue_wait_seconds += wait;
+      snapshot_.total_queue_wait_seconds += wait;
+      if (evaluation != nullptr) {
+        ++snapshot_.completed_requests;
+        ++stats.completed;
+      } else {
+        ++snapshot_.failed_requests;
+        ++stats.failed;
+      }
+      if (pending != leader) {
+        ++snapshot_.coalesced_requests;
+        ++stats.coalesced;
+      }
+    }
+  }
+
+  for (const std::shared_ptr<Pending>& pending : batch) {
+    ServiceReport report;
+    report.session = pending->request.session;
+    report.queue_wait_seconds = seconds_since(pending->admitted_at);
+    report.coalesced_fanout = batch.size();
+    report.coalesce_leader = pending == leader;
+    report.dispatch_index = dispatch_index;
+    report.device_index = static_cast<int>(device_index);
+    if (evaluation != nullptr) {
+      report.status = RequestStatus::completed;
+      report.evaluation = evaluation;
+    } else {
+      report.status = RequestStatus::failed;
+      report.error = error;
+    }
+    resolve(pending, std::move(report));
+  }
+}
+
+ServiceSnapshot EvalService::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  ServiceSnapshot copy = snapshot_;
+  for (const auto& [id, session] : sessions_) {
+    SessionStats& stats = copy.sessions[id];
+    stats.quota_high_water_bytes =
+        std::max(stats.quota_high_water_bytes, session.usage.high_water());
+  }
+  return copy;
+}
+
+std::string EvalService::chrome_trace() const {
+  std::scoped_lock lock(mutex_);
+  std::string merged = "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    vcl::TraceOptions trace_options;
+    trace_options.device_name = devices_[i]->spec().name;
+    trace_options.pid = static_cast<int>(i) + 1;
+    const std::string doc =
+        vcl::to_chrome_trace(device_logs_[i], trace_options);
+    // Splice this device's event array into the merged document.
+    const std::size_t open = doc.find('[');
+    const std::size_t close = doc.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open + 1) {
+      continue;
+    }
+    std::string inner = doc.substr(open + 1, close - open - 1);
+    // Trim surrounding whitespace left by the per-device pretty-printer.
+    const std::size_t begin = inner.find_first_not_of(" \n");
+    const std::size_t end = inner.find_last_not_of(" \n,");
+    if (begin == std::string::npos) continue;
+    if (!first) merged += ",";
+    merged += "\n";
+    merged += inner.substr(begin, end - begin + 1);
+    first = false;
+  }
+  merged += "\n]}\n";
+  return merged;
+}
+
+}  // namespace dfg::service

@@ -1,0 +1,35 @@
+#include "service/quota.hpp"
+
+#include "support/error.hpp"
+
+namespace dfg::service {
+
+void SessionUsage::charge(const std::string& label, std::size_t quota_bytes,
+                          std::size_t bytes) {
+  std::scoped_lock lock(mutex_);
+  if (quota_bytes > 0 && bytes > quota_bytes - std::min(in_use_, quota_bytes)) {
+    // Shaped exactly like a device-capacity failure so the fallback ladder
+    // degrades; the "device" name makes the cause readable in reports.
+    throw DeviceOutOfMemory("session '" + label + "' quota", bytes, in_use_,
+                            quota_bytes);
+  }
+  in_use_ += bytes;
+  if (in_use_ > high_water_) high_water_ = in_use_;
+}
+
+void SessionUsage::release(std::size_t bytes) {
+  std::scoped_lock lock(mutex_);
+  in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+}
+
+std::size_t SessionUsage::in_use() const {
+  std::scoped_lock lock(mutex_);
+  return in_use_;
+}
+
+std::size_t SessionUsage::high_water() const {
+  std::scoped_lock lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace dfg::service

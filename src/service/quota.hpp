@@ -1,0 +1,82 @@
+// Service layer: per-session device-memory quotas.
+//
+// Quota math: a session's usage is the sum of its live vcl::Buffer bytes
+// across every device currently executing its requests. The guard is a
+// vcl::AllocationHook installed on a device's MemoryTracker for the
+// duration of one batch; a reservation that would push the session past
+// its quota is vetoed with DeviceOutOfMemory *before* the tracker commits,
+// so the runtime's fallback ladder observes an ordinary capacity failure
+// and degrades the strategy (fusion → streamed → staged → roundtrip) until
+// one fits inside the quota. The planner's estimates are bit-exact against
+// the tracker, so "which rung fits a quota of Q bytes" is decidable up
+// front: the rung r with estimate_high_water(r) <= Q.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "vcl/device.hpp"
+
+namespace dfg::service {
+
+/// Session-wide usage counter, shared by every guard charging the same
+/// session (one per device executing that session's batches).
+class SessionUsage {
+ public:
+  /// Charges `bytes`; throws DeviceOutOfMemory when quota_bytes > 0 and
+  /// the charge would exceed it. `label` names the session in the error.
+  void charge(const std::string& label, std::size_t quota_bytes,
+              std::size_t bytes);
+  /// Releases `bytes` (saturating: bytes reserved before a guard was
+  /// installed release through it harmlessly).
+  void release(std::size_t bytes);
+
+  std::size_t in_use() const;
+  std::size_t high_water() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The hook itself: binds one device's allocation traffic to a session's
+/// usage counter for the lifetime of one batch execution.
+class SessionQuotaGuard final : public vcl::AllocationHook {
+ public:
+  SessionQuotaGuard(std::string session, std::size_t quota_bytes,
+                    SessionUsage& usage)
+      : session_(std::move(session)), quota_bytes_(quota_bytes),
+        usage_(&usage) {}
+
+  void on_reserve(std::size_t bytes) override {
+    usage_->charge(session_, quota_bytes_, bytes);
+  }
+  void on_release(std::size_t bytes) override { usage_->release(bytes); }
+
+ private:
+  std::string session_;
+  std::size_t quota_bytes_;
+  SessionUsage* usage_;
+};
+
+/// RAII installer: swaps a hook onto a tracker and restores the previous
+/// hook on destruction (exception-safe around Engine::evaluate).
+class ScopedAllocationHook {
+ public:
+  ScopedAllocationHook(vcl::MemoryTracker& tracker, vcl::AllocationHook* hook)
+      : tracker_(&tracker), previous_(tracker.hook()) {
+    tracker_->set_hook(hook);
+  }
+  ~ScopedAllocationHook() { tracker_->set_hook(previous_); }
+
+  ScopedAllocationHook(const ScopedAllocationHook&) = delete;
+  ScopedAllocationHook& operator=(const ScopedAllocationHook&) = delete;
+
+ private:
+  vcl::MemoryTracker* tracker_;
+  vcl::AllocationHook* previous_;
+};
+
+}  // namespace dfg::service

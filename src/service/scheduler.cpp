@@ -1,0 +1,47 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dfg::service {
+
+void WeightedRoundRobin::add_session(const std::string& id, int weight) {
+  const int clamped = std::max(weight, 1);
+  for (Entry& entry : entries_) {
+    if (entry.id == id) {
+      entry.weight = clamped;
+      return;
+    }
+  }
+  entries_.push_back({id, clamped});
+}
+
+bool WeightedRoundRobin::has_session(const std::string& id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.id == id; });
+}
+
+void WeightedRoundRobin::advance() {
+  cursor_ = (cursor_ + 1) % entries_.size();
+  credits_ = 0;
+}
+
+std::string WeightedRoundRobin::pick(
+    const std::function<bool(const std::string&)>& has_work) {
+  if (entries_.empty()) return {};
+  // Scan at most one full rotation; a busy session early in the rotation
+  // returns without consuming the scan budget of the sessions behind it.
+  for (std::size_t scanned = 0; scanned < entries_.size();) {
+    const Entry& entry = entries_[cursor_];
+    if (credits_ <= 0) credits_ = entry.weight;
+    if (has_work(entry.id)) {
+      const std::string id = entry.id;
+      if (--credits_ <= 0) advance();
+      return id;
+    }
+    advance();  // idle session forfeits its remaining turns
+    ++scanned;
+  }
+  return {};
+}
+
+}  // namespace dfg::service

@@ -1,0 +1,49 @@
+// Service layer: weighted round-robin session arbitration.
+//
+// Arbitrates dispatch turns between sessions. A session with weight w is
+// offered w consecutive turns before the cursor advances to the next
+// session, so over any window in which all sessions stay backlogged the
+// dispatch counts converge to the weight ratio — the classic WRR fairness
+// bound. An idle session forfeits its turns immediately (work-conserving:
+// the device never idles while any session has queued work), and the
+// schedule is a pure function of the pick sequence, so single-device tests
+// can assert the exact dispatch order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dfg::service {
+
+class WeightedRoundRobin {
+ public:
+  /// Registers a session at the end of the rotation (idempotent: a known
+  /// id only updates its weight). Weights clamp to >= 1.
+  void add_session(const std::string& id, int weight);
+
+  /// True when `id` is registered.
+  bool has_session(const std::string& id) const;
+
+  /// The next session to serve among those for which `has_work` returns
+  /// true, honouring weights, or "" when none has work. Calling pick
+  /// consumes one of the returned session's turns.
+  std::string pick(const std::function<bool(const std::string&)>& has_work);
+
+ private:
+  struct Entry {
+    std::string id;
+    int weight = 1;
+  };
+
+  void advance();
+
+  std::vector<Entry> entries_;
+  std::size_t cursor_ = 0;
+  /// Turns left for entries_[cursor_]; 0 = refill from its weight on the
+  /// next pick that reaches it.
+  int credits_ = 0;
+};
+
+}  // namespace dfg::service

@@ -1,0 +1,173 @@
+// Service layer: the concurrent multi-tenant evaluation front door.
+//
+// The paper's host interface (§III-D) serves one caller; in situ, many
+// consumers want derived fields from the same simulation state at once.
+// EvalService multiplexes them over a fixed set of devices:
+//
+//   * Admission control — submit() either admits a request into a bounded
+//     queue or rejects it immediately with a reason: queue depth exceeded,
+//     projected backlog bytes exceeded, no device can ever fit the
+//     request's planner-projected memory floor, or the session's quota
+//     cannot fit it on any permissible ladder rung. Rejection is
+//     backpressure the tenant can act on, instead of unbounded queueing.
+//   * Request coalescing — concurrently-queued requests with equal
+//     CoalesceKeys (same network fingerprint, mesh, element count, bound
+//     arrays, strategy) execute once and fan the shared report out to every
+//     ticket. Piggybacks the fused-program cache: followers cost zero
+//     device work, the leader usually hits the cache.
+//   * Fair-share scheduling — one worker per device pops batches via
+//     weighted round-robin over sessions (priority orders requests within
+//     a session), a per-session quota hook degrades over-quota tenants
+//     down the fallback ladder, and per-request deadlines arm the device
+//     watchdog so a slow tenant times out and degrades instead of
+//     starving the queue.
+//   * Observability — every ticket resolves to a ServiceReport (shared
+//     EvaluationReport + queue wait, fan-out, dispatch order), snapshot()
+//     aggregates service-wide counters, and chrome_trace() merges every
+//     device's profiling log into one multi-process trace document on the
+//     existing copy/compute/faults/timeouts/integrity tracks.
+//
+// Threading: submit() and snapshot() are safe from any thread; one worker
+// thread per device drives Engine::evaluate under the engine thread-safety
+// contract (distinct engines, distinct devices). Tickets are fulfilled
+// outside the service lock, so wait() never blocks dispatch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/coalescer.hpp"
+#include "service/quota.hpp"
+#include "service/report.hpp"
+#include "service/scheduler.hpp"
+#include "vcl/device.hpp"
+#include "vcl/profiling.hpp"
+
+namespace dfg::service {
+
+namespace detail {
+/// Shared completion state behind a Ticket (one per submitted request).
+struct TicketState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ServiceReport report;
+};
+}  // namespace detail
+
+/// Handle to one submitted request. Copyable (all copies share the state);
+/// wait() blocks until the service resolves the request and returns the
+/// report, which stays valid as long as any Ticket copy lives.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// Blocks until the request is rejected, completed or failed.
+  const ServiceReport& wait() const;
+  /// Non-blocking: true once wait() would return immediately.
+  bool ready() const;
+
+ private:
+  friend class EvalService;
+  explicit Ticket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+class EvalService {
+ public:
+  /// One worker thread is started per device; devices must outlive the
+  /// service and must not be driven by anyone else while it runs.
+  explicit EvalService(std::vector<vcl::Device*> devices,
+                       ServiceOptions options = {});
+  /// Drains every queued request, then joins the workers.
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Admits or rejects `request`. Never blocks on device work: admission
+  /// (parse, projection, quota check) runs on the caller's thread and the
+  /// returned ticket resolves asynchronously. A rejected request's ticket
+  /// is already resolved with status == rejected.
+  Ticket submit(Request request);
+
+  /// Sets a session's scheduler weight and quota. Sessions appear on first
+  /// submit with weight 1 and the service default quota; configuring an
+  /// unknown session creates it.
+  void configure_session(const std::string& id, SessionConfig config);
+
+  /// Starts dispatch when the service was constructed start_paused (no-op
+  /// otherwise). Submissions made while paused are queued atomically, so
+  /// the coalescer sees the whole burst at once.
+  void resume();
+
+  /// Blocks until every admitted request has resolved.
+  void drain();
+
+  ServiceSnapshot snapshot() const;
+
+  /// Merged Chrome trace of every device's profiling events since
+  /// construction, one trace-viewer process per device (pid = index + 1).
+  std::string chrome_trace() const;
+
+  std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  struct Pending {
+    Request request;
+    std::size_t elements = 0;
+    CoalesceKey key;
+    /// Planner-projected memory floor, for backlog accounting.
+    std::size_t floor_bytes = 0;
+    std::shared_ptr<detail::TicketState> ticket;
+    std::chrono::steady_clock::time_point admitted_at{};
+  };
+
+  /// Per-session scheduler state (stable address: sessions_ is a std::map).
+  struct Session {
+    SessionConfig config;
+    SessionUsage usage;
+    std::deque<std::shared_ptr<Pending>> queue;
+  };
+
+  Session& session_locked(const std::string& id);
+  std::shared_ptr<Pending> pop_locked(Session& session);
+  void reject(const std::shared_ptr<detail::TicketState>& ticket,
+              std::string reason);
+  void worker(std::size_t device_index);
+  void execute_batch(std::size_t device_index,
+                     std::vector<std::shared_ptr<Pending>> batch);
+  void resolve(const std::shared_ptr<Pending>& pending, ServiceReport report);
+
+  std::vector<vcl::Device*> devices_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::map<std::string, Session> sessions_;
+  WeightedRoundRobin scheduler_;
+  std::size_t queued_count_ = 0;
+  std::size_t backlog_bytes_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t dispatch_counter_ = 0;
+  ServiceSnapshot snapshot_;
+  /// Accumulated per-device profiling events (appended after each batch).
+  std::vector<vcl::ProfilingLog> device_logs_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dfg::service

@@ -21,9 +21,18 @@ std::set<std::string>& known_registry() {
   // process that never happens to read it (e.g. DFGEN_CHECKPOINT_DIR in a
   // single-device bench).
   static std::set<std::string> known = {
-      "DFGEN_RUNS",          "DFGEN_FALLBACK",
-      "DFGEN_DEADLINE_FACTOR", "DFGEN_CHECKPOINT_DIR",
+      "DFGEN_RUNS",
+      "DFGEN_FALLBACK",
+      "DFGEN_DEADLINE_FACTOR",
+      "DFGEN_CHECKPOINT_DIR",
       "DFGEN_TRACE_DIR",
+      "DFGEN_SMOKE",
+      "DFGEN_NO_PROGRAM_CACHE",
+      "DFGEN_NO_VM_OPTIMIZER",
+      "DFGEN_SERVICE_QUEUE_DEPTH",
+      "DFGEN_SERVICE_QUOTA_MB",
+      "DFGEN_SERVICE_BACKLOG_MB",
+      "DFGEN_SERVICE_COALESCE",
   };
   return known;
 }

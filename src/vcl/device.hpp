@@ -52,6 +52,23 @@ struct DeviceSpec {
   int register_budget = 64;
 };
 
+/// Observer of one device's allocation traffic, consulted by the
+/// MemoryTracker on every reserve/release. The evaluation service installs
+/// one per executing request to charge device bytes against the owning
+/// session's quota; on_reserve may throw DeviceOutOfMemory to veto the
+/// allocation — the tracker stays untouched, so the fallback ladder sees an
+/// ordinary capacity failure and degrades to a cheaper strategy instead of
+/// letting one tenant take the whole device.
+class AllocationHook {
+ public:
+  virtual ~AllocationHook() = default;
+  /// Called before the tracker commits `bytes`. Throwing aborts the
+  /// allocation without changing tracker state.
+  virtual void on_reserve(std::size_t bytes) = 0;
+  /// Called after the tracker releases `bytes`. Must not throw.
+  virtual void on_release(std::size_t bytes) = 0;
+};
+
 /// Tracks live device allocations against a capacity and records the
 /// high-water mark. reserve() throws DeviceOutOfMemory when the capacity
 /// would be exceeded, leaving the tracker unchanged.
@@ -64,13 +81,23 @@ class MemoryTracker {
     if (bytes > capacity_ - in_use_) {
       throw DeviceOutOfMemory(device_name_, bytes, in_use_, capacity_);
     }
+    // The hook may veto (throw) before any state changes; ordering keeps
+    // veto semantics identical to a real over-capacity failure.
+    if (hook_ != nullptr) hook_->on_reserve(bytes);
     in_use_ += bytes;
     if (in_use_ > high_water_) high_water_ = in_use_;
   }
 
   void release(std::size_t bytes) {
     in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+    if (hook_ != nullptr) hook_->on_release(bytes);
   }
+
+  /// Installs (or clears, with nullptr) the accounting hook. The hook must
+  /// outlive every allocation made while it is installed; callers install
+  /// it only while they have exclusive use of the device.
+  void set_hook(AllocationHook* hook) { hook_ = hook; }
+  AllocationHook* hook() const { return hook_; }
 
   std::size_t in_use() const { return in_use_; }
   std::size_t high_water() const { return high_water_; }
@@ -86,6 +113,7 @@ class MemoryTracker {
   std::size_t capacity_;
   std::size_t in_use_ = 0;
   std::size_t high_water_ = 0;
+  AllocationHook* hook_ = nullptr;
 };
 
 class Buffer;

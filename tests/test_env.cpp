@@ -64,10 +64,16 @@ TEST(Env, CanonicalVariablesAreKnown) {
   ScopedEnv c("DFGEN_DEADLINE_FACTOR", "8");
   ScopedEnv d("DFGEN_CHECKPOINT_DIR", "/tmp/j");
   ScopedEnv e("DFGEN_TRACE_DIR", "/tmp/t");
+  ScopedEnv f("DFGEN_SERVICE_QUEUE_DEPTH", "16");
+  ScopedEnv g("DFGEN_SERVICE_QUOTA_MB", "64");
+  ScopedEnv h("DFGEN_SERVICE_BACKLOG_MB", "256");
+  ScopedEnv i("DFGEN_SERVICE_COALESCE", "1");
   const auto unknowns = env::unknown_variables();
   for (const char* name :
        {"DFGEN_RUNS", "DFGEN_FALLBACK", "DFGEN_DEADLINE_FACTOR",
-        "DFGEN_CHECKPOINT_DIR", "DFGEN_TRACE_DIR"}) {
+        "DFGEN_CHECKPOINT_DIR", "DFGEN_TRACE_DIR",
+        "DFGEN_SERVICE_QUEUE_DEPTH", "DFGEN_SERVICE_QUOTA_MB",
+        "DFGEN_SERVICE_BACKLOG_MB", "DFGEN_SERVICE_COALESCE"}) {
     EXPECT_EQ(std::find(unknowns.begin(), unknowns.end(), name),
               unknowns.end())
         << name << " must be pre-registered";

@@ -1,0 +1,515 @@
+// The concurrent evaluation service: admission control rejects with a
+// reason, the coalescer executes one evaluation per distinct key, the
+// fair-share scheduler honours weights and priorities, quotas degrade
+// over-quota tenants down the fallback ladder, and — the load-bearing
+// property — N concurrent sessions produce results bit-identical to N
+// serialized Engine::evaluate calls, across strategies, with a seeded
+// FaultPlan armed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "mesh/generators.hpp"
+#include "runtime/fallback.hpp"
+#include "runtime/planner.hpp"
+#include "service/service.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using runtime::StrategyKind;
+using service::EvalService;
+using service::Request;
+using service::RequestStatus;
+using service::ServiceOptions;
+using service::ServiceReport;
+using service::ServiceSnapshot;
+using service::SessionConfig;
+using service::Ticket;
+
+struct Fixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({6, 5, 4});
+  mesh::VectorField field;
+
+  Fixture() : field(mesh::rayleigh_taylor_flow(mesh, 7)) {}
+
+  Request request(const std::string& expression,
+                  const std::string& session = "default") const {
+    Request r;
+    r.expression = expression;
+    r.mesh = &mesh;
+    r.fields = {{"u", field.u}, {"v", field.v}, {"w", field.w}};
+    r.session = session;
+    return r;
+  }
+
+  std::vector<float> reference(const std::string& expression,
+                               StrategyKind kind = StrategyKind::fusion,
+                               const vcl::FaultPlan* plan = nullptr) const {
+    vcl::Device device(vcl::xeon_x5660_scaled());
+    if (plan != nullptr) device.fault().arm(*plan);
+    EngineOptions options;
+    options.strategy = kind;
+    options.fallback = runtime::FallbackPolicy::resilient();
+    Engine engine(device, options);
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+};
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const bool nan = std::isnan(want[i]);
+    ASSERT_EQ(std::isnan(got[i]), nan) << "cell " << i;
+    if (!nan) ASSERT_EQ(got[i], want[i]) << "cell " << i;
+  }
+}
+
+TEST(Service, CoalescesDuplicateBurstIntoOneEvaluation) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  EvalService svc({&device}, options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(
+        svc.submit(fx.request(expressions::kQCriterion,
+                              "tenant-" + std::to_string(i))));
+  }
+  svc.resume();
+  svc.drain();
+
+  const std::vector<float> want = fx.reference(expressions::kQCriterion);
+  std::size_t leaders = 0;
+  for (const Ticket& ticket : tickets) {
+    const ServiceReport& report = ticket.wait();
+    ASSERT_EQ(report.status, RequestStatus::completed) << report.error;
+    EXPECT_EQ(report.coalesced_fanout, 8u);
+    leaders += report.coalesce_leader ? 1 : 0;
+    expect_bitwise_equal(report.evaluation->values, want);
+  }
+  EXPECT_EQ(leaders, 1u);
+
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_EQ(snap.submitted, 8u);
+  EXPECT_EQ(snap.executed_evaluations, 1u);
+  EXPECT_EQ(snap.coalesced_requests, 7u);
+  EXPECT_EQ(snap.completed_requests, 8u);
+}
+
+TEST(Service, CoalesceKeyRespectsBoundArrayIdentity) {
+  Fixture fx;
+  // Same content, different storage: must NOT coalesce (pointer identity is
+  // the data-equality proxy under the in-situ no-copy contract).
+  const std::vector<float> u_copy = fx.field.u;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  EvalService svc({&device}, options);
+
+  Request a = fx.request(expressions::kVelocityMagnitude, "a");
+  Request b = fx.request(expressions::kVelocityMagnitude, "b");
+  b.fields[0] = {"u", u_copy};
+  Ticket ta = svc.submit(std::move(a));
+  Ticket tb = svc.submit(std::move(b));
+  svc.resume();
+  svc.drain();
+
+  ASSERT_EQ(ta.wait().status, RequestStatus::completed);
+  ASSERT_EQ(tb.wait().status, RequestStatus::completed);
+  EXPECT_EQ(svc.snapshot().executed_evaluations, 2u);
+
+  // And different strategies must not coalesce either.
+  Request c = fx.request(expressions::kVelocityMagnitude, "a");
+  Request d = fx.request(expressions::kVelocityMagnitude, "b");
+  d.strategy = StrategyKind::staged;
+  Ticket tc = svc.submit(std::move(c));
+  Ticket td = svc.submit(std::move(d));
+  svc.drain();
+  EXPECT_EQ(svc.snapshot().executed_evaluations, 4u);
+}
+
+TEST(Service, CoalescingOffExecutesEveryRequest) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.coalescing = false;
+  EvalService svc({&device}, options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(svc.submit(fx.request(expressions::kVelocityMagnitude)));
+  }
+  svc.resume();
+  svc.drain();
+  for (const Ticket& t : tickets) {
+    ASSERT_EQ(t.wait().status, RequestStatus::completed);
+    EXPECT_EQ(t.wait().coalesced_fanout, 1u);
+  }
+  EXPECT_EQ(svc.snapshot().executed_evaluations, 4u);
+}
+
+TEST(Service, QueueFullRejectsWithReason) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.max_queue_depth = 2;
+  EvalService svc({&device}, options);
+
+  Ticket t1 = svc.submit(fx.request(expressions::kVelocityMagnitude));
+  Ticket t2 = svc.submit(fx.request(expressions::kDivergence));
+  Ticket t3 = svc.submit(fx.request(expressions::kHelicity));
+  EXPECT_TRUE(t3.ready()) << "rejection resolves the ticket immediately";
+  const ServiceReport& rejected = t3.wait();
+  EXPECT_EQ(rejected.status, RequestStatus::rejected);
+  EXPECT_NE(rejected.reject_reason.find("queue full"), std::string::npos);
+
+  svc.resume();
+  svc.drain();
+  EXPECT_EQ(t1.wait().status, RequestStatus::completed);
+  EXPECT_EQ(t2.wait().status, RequestStatus::completed);
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.admitted, 2u);
+}
+
+// A gradient of a *computed* value: the streamed rung (whose memory floor
+// is tiny) cannot execute it, so the projected floor is problem-sized.
+constexpr const char* kUnstreamable =
+    "s = u * v\n"
+    "g = grad3d(s, dims, x, y, z)\n"
+    "result = g[0]\n";
+
+TEST(Service, ProjectionRejectsRequestNoDeviceCanEverFit) {
+  Fixture fx;
+  vcl::DeviceSpec spec = vcl::xeon_x5660_scaled();
+  spec.global_mem_bytes = 64;  // smaller than any viable rung's working set
+  vcl::Device device(spec);
+  EvalService svc({&device}, ServiceOptions{});
+
+  Ticket ticket = svc.submit(fx.request(kUnstreamable));
+  const ServiceReport& report = ticket.wait();
+  EXPECT_EQ(report.status, RequestStatus::rejected);
+  EXPECT_NE(report.reject_reason.find("exceeds every device"),
+            std::string::npos)
+      << report.reject_reason;
+  EXPECT_EQ(svc.snapshot().rejected_projection, 1u);
+}
+
+TEST(Service, QuotaRejectsWhenNoRungFits) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  EvalService svc({&device}, ServiceOptions{});
+  svc.configure_session("capped", {1, 64});  // 64-byte quota: nothing fits
+
+  Ticket ticket = svc.submit(fx.request(kUnstreamable, "capped"));
+  const ServiceReport& report = ticket.wait();
+  EXPECT_EQ(report.status, RequestStatus::rejected);
+  EXPECT_NE(report.reject_reason.find("quota"), std::string::npos);
+  EXPECT_EQ(svc.snapshot().rejected_quota, 1u);
+}
+
+TEST(Service, QuotaDegradesOverQuotaTenantDownTheLadder) {
+  Fixture fx;
+  const std::string script = expressions::kQCriterion;
+  const std::size_t cells = fx.mesh.cell_count();
+
+  dataflow::Network network(dataflow::build_network(script));
+  runtime::FieldBindings bindings;
+  bindings.bind_mesh(fx.mesh);
+  bindings.bind("u", fx.field.u);
+  bindings.bind("v", fx.field.v);
+  bindings.bind("w", fx.field.w);
+  std::map<StrategyKind, std::size_t> estimate;
+  for (const StrategyKind kind : runtime::kMemoryLadder) {
+    try {
+      estimate[kind] =
+          runtime::estimate_high_water(network, bindings, cells, kind);
+    } catch (const KernelError&) {
+    }
+  }
+  ASSERT_TRUE(estimate.count(StrategyKind::fusion));
+  ASSERT_TRUE(estimate.count(StrategyKind::streamed));
+  // A quota one float short of fusion's working set: the tenant cannot run
+  // the requested rung, but the streamed rung — whose chunks the service
+  // sizes to the quota — fits, so it must degrade exactly one rung.
+  const std::size_t quota = estimate[StrategyKind::fusion] - sizeof(float);
+  ASSERT_LE(estimate[StrategyKind::streamed], quota)
+      << "premise: the streamed memory floor fits the quota";
+
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  EvalService svc({&device}, ServiceOptions{});
+  svc.configure_session("capped", {1, quota});
+
+  Ticket ticket = svc.submit(fx.request(script, "capped"));
+  const ServiceReport& report = ticket.wait();
+  ASSERT_EQ(report.status, RequestStatus::completed) << report.error;
+  EXPECT_EQ(report.evaluation->strategy,
+            runtime::strategy_name(StrategyKind::streamed));
+  EXPECT_GE(report.evaluation->degradations.size(), 1u)
+      << "an over-quota tenant must degrade, not fail";
+  expect_bitwise_equal(report.evaluation->values, fx.reference(script));
+
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_GE(snap.degradations, 1u);
+  EXPECT_GT(snap.sessions.at("capped").quota_high_water_bytes, 0u);
+  EXPECT_LE(snap.sessions.at("capped").quota_high_water_bytes, quota);
+}
+
+TEST(Service, WeightedRoundRobinHonoursWeights) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.coalescing = false;
+  EvalService svc({&device}, options);
+  svc.configure_session("heavy", {2, 0});
+  svc.configure_session("light", {1, 0});
+
+  std::vector<Ticket> heavy;
+  std::vector<Ticket> light;
+  for (int i = 0; i < 4; ++i) {
+    heavy.push_back(svc.submit(fx.request(expressions::kDivergence, "heavy")));
+  }
+  for (int i = 0; i < 2; ++i) {
+    light.push_back(svc.submit(fx.request(expressions::kHelicity, "light")));
+  }
+  svc.resume();
+  svc.drain();
+
+  // One device, weights 2:1 → dispatch order H H L H H L.
+  std::vector<std::size_t> heavy_idx;
+  std::vector<std::size_t> light_idx;
+  for (const Ticket& t : heavy) heavy_idx.push_back(t.wait().dispatch_index);
+  for (const Ticket& t : light) light_idx.push_back(t.wait().dispatch_index);
+  std::sort(heavy_idx.begin(), heavy_idx.end());
+  std::sort(light_idx.begin(), light_idx.end());
+  EXPECT_EQ(heavy_idx, (std::vector<std::size_t>{1, 2, 4, 5}));
+  EXPECT_EQ(light_idx, (std::vector<std::size_t>{3, 6}));
+}
+
+TEST(Service, PriorityOrdersRequestsWithinASession) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.coalescing = false;
+  EvalService svc({&device}, options);
+
+  Request low = fx.request(expressions::kDivergence);
+  low.priority = 0;
+  Request high = fx.request(expressions::kHelicity);
+  high.priority = 5;
+  Ticket t_low = svc.submit(std::move(low));
+  Ticket t_high = svc.submit(std::move(high));
+  svc.resume();
+  svc.drain();
+
+  EXPECT_LT(t_high.wait().dispatch_index, t_low.wait().dispatch_index)
+      << "the higher-priority request must dispatch first";
+}
+
+TEST(Service, PerRequestDeadlineArmsTheWatchdog) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  vcl::FaultPlan plan;
+  plan.seed = 11;
+  plan.slow_command_index = 1;  // every command crawls, 4x its estimate
+  plan.slowdown_factor = 4.0;
+  device.fault().arm(plan);
+
+  EvalService svc({&device}, ServiceOptions{});
+
+  // Under the service default deadline (8x) the 4x slowdown is tolerated.
+  Ticket patient = svc.submit(fx.request(expressions::kVelocityMagnitude));
+  const ServiceReport& ok = patient.wait();
+  ASSERT_EQ(ok.status, RequestStatus::completed) << ok.error;
+  EXPECT_EQ(ok.evaluation->command_timeouts, 0u);
+  expect_bitwise_equal(ok.evaluation->values,
+                       fx.reference(expressions::kVelocityMagnitude));
+
+  // A tenant with a tight per-request deadline trips the watchdog instead:
+  // the 4x slowdown now exceeds its 1.5x budget on every rung.
+  Request tight = fx.request(expressions::kVelocityMagnitude, "impatient");
+  tight.deadline_factor = 1.5;
+  Ticket ticket = svc.submit(std::move(tight));
+  const ServiceReport& report = ticket.wait();
+  EXPECT_EQ(report.status, RequestStatus::failed);
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_GE(svc.snapshot().command_timeouts, 1u)
+      << "the tight deadline must abandon the slowed commands";
+}
+
+// The acceptance property: N concurrent sessions submitting the paper's
+// expressions produce results bit-identical to N serialized
+// Engine::evaluate calls, across strategies, with a seeded FaultPlan armed.
+TEST(Service, ConcurrentSessionsMatchSerializedEnginesBitExactly) {
+  Fixture fx;
+  vcl::FaultPlan plan;
+  plan.seed = 42;
+  plan.fail_write_index = 2;  // transient: retried, then recovers
+  plan.transient_count = 1;
+
+  const std::vector<std::string> scripts = {expressions::kVelocityMagnitude,
+                                            expressions::kVorticityMagnitude,
+                                            expressions::kQCriterion};
+  const std::vector<StrategyKind> strategies = {
+      StrategyKind::fusion, StrategyKind::staged, StrategyKind::roundtrip};
+
+  // Serialized reference: one engine, one device, back to back.
+  std::vector<std::vector<float>> want;
+  for (const std::string& script : scripts) {
+    for (const StrategyKind kind : strategies) {
+      want.push_back(fx.reference(script, kind, &plan));
+    }
+  }
+
+  vcl::Device dev_a(vcl::xeon_x5660_scaled());
+  vcl::Device dev_b(vcl::xeon_x5660_scaled());
+  dev_a.fault().arm(plan);
+  dev_b.fault().arm(plan);
+  EvalService svc({&dev_a, &dev_b}, ServiceOptions{});
+
+  constexpr int kSessions = 4;
+  std::vector<std::vector<Ticket>> tickets(kSessions);
+  {
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSessions; ++s) {
+      submitters.emplace_back([&, s] {
+        for (const std::string& script : scripts) {
+          for (const StrategyKind kind : strategies) {
+            Request request =
+                fx.request(script, "session-" + std::to_string(s));
+            request.strategy = kind;
+            tickets[s].push_back(svc.submit(std::move(request)));
+          }
+        }
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+  }
+  svc.drain();
+
+  for (int s = 0; s < kSessions; ++s) {
+    std::size_t i = 0;
+    for (const Ticket& ticket : tickets[s]) {
+      const ServiceReport& report = ticket.wait();
+      ASSERT_EQ(report.status, RequestStatus::completed) << report.error;
+      expect_bitwise_equal(report.evaluation->values, want[i]);
+      ++i;
+    }
+  }
+
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_EQ(snap.completed_requests,
+            static_cast<std::size_t>(kSessions) * scripts.size() *
+                strategies.size());
+  EXPECT_EQ(snap.failed_requests, 0u);
+}
+
+// Satellite 1: per-report program-cache attribution stays correct when
+// engines evaluate concurrently on distinct threads.
+TEST(Service, ThreadLocalCacheStatsAttributePerEvaluation) {
+  Fixture fx;
+  constexpr int kThreads = 4;
+  std::vector<std::size_t> second_run_misses(kThreads, 999);
+  std::vector<std::size_t> second_run_hits(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        vcl::Device device(vcl::xeon_x5660_scaled());
+        Engine engine(device, {});
+        engine.bind_mesh(fx.mesh);
+        engine.bind("u", fx.field.u);
+        engine.bind("v", fx.field.v);
+        engine.bind("w", fx.field.w);
+        engine.evaluate(expressions::kQCriterion);  // warm (or find) cache
+        const EvaluationReport report =
+            engine.evaluate(expressions::kQCriterion);
+        second_run_misses[t] = report.pipeline_cache_misses;
+        second_run_hits[t] = report.pipeline_cache_hits;
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(second_run_misses[t], 0u)
+        << "thread " << t << ": a repeat evaluation must be all hits — "
+        << "cross-thread traffic leaked into this report";
+    EXPECT_GE(second_run_hits[t], 1u) << "thread " << t;
+  }
+}
+
+TEST(Service, ChromeTraceMergesAllDeviceTimelines) {
+  Fixture fx;
+  vcl::Device dev_a(vcl::xeon_x5660_scaled());
+  vcl::Device dev_b(vcl::xeon_x5660_scaled());
+  EvalService svc({&dev_a, &dev_b}, ServiceOptions{});
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    Request request = fx.request(expressions::kVelocityMagnitude);
+    request.session = "s" + std::to_string(i % 2);
+    tickets.push_back(svc.submit(std::move(request)));
+  }
+  svc.drain();
+  for (const Ticket& t : tickets) {
+    ASSERT_EQ(t.wait().status, RequestStatus::completed);
+  }
+  const std::string trace = svc.chrome_trace();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\""), std::string::npos);
+  // Well-formed: as many opening as closing braces.
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+}
+
+TEST(Service, OptionsFromEnvReadServiceKnobs) {
+  ::setenv("DFGEN_SERVICE_QUEUE_DEPTH", "17", 1);
+  ::setenv("DFGEN_SERVICE_QUOTA_MB", "3", 1);
+  ::setenv("DFGEN_SERVICE_BACKLOG_MB", "9", 1);
+  ::setenv("DFGEN_SERVICE_COALESCE", "0", 1);
+  const ServiceOptions options = ServiceOptions::from_env();
+  ::unsetenv("DFGEN_SERVICE_QUEUE_DEPTH");
+  ::unsetenv("DFGEN_SERVICE_QUOTA_MB");
+  ::unsetenv("DFGEN_SERVICE_BACKLOG_MB");
+  ::unsetenv("DFGEN_SERVICE_COALESCE");
+  EXPECT_EQ(options.max_queue_depth, 17u);
+  EXPECT_EQ(options.default_session_quota_bytes, 3u << 20);
+  EXPECT_EQ(options.max_backlog_bytes, 9u << 20);
+  EXPECT_FALSE(options.coalescing);
+}
+
+TEST(Service, MalformedExpressionFailsTheTicketWithoutDispatch) {
+  Fixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  EvalService svc({&device}, ServiceOptions{});
+  Ticket ticket = svc.submit(fx.request("result = ((("));
+  const ServiceReport& report = ticket.wait();
+  EXPECT_EQ(report.status, RequestStatus::failed);
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_EQ(svc.snapshot().executed_evaluations, 0u);
+}
+
+}  // namespace
