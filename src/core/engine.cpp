@@ -1,13 +1,61 @@
 #include "core/engine.hpp"
 
+#include <array>
+
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
 #include "kernels/generator.hpp"
 #include "kernels/program_cache.hpp"
 #include "kernels/source_printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
+#include "vcl/event.hpp"
 
 namespace dfg {
+
+namespace {
+
+/// The registry series an evaluation's report is a delta view over. All
+/// instrumentation (queue commands, fault injections) happens on the
+/// evaluating thread, so thread-shard deltas are exact per evaluation even
+/// with concurrent engines on other threads.
+struct ReportCounters {
+  obs::MetricId writes, reads, kernels, timeouts, integrity, retries, faults;
+
+  static ReportCounters resolve(const std::string& device) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    const auto event_id = [&](vcl::EventKind kind) {
+      return reg.counter(
+          "dfgen_vcl_events_total",
+          {{"device", device}, {"kind", vcl::event_kind_slug(kind)}});
+    };
+    ReportCounters ids;
+    ids.writes = event_id(vcl::EventKind::host_to_device);
+    ids.reads = event_id(vcl::EventKind::device_to_host);
+    ids.kernels = event_id(vcl::EventKind::kernel_exec);
+    ids.timeouts = event_id(vcl::EventKind::timeout);
+    ids.integrity = event_id(vcl::EventKind::integrity);
+    ids.retries = reg.counter("dfgen_vcl_command_retries_total",
+                              {{"device", device}});
+    ids.faults = reg.counter("dfgen_vcl_faults_injected_total",
+                             {{"device", device}});
+    return ids;
+  }
+
+  std::array<std::uint64_t, 7> sample() const {
+    obs::MetricsRegistry& reg = obs::metrics();
+    return {reg.thread_counter_value(writes),
+            reg.thread_counter_value(reads),
+            reg.thread_counter_value(kernels),
+            reg.thread_counter_value(timeouts),
+            reg.thread_counter_value(integrity),
+            reg.thread_counter_value(retries),
+            reg.thread_counter_value(faults)};
+  }
+};
+
+}  // namespace
 
 Engine::Engine(vcl::Device& device, EngineOptions options)
     : device_(&device), options_(options) {}
@@ -40,13 +88,22 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   device_->fault().begin_run();
   device_->fault().set_sink(&log_);
 
-  // Thread-local snapshot: concurrent evaluations on other threads must
-  // not leak their cache traffic into this report (or vice versa).
+  // Thread-local snapshots: concurrent evaluations on other threads must
+  // not leak their cache or device traffic into this report (or vice
+  // versa). The report below is a delta view over these registry series —
+  // the counters themselves are the source of truth.
   const kernels::ProgramCacheStats cache_before =
       kernels::ProgramCache::instance().thread_stats();
+  const ReportCounters ids = ReportCounters::resolve(device_->spec().name);
+  const std::array<std::uint64_t, 7> before = ids.sample();
+  obs::Span span(
+      "evaluate:" + network.spec().node(network.output_id()).label,
+      "request");
   runtime::FallbackOutcome outcome = runtime::execute_with_fallback(
       network, bindings_, elements, *device_, log_, options_.strategy,
       options_.fallback, options_.streamed_chunk_cells);
+  span.add_sim_seconds(log_.total_sim_seconds());
+  const std::array<std::uint64_t, 7> after = ids.sample();
   EvaluationReport report;
   report.values = std::move(outcome.values);
   report.output_name = network.spec().node(network.output_id()).label;
@@ -57,18 +114,13 @@ EvaluationReport Engine::evaluate(std::string_view expression,
                                    runtime::strategy_name(step.to),
                                    step.reason});
   }
-  report.injected_faults = device_->fault().run_faults();
-  for (const vcl::Event& event : log_.events()) {
-    if (event.kind == vcl::EventKind::fault &&
-        event.label.rfind("retry:", 0) == 0) {
-      ++report.command_retries;
-    }
-  }
-  report.dev_writes = log_.count(vcl::EventKind::host_to_device);
-  report.dev_reads = log_.count(vcl::EventKind::device_to_host);
-  report.kernel_execs = log_.count(vcl::EventKind::kernel_exec);
-  report.command_timeouts = log_.count(vcl::EventKind::timeout);
-  report.checksum_mismatches = log_.count(vcl::EventKind::integrity);
+  report.dev_writes = after[0] - before[0];
+  report.dev_reads = after[1] - before[1];
+  report.kernel_execs = after[2] - before[2];
+  report.command_timeouts = after[3] - before[3];
+  report.checksum_mismatches = after[4] - before[4];
+  report.command_retries = after[5] - before[5];
+  report.injected_faults = after[6] - before[6];
   report.sim_seconds = log_.total_sim_seconds();
   report.wall_seconds = log_.total_wall_seconds();
   report.memory_high_water_bytes = device_->memory().high_water();

@@ -8,6 +8,8 @@
 #include "dataflow/network.hpp"
 #include "distrib/checkpoint.hpp"
 #include "kernels/program_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/fallback.hpp"
 #include "runtime/planner.hpp"
 #include "support/checksum.hpp"
@@ -36,6 +38,31 @@ mesh::RectilinearMesh padded_mesh(const mesh::RectilinearMesh& global,
       slice(global.z_nodes(), extent.k_begin - padded.lo_k,
             padded.dims.nz + 1));
 }
+
+/// Cluster-health counters for the current registry. Resolved once per
+/// evaluation; the DistributedReport itself stays derived from the per-rank
+/// profiling logs, so these series form an independent record the parity
+/// tests can cross-check against.
+struct DistCounters {
+  obs::MetricId blocks, resumed, stragglers, spec_runs, spec_wins, losses,
+      quarantines, degraded;
+
+  static DistCounters resolve() {
+    obs::MetricsRegistry& reg = obs::metrics();
+    DistCounters ids;
+    ids.blocks = reg.counter("dfgen_dist_blocks_executed_total");
+    ids.resumed = reg.counter("dfgen_dist_resumed_blocks_total");
+    ids.stragglers = reg.counter("dfgen_dist_straggler_blocks_total");
+    ids.spec_runs =
+        reg.counter("dfgen_dist_speculations_total", {{"result", "run"}});
+    ids.spec_wins =
+        reg.counter("dfgen_dist_speculations_total", {{"result", "won"}});
+    ids.losses = reg.counter("dfgen_dist_device_losses_total");
+    ids.quarantines = reg.counter("dfgen_dist_quarantines_total");
+    ids.degraded = reg.counter("dfgen_dist_degraded_blocks_total");
+    return ids;
+  }
+};
 
 /// One simulated MPI task: its device, accumulated log, and health.
 struct RankState {
@@ -127,6 +154,12 @@ DistributedReport DistributedEngine::evaluate(
   // evaluate concurrently on other threads.
   const kernels::ProgramCacheStats cache_before =
       kernels::ProgramCache::instance().thread_stats();
+  const DistCounters counters = DistCounters::resolve();
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs::Span request_span(
+      "dist_evaluate:" +
+          network.spec().node(network.output_id()).label,
+      "request");
 
   DistributedReport report;
   report.values.assign(global_dims.cell_count(), 0.0f);
@@ -194,6 +227,7 @@ DistributedReport DistributedEngine::evaluate(
         state.device = std::make_unique<vcl::Device>(config_.device_spec);
         state.device->fault().set_sink(&block_log);
         ++report.device_losses;
+        reg.add(counters.losses);
       } catch (const DataCorruption&) {
         // The queue already retried the transfer; re-execute the whole
         // block once from clean buffers before giving up on the device.
@@ -207,6 +241,7 @@ DistributedReport DistributedEngine::evaluate(
     if (!states[rank].healthy) return;
     states[rank].healthy = false;
     ++report.quarantined_devices;
+    reg.add(counters.quarantines);
   };
 
   // Fastest clean block so far: the second leg of the straggler budget,
@@ -226,6 +261,7 @@ DistributedReport DistributedEngine::evaluate(
       // load instead of executing.
       scatter(extent, shape, journal.load(b));
       ++report.resumed_blocks;
+      reg.add(counters.resumed);
       continue;
     }
 
@@ -237,6 +273,11 @@ DistributedReport DistributedEngine::evaluate(
       bindings.bind(name, padded_blocks[b].values);
     }
     const std::size_t elements = shape.dims.cell_count();
+
+    // Block span: parent of the strategy-attempt spans the fallback ladder
+    // opens while this block executes (request -> block -> attempt ->
+    // command).
+    obs::Span block_span("block:" + std::to_string(b), "block");
 
     std::size_t rank = b % ranks;
     if (!states[rank].healthy) {
@@ -283,9 +324,11 @@ DistributedReport DistributedEngine::evaluate(
       if (reference > 0.0 &&
           duration > config_.straggler_budget_factor * reference) {
         ++report.straggler_blocks;
+        reg.add(counters.stragglers);
         const std::size_t spec_rank = least_loaded_healthy(rank);
         if (spec_rank != SIZE_MAX) {
           ++report.speculative_executions;
+          reg.add(counters.spec_runs);
           vcl::ProfilingLog spec_log;
           try {
             runtime::FallbackOutcome spec_outcome =
@@ -296,6 +339,7 @@ DistributedReport DistributedEngine::evaluate(
               outcome = std::move(spec_outcome);
               duration = spec_duration;
               ++report.speculations_won;
+              reg.add(counters.spec_wins);
             }
           } catch (const Error&) {
             // The speculation target failed too; keep the original result
@@ -311,8 +355,13 @@ DistributedReport DistributedEngine::evaluate(
       }
     }
 
-    if (outcome.executed != strategy_kind) ++report.degraded_blocks;
+    if (outcome.executed != strategy_kind) {
+      ++report.degraded_blocks;
+      reg.add(counters.degraded);
+    }
     report.strategy_degradations += outcome.degradations.size();
+    reg.add(counters.blocks);
+    block_span.add_sim_seconds(duration);
 
     journal.append(b, outcome.values);
     ++completed_this_run;
@@ -360,6 +409,7 @@ DistributedReport DistributedEngine::evaluate(
       }
     }
   }
+  request_span.add_sim_seconds(report.total_sim_seconds);
   return report;
 }
 

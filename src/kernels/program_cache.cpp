@@ -4,14 +4,36 @@
 #include <utility>
 
 #include "kernels/primitives.hpp"
+#include "obs/metrics.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
 
 namespace dfg::kernels {
 
 namespace {
-// Per-thread mirror of the process-wide counters (see thread_stats()).
-thread_local ProgramCacheStats t_stats;
+
+// Per-thread attribution lives in the metrics registry's thread shards
+// (one series per cache/result pair), not in a second thread_local mirror:
+// the counters are monotonic and never reset, so a worker thread reused
+// across two sessions always attributes each evaluation's traffic by
+// before/after deltas with no reset point to race on.
+obs::MetricId requests_counter(const char* cache, const char* result) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  return reg.counter("dfgen_cache_requests_total",
+                     {{"cache", cache}, {"result", result}});
+}
+
+void count_request(const char* cache, const char* result) {
+  obs::metrics().add(requests_counter(cache, result));
+}
+
+void count_evictions(const char* cache, std::size_t dropped) {
+  if (dropped == 0) return;
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.add(reg.counter("dfgen_cache_evictions_total", {{"cache", cache}}),
+          dropped);
+}
+
 }  // namespace
 
 ProgramCache::ProgramCache()
@@ -32,12 +54,12 @@ std::shared_ptr<const FusedPipeline> ProgramCache::fused_pipeline(
     const auto it = pipelines_.find(key);
     if (it != pipelines_.end()) {
       ++stats_.pipeline_hits;
-      ++t_stats.pipeline_hits;
+      count_request("pipeline", "hit");
       return it->second;
     }
   }
   ++stats_.pipeline_misses;
-  ++t_stats.pipeline_misses;
+  count_request("pipeline", "miss");
   // Generation can be slow; run it outside the lock (a racing thread may
   // generate the same pipeline — both results are identical, last wins).
   lock.unlock();
@@ -75,12 +97,12 @@ std::shared_ptr<const Program> ProgramCache::standalone(
     const auto it = standalones_.find(key);
     if (it != standalones_.end()) {
       ++stats_.standalone_hits;
-      ++t_stats.standalone_hits;
+      count_request("standalone", "hit");
       return it->second;
     }
   }
   ++stats_.standalone_misses;
-  ++t_stats.standalone_misses;
+  count_request("standalone", "miss");
   lock.unlock();
   auto program = std::make_shared<const Program>(
       make_standalone_program(kind, component, value));
@@ -95,8 +117,19 @@ ProgramCacheStats ProgramCache::stats() const {
 }
 
 ProgramCacheStats ProgramCache::thread_stats() const {
-  // Thread-local: no lock needed, no other thread ever writes it.
-  return t_stats;
+  // Reads the calling thread's metrics shard: no lock, no other thread
+  // ever writes those slots.
+  obs::MetricsRegistry& reg = obs::metrics();
+  ProgramCacheStats stats;
+  stats.pipeline_hits =
+      reg.thread_counter_value(requests_counter("pipeline", "hit"));
+  stats.pipeline_misses =
+      reg.thread_counter_value(requests_counter("pipeline", "miss"));
+  stats.standalone_hits =
+      reg.thread_counter_value(requests_counter("standalone", "hit"));
+  stats.standalone_misses =
+      reg.thread_counter_value(requests_counter("standalone", "miss"));
+  return stats;
 }
 
 void ProgramCache::reset_stats() {
@@ -106,6 +139,8 @@ void ProgramCache::reset_stats() {
 
 void ProgramCache::clear() {
   std::scoped_lock lock(mutex_);
+  count_evictions("pipeline", pipelines_.size());
+  count_evictions("standalone", standalones_.size());
   pipelines_.clear();
   standalones_.clear();
 }
@@ -114,6 +149,8 @@ void ProgramCache::set_caching_enabled(bool enabled) {
   std::scoped_lock lock(mutex_);
   caching_enabled_ = enabled;
   if (!enabled) {
+    count_evictions("pipeline", pipelines_.size());
+    count_evictions("standalone", standalones_.size());
     pipelines_.clear();
     standalones_.clear();
   }

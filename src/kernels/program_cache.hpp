@@ -68,13 +68,19 @@ class ProgramCache {
   ProgramCacheStats stats() const;
 
   /// Stats accumulated by requests issued from the *calling thread* only
-  /// (monotonic per thread, never reset). Concurrent evaluations attribute
-  /// cache traffic to their own report by taking before/after deltas of
-  /// this instead of the process-wide totals, which race under concurrency:
-  /// a delta of stats() spanning another engine's evaluation charges this
-  /// report with that engine's hits and misses. Every cache request an
-  /// evaluation makes (strategies, planner replays, the engine's source
-  /// dump) happens on the evaluating thread, so thread deltas are exact.
+  /// (monotonic per thread, never reset — reset_stats() deliberately does
+  /// not touch them, so a before/after delta can never straddle a reset).
+  /// Concurrent evaluations attribute cache traffic to their own report by
+  /// taking before/after deltas of this instead of the process-wide
+  /// totals, which race under concurrency: a delta of stats() spanning
+  /// another engine's evaluation charges this report with that engine's
+  /// hits and misses. Every cache request an evaluation makes (strategies,
+  /// planner replays, the engine's source dump) happens on the evaluating
+  /// thread, so thread deltas are exact — including for a service worker
+  /// thread reused across sessions, where each evaluation's delta window
+  /// opens after the previous session's traffic is already in the base
+  /// snapshot. Backed by the obs::MetricsRegistry thread shards
+  /// (dfgen_cache_requests_total), not a separate thread_local mirror.
   ProgramCacheStats thread_stats() const;
 
   void reset_stats();

@@ -1,10 +1,13 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <utility>
 
 #include "dataflow/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/planner.hpp"
 #include "service/admission.hpp"
 #include "support/env.hpp"
@@ -16,6 +19,31 @@ namespace dfg::service {
 namespace {
 
 constexpr std::size_t kNoFloor = std::numeric_limits<std::size_t>::max();
+
+/// Source of the `svc=<N>` instance labels.
+std::atomic<std::uint64_t> g_next_service{1};
+
+/// Resolves one of this service's registry counters against the *current*
+/// registry (never cached: a test's ScopedMetricsRegistry must capture
+/// traffic from services constructed before it was installed).
+obs::MetricId svc_counter(const std::string& svc, const char* name,
+                          obs::Labels extra = {}) {
+  extra.emplace_back("svc", svc);
+  return obs::metrics().counter(name, std::move(extra));
+}
+
+/// The snapshot scalars are views over these series (see snapshot()).
+obs::MetricId requests_counter(const std::string& svc, const char* outcome) {
+  return svc_counter(svc, "dfgen_svc_requests_total", {{"outcome", outcome}});
+}
+obs::MetricId rejects_counter(const std::string& svc, const char* reason) {
+  return svc_counter(svc, "dfgen_svc_admission_rejects_total",
+                     {{"reason", reason}});
+}
+obs::MetricId incidents_counter(const std::string& svc, const char* kind) {
+  return svc_counter(svc, "dfgen_svc_device_incidents_total",
+                     {{"kind", kind}});
+}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -101,6 +129,8 @@ ServiceOptions ServiceOptions::from_env() {
 EvalService::EvalService(std::vector<vcl::Device*> devices,
                          ServiceOptions options)
     : devices_(std::move(devices)), options_(options),
+      svc_(std::to_string(
+          g_next_service.fetch_add(1, std::memory_order_relaxed))),
       paused_(options.start_paused), device_logs_(devices_.size()) {
   if (devices_.empty()) {
     throw Error("EvalService requires at least one device");
@@ -231,12 +261,13 @@ Ticket EvalService::submit(Request request) {
   std::vector<std::shared_ptr<Pending>> batch_to_notify;
   {
     std::scoped_lock lock(mutex_);
-    ++snapshot_.submitted;
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.add(requests_counter(svc_, "submitted"));
     Session& session = session_locked(request.session);
     ++snapshot_.sessions[request.session].submitted;
 
     if (!failure.empty()) {
-      ++snapshot_.failed_requests;
+      reg.add(requests_counter(svc_, "failed"));
       ++snapshot_.sessions[request.session].failed;
       std::scoped_lock ticket_lock(state->mutex);
       state->report.status = RequestStatus::failed;
@@ -248,7 +279,7 @@ Ticket EvalService::submit(Request request) {
 
     std::string reject_reason;
     if (queued_count_ >= options_.max_queue_depth) {
-      ++snapshot_.rejected_queue_full;
+      reg.add(rejects_counter(svc_, "queue_full"));
       reject_reason = "queue full: " + std::to_string(queued_count_) +
                       " requests queued (limit " +
                       std::to_string(options_.max_queue_depth) + ")";
@@ -259,13 +290,13 @@ Ticket EvalService::submit(Request request) {
       }
       const std::size_t quota = session.config.quota_bytes;
       if (floor > best_capacity) {
-        ++snapshot_.rejected_projection;
+        reg.add(rejects_counter(svc_, "projection"));
         reject_reason = "projected device-memory floor of " +
                         std::to_string(floor) + " bytes exceeds every "
                         "device's capacity (largest " +
                         std::to_string(best_capacity) + " bytes)";
       } else if (quota > 0 && floor > quota) {
-        ++snapshot_.rejected_quota;
+        reg.add(rejects_counter(svc_, "quota"));
         reject_reason = "projected device-memory floor of " +
                         std::to_string(floor) + " bytes exceeds session '" +
                         request.session + "' quota of " +
@@ -273,7 +304,7 @@ Ticket EvalService::submit(Request request) {
                         "permissible strategy rung";
       } else if (options_.max_backlog_bytes > 0 &&
                  backlog_bytes_ + floor > options_.max_backlog_bytes) {
-        ++snapshot_.rejected_projection;
+        reg.add(rejects_counter(svc_, "projection"));
         reject_reason = "projected backlog of " +
                         std::to_string(backlog_bytes_ + floor) +
                         " bytes exceeds the limit of " +
@@ -300,12 +331,21 @@ Ticket EvalService::submit(Request request) {
     session.queue.push_back(std::move(pending));
     ++queued_count_;
     backlog_bytes_ += floor == kNoFloor ? 0 : floor;
-    ++snapshot_.admitted;
+    reg.add(requests_counter(svc_, "admitted"));
     snapshot_.max_queue_depth_seen =
         std::max(snapshot_.max_queue_depth_seen, queued_count_);
+    note_queue_depth_locked();
   }
   work_cv_.notify_one();
   return ticket;
+}
+
+void EvalService::note_queue_depth_locked() {
+  obs::MetricsRegistry& reg = obs::metrics();
+  const obs::Labels labels{{"svc", svc_}};
+  reg.gauge_set(reg.gauge("dfgen_svc_queue_depth", labels), queued_count_);
+  reg.gauge_max(reg.gauge("dfgen_svc_queue_depth_high_water", labels),
+                queued_count_);
 }
 
 std::shared_ptr<EvalService::Pending> EvalService::pop_locked(
@@ -319,6 +359,7 @@ std::shared_ptr<EvalService::Pending> EvalService::pop_locked(
   session.queue.erase(best);
   --queued_count_;
   backlog_bytes_ -= std::min(backlog_bytes_, pending->floor_bytes);
+  note_queue_depth_locked();
   return pending;
 }
 
@@ -356,6 +397,7 @@ void EvalService::worker(std::size_t device_index) {
           }
         }
       }
+      note_queue_depth_locked();
     }
     ++in_flight_;
     lock.unlock();
@@ -374,6 +416,10 @@ void EvalService::execute_batch(std::size_t device_index,
                                 std::vector<std::shared_ptr<Pending>> batch) {
   const std::shared_ptr<Pending>& leader = batch.front();
   const std::string& session_id = leader->request.session;
+
+  // Parent of the Engine's "evaluate:" request span (and everything below
+  // it) for this dispatch.
+  obs::Span batch_span("dispatch:" + session_id, "batch");
 
   std::size_t dispatch_index = 0;
   std::size_t quota_bytes = 0;
@@ -433,25 +479,36 @@ void EvalService::execute_batch(std::size_t device_index,
     }
   }
 
+  batch_span.add_sim_seconds(engine.log().total_sim_seconds());
+
   {
     std::scoped_lock lock(mutex_);
-    ++snapshot_.executed_evaluations;
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.add(svc_counter(svc_, "dfgen_svc_evaluations_total"));
+    reg.observe(reg.histogram("dfgen_svc_coalesce_fanout", {{"svc", svc_}}),
+                batch.size());
     device_logs_[device_index].append(engine.log());
     SessionStats& leader_stats = snapshot_.sessions[session_id];
     ++leader_stats.evaluations;
     leader_stats.quota_high_water_bytes =
         std::max(leader_stats.quota_high_water_bytes, usage->high_water());
+    reg.gauge_max(
+        reg.gauge("dfgen_svc_quota_pressure_bytes",
+                  {{"svc", svc_}, {"session", session_id}}),
+        usage->high_water());
     if (evaluation != nullptr) {
-      snapshot_.degradations += evaluation->degradations.size();
+      reg.add(svc_counter(svc_, "dfgen_svc_degradations_total"),
+              evaluation->degradations.size());
       leader_stats.degradations += evaluation->degradations.size();
-      snapshot_.command_timeouts += evaluation->command_timeouts;
-      snapshot_.command_retries += evaluation->command_retries;
-      snapshot_.injected_faults += evaluation->injected_faults;
+      reg.add(incidents_counter(svc_, "timeout"),
+              evaluation->command_timeouts);
+      reg.add(incidents_counter(svc_, "retry"), evaluation->command_retries);
+      reg.add(incidents_counter(svc_, "fault"), evaluation->injected_faults);
     } else {
       // The failed evaluation left no report; its device events still count.
-      snapshot_.command_timeouts +=
-          engine.log().count(vcl::EventKind::timeout);
-      snapshot_.injected_faults += device.fault().run_faults();
+      reg.add(incidents_counter(svc_, "timeout"),
+              engine.log().count(vcl::EventKind::timeout));
+      reg.add(incidents_counter(svc_, "fault"), device.fault().run_faults());
     }
     for (const std::shared_ptr<Pending>& pending : batch) {
       SessionStats& stats = snapshot_.sessions[pending->request.session];
@@ -459,14 +516,14 @@ void EvalService::execute_batch(std::size_t device_index,
       stats.queue_wait_seconds += wait;
       snapshot_.total_queue_wait_seconds += wait;
       if (evaluation != nullptr) {
-        ++snapshot_.completed_requests;
+        reg.add(requests_counter(svc_, "completed"));
         ++stats.completed;
       } else {
-        ++snapshot_.failed_requests;
+        reg.add(requests_counter(svc_, "failed"));
         ++stats.failed;
       }
       if (pending != leader) {
-        ++snapshot_.coalesced_requests;
+        reg.add(requests_counter(svc_, "coalesced"));
         ++stats.coalesced;
       }
     }
@@ -499,6 +556,24 @@ ServiceSnapshot EvalService::snapshot() const {
     stats.quota_high_water_bytes =
         std::max(stats.quota_high_water_bytes, session.usage.high_water());
   }
+  // The service-wide scalars are delta-free views over this instance's
+  // registry series (counter_value merges every worker thread's shard).
+  obs::MetricsRegistry& reg = obs::metrics();
+  const auto value = [&](obs::MetricId id) { return reg.counter_value(id); };
+  copy.submitted = value(requests_counter(svc_, "submitted"));
+  copy.admitted = value(requests_counter(svc_, "admitted"));
+  copy.completed_requests = value(requests_counter(svc_, "completed"));
+  copy.failed_requests = value(requests_counter(svc_, "failed"));
+  copy.coalesced_requests = value(requests_counter(svc_, "coalesced"));
+  copy.rejected_queue_full = value(rejects_counter(svc_, "queue_full"));
+  copy.rejected_projection = value(rejects_counter(svc_, "projection"));
+  copy.rejected_quota = value(rejects_counter(svc_, "quota"));
+  copy.executed_evaluations =
+      value(svc_counter(svc_, "dfgen_svc_evaluations_total"));
+  copy.degradations = value(svc_counter(svc_, "dfgen_svc_degradations_total"));
+  copy.command_timeouts = value(incidents_counter(svc_, "timeout"));
+  copy.command_retries = value(incidents_counter(svc_, "retry"));
+  copy.injected_faults = value(incidents_counter(svc_, "fault"));
   return copy;
 }
 

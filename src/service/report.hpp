@@ -116,7 +116,9 @@ struct SessionStats {
   double queue_wait_seconds = 0.0;
 };
 
-/// Service-wide counters, all monotonic since construction.
+/// Service-wide counters, all monotonic since construction. The scalar
+/// fields are views over the service's `svc=<N>` metrics-registry series
+/// (see obs/metrics.hpp); the per-session map is tracked in-service.
 struct ServiceSnapshot {
   std::size_t submitted = 0;
   std::size_t admitted = 0;

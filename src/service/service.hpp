@@ -142,6 +142,8 @@ class EvalService {
 
   Session& session_locked(const std::string& id);
   std::shared_ptr<Pending> pop_locked(Session& session);
+  /// Publishes queued_count_ to the queue-depth gauge and its high-water.
+  void note_queue_depth_locked();
   void reject(const std::shared_ptr<detail::TicketState>& ticket,
               std::string reason);
   void worker(std::size_t device_index);
@@ -151,6 +153,9 @@ class EvalService {
 
   std::vector<vcl::Device*> devices_;
   ServiceOptions options_;
+  /// Process-unique instance label for this service's registry series
+  /// (`svc=<N>`), so concurrent services never merge their counters.
+  std::string svc_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -163,6 +168,10 @@ class EvalService {
   std::size_t backlog_bytes_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t dispatch_counter_ = 0;
+  /// Per-session stats, queue-depth high-water and wall-clock waits. The
+  /// service-wide monotonic scalars are *not* accumulated here: they live
+  /// in the metrics registry (the `svc=<N>` series) and snapshot() reads
+  /// them back, making ServiceSnapshot a view over registry counters.
   ServiceSnapshot snapshot_;
   /// Accumulated per-device profiling events (appended after each batch).
   std::vector<vcl::ProfilingLog> device_logs_;

@@ -33,6 +33,11 @@ std::set<std::string>& known_registry() {
       "DFGEN_SERVICE_QUOTA_MB",
       "DFGEN_SERVICE_BACKLOG_MB",
       "DFGEN_SERVICE_COALESCE",
+      "DFGEN_METRICS",
+      "DFGEN_METRICS_OUT",
+      "DFGEN_FUZZ_SEED",
+      "DFGEN_FUZZ_ITERATIONS",
+      "DFGEN_UPDATE_GOLDEN",
   };
   return known;
 }

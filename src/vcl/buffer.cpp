@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "vcl/device.hpp"
 
 namespace dfg::vcl {
@@ -14,6 +15,12 @@ Buffer::Buffer(Device& device, std::size_t elements) : device_(&device) {
   device_->fault().on_alloc(bytes, device_->memory().in_use(),
                             device_->memory().capacity());
   device_->memory().reserve(bytes);
+  {
+    obs::MetricsRegistry& reg = obs::metrics();
+    reg.gauge_max(reg.gauge("dfgen_vcl_buffer_high_water_bytes",
+                            {{"device", device_->spec().name}}),
+                  device_->memory().high_water());
+  }
   // Reserve happened first: if it throws, no storage is allocated and the
   // tracker is untouched.
   storage_.assign(elements, 0.0f);

@@ -38,6 +38,11 @@ constexpr int kEventKindCount = 6;
 /// "Chksum").
 const char* event_kind_name(EventKind kind);
 
+/// Metric-label slug ("host_to_device", "device_to_host", "kernel_exec",
+/// "fault", "timeout", "integrity") — the `kind` label every per-device
+/// obs counter and histogram uses.
+const char* event_kind_slug(EventKind kind);
+
 struct Event {
   EventKind kind = EventKind::kernel_exec;
   /// Free-form label, e.g. the kernel or buffer name; for diagnostics only.

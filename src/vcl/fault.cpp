@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "vcl/profiling.hpp"
 
@@ -43,6 +44,12 @@ void FaultInjector::begin_run() {
 
 void FaultInjector::record(const std::string& label) {
   ++run_faults_;
+  // Counted here, not at the sink: the injector survives device
+  // replacement (the distributed engine swaps quarantined devices), so the
+  // registry total tracks every injection even when the sink changes.
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.add(reg.counter("dfgen_vcl_faults_injected_total",
+                      {{"device", device_name_}}));
   if (sink_ != nullptr) {
     sink_->record(Event{EventKind::fault, label, 0, 0, 0.0, 0.0});
   }

@@ -22,6 +22,24 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
+const char* event_kind_slug(EventKind kind) {
+  switch (kind) {
+    case EventKind::host_to_device:
+      return "host_to_device";
+    case EventKind::device_to_host:
+      return "device_to_host";
+    case EventKind::kernel_exec:
+      return "kernel_exec";
+    case EventKind::fault:
+      return "fault";
+    case EventKind::timeout:
+      return "timeout";
+    case EventKind::integrity:
+      return "integrity";
+  }
+  return "unknown";
+}
+
 void ProfilingLog::record(Event event) {
   const auto idx = static_cast<std::size_t>(event.kind);
   counts_[idx] += 1;

@@ -1,0 +1,54 @@
+// Shared bit-exact float comparison for the differential tests.
+//
+// The strategies, interpreters and the fuzzer are all required to agree at
+// the bit-pattern level (signed zeros, infinities and single-NaN
+// propagation included), with one documented exception: when BOTH operands
+// of a commutative float op (add, mul) are NaN, x86 keeps the payload of
+// whichever operand the compiler placed first — IEEE 754 leaves the choice
+// unspecified and GCC commutes freely per code context. NaN must still
+// meet NaN; everything else must match to the bit.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfg::test {
+
+/// Fails the current test (non-fatally per element, so every divergence is
+/// reported) unless `got` matches `want` under the NaN-class rule above.
+inline void expect_bits_equal(const std::vector<float>& got,
+                              const std::vector<float>& want,
+                              const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(got[i]) && std::isnan(want[i])) continue;
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+              std::bit_cast<std::uint32_t>(want[i]))
+        << what << " diverges at element " << i << ": " << got[i] << " vs "
+        << want[i];
+  }
+}
+
+/// Non-asserting form: the index of the first divergent element under the
+/// same NaN-class rule, or SIZE_MAX when the vectors agree. The fuzzer's
+/// shrinker uses this to test candidate reductions without failing the
+/// test.
+inline std::size_t first_bit_mismatch(const std::vector<float>& got,
+                                      const std::vector<float>& want) {
+  if (got.size() != want.size()) return 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(got[i]) && std::isnan(want[i])) continue;
+    if (std::bit_cast<std::uint32_t>(got[i]) !=
+        std::bit_cast<std::uint32_t>(want[i])) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace dfg::test

@@ -1,0 +1,514 @@
+// Seeded expression-grammar fuzzer.
+//
+// Generates random expression scripts (depth-bounded, covering every
+// expression-language operation including grad3d), executes each through
+// all four execution strategies, and requires every strategy to be
+// bit-exact against the scalar-interpreter reference (the NaN-class rule
+// of tests/bitwise.hpp). Input fields carry NaN / infinity / signed-zero
+// specials so non-finite propagation is exercised on every path.
+//
+// On a failure the script is greedily shrunk — statements dropped, nodes
+// replaced by their children or by a constant — while it still fails, and
+// the minimal reproducer is printed together with the seed, so a failure
+// in CI is directly replayable with
+//   DFGEN_FUZZ_SEED=<seed> ./test_fuzz_expressions
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "kernels/generator.hpp"
+#include "kernels/program.hpp"
+#include "kernels/vm.hpp"
+#include "mesh/mesh.hpp"
+#include "runtime/bindings.hpp"
+#include "support/env.hpp"
+#include "vcl/device.hpp"
+
+#include "bitwise.hpp"
+
+namespace {
+
+using namespace dfg;
+
+// ----- the expression tree the generator and shrinker share -----
+
+struct FNode;
+using FNodePtr = std::unique_ptr<FNode>;
+
+enum class FKind {
+  field,     ///< u / v / w leaf
+  constant,  ///< literal from kConstPool
+  ref,       ///< reference to an earlier statement's name
+  infix,     ///< + - * / and the six comparisons
+  call,      ///< named scalar function (sqrt .. ceil, min/max/pow, select)
+  neg,       ///< unary minus
+  gradc,     ///< grad3d(field, dims, x, y, z)[component]
+};
+
+struct FNode {
+  FKind kind;
+  std::string text;  ///< field/ref name, infix operator, or callee
+  int component = 0;
+  std::vector<FNodePtr> kids;
+};
+
+const char* kFields[] = {"u", "v", "w"};
+const char* kConstPool[] = {"0", "1", "2", "0.5", "1.5", "3.25", "100"};
+const char* kInfixOps[] = {"+", "-",  "*",  "/",  ">",  "<",
+                           ">=", "<=", "==", "!="};
+struct CallOp {
+  const char* name;
+  int arity;
+};
+const CallOp kCallOps[] = {{"sqrt", 1}, {"abs", 1},  {"sin", 1},
+                           {"cos", 1},  {"tan", 1},  {"exp", 1},
+                           {"log", 1},  {"tanh", 1}, {"floor", 1},
+                           {"ceil", 1}, {"min", 2},  {"max", 2},
+                           {"pow", 2},  {"select", 3}};
+
+FNodePtr clone(const FNode& node) {
+  auto copy = std::make_unique<FNode>();
+  copy->kind = node.kind;
+  copy->text = node.text;
+  copy->component = node.component;
+  for (const FNodePtr& kid : node.kids) copy->kids.push_back(clone(*kid));
+  return copy;
+}
+
+void render(const FNode& node, std::string& out) {
+  switch (node.kind) {
+    case FKind::field:
+    case FKind::constant:
+    case FKind::ref:
+      out += node.text;
+      return;
+    case FKind::neg:
+      out += "(-";
+      render(*node.kids[0], out);
+      out += ")";
+      return;
+    case FKind::infix:
+      out += "(";
+      render(*node.kids[0], out);
+      out += " " + node.text + " ";
+      render(*node.kids[1], out);
+      out += ")";
+      return;
+    case FKind::call:
+      out += node.text;
+      out += "(";
+      for (std::size_t i = 0; i < node.kids.size(); ++i) {
+        if (i != 0) out += ", ";
+        render(*node.kids[i], out);
+      }
+      out += ")";
+      return;
+    case FKind::gradc:
+      out += "grad3d(" + node.text + ", dims, x, y, z)[" +
+             std::to_string(node.component) + "]";
+      return;
+  }
+}
+
+struct Stmt {
+  std::string name;
+  FNodePtr expr;
+};
+using FScript = std::vector<Stmt>;
+
+std::string render(const FScript& script) {
+  std::string out;
+  for (const Stmt& stmt : script) {
+    out += stmt.name + " = ";
+    render(*stmt.expr, out);
+    out += "\n";
+  }
+  return out;
+}
+
+// ----- generation -----
+
+struct Generator {
+  std::mt19937_64 rng;
+
+  explicit Generator(std::uint64_t seed) : rng(seed) {}
+
+  std::size_t pick(std::size_t bound) {
+    return std::uniform_int_distribution<std::size_t>(0, bound - 1)(rng);
+  }
+
+  FNodePtr leaf(const std::vector<std::string>& temps) {
+    auto node = std::make_unique<FNode>();
+    const std::size_t roll = pick(temps.empty() ? 2 : 3);
+    if (roll == 0) {
+      node->kind = FKind::field;
+      node->text = kFields[pick(std::size(kFields))];
+    } else if (roll == 1) {
+      node->kind = FKind::constant;
+      node->text = kConstPool[pick(std::size(kConstPool))];
+    } else {
+      node->kind = FKind::ref;
+      node->text = temps[pick(temps.size())];
+    }
+    return node;
+  }
+
+  FNodePtr gradc() {
+    auto node = std::make_unique<FNode>();
+    node->kind = FKind::gradc;
+    // The gradient's field operand must be a host-bound array (the spec
+    // rejects anything else for the mesh operands, and restricting the
+    // field operand too keeps every strategy — streamed has no partitioned
+    // pipeline — able to execute the script).
+    node->text = kFields[pick(std::size(kFields))];
+    node->component = static_cast<int>(pick(3));
+    return node;
+  }
+
+  FNodePtr expr(int depth, const std::vector<std::string>& temps) {
+    if (depth <= 0) return leaf(temps);
+    switch (pick(10)) {
+      case 0:
+      case 1:
+      case 2: {  // infix
+        auto node = std::make_unique<FNode>();
+        node->kind = FKind::infix;
+        node->text = kInfixOps[pick(std::size(kInfixOps))];
+        node->kids.push_back(expr(depth - 1, temps));
+        node->kids.push_back(expr(depth - 1, temps));
+        return node;
+      }
+      case 3:
+      case 4: {  // call
+        auto node = std::make_unique<FNode>();
+        node->kind = FKind::call;
+        const CallOp& op = kCallOps[pick(std::size(kCallOps))];
+        node->text = op.name;
+        for (int i = 0; i < op.arity; ++i) {
+          node->kids.push_back(expr(depth - 1, temps));
+        }
+        return node;
+      }
+      case 5: {  // unary minus
+        auto node = std::make_unique<FNode>();
+        node->kind = FKind::neg;
+        node->kids.push_back(expr(depth - 1, temps));
+        return node;
+      }
+      case 6:
+        return gradc();
+      default:
+        return leaf(temps);
+    }
+  }
+
+  /// One forced construct per script, cycling through every operation so a
+  /// bounded run still covers the whole grammar.
+  FNodePtr forced(std::size_t index, const std::vector<std::string>& temps) {
+    constexpr std::size_t infix_count = std::size(kInfixOps);
+    constexpr std::size_t call_count = std::size(kCallOps);
+    index %= infix_count + call_count + 2;
+    auto node = std::make_unique<FNode>();
+    if (index < infix_count) {
+      node->kind = FKind::infix;
+      node->text = kInfixOps[index];
+      node->kids.push_back(leaf(temps));
+      node->kids.push_back(leaf(temps));
+      return node;
+    }
+    index -= infix_count;
+    if (index < call_count) {
+      node->kind = FKind::call;
+      node->text = kCallOps[index].name;
+      for (int i = 0; i < kCallOps[index].arity; ++i) {
+        node->kids.push_back(leaf(temps));
+      }
+      return node;
+    }
+    return index - call_count == 0 ? gradc() : [&] {
+      node->kind = FKind::neg;
+      node->kids.push_back(leaf(temps));
+      return std::move(node);
+    }();
+  }
+
+  FScript script(std::size_t forced_index) {
+    FScript result;
+    std::vector<std::string> temps;
+    const std::size_t statements = 2 + pick(3);
+    for (std::size_t s = 0; s < statements; ++s) {
+      Stmt stmt;
+      stmt.name = "t" + std::to_string(s);
+      if (s == 0) {
+        // Splice the forced construct into a small surrounding expression.
+        auto wrap = std::make_unique<FNode>();
+        wrap->kind = FKind::infix;
+        wrap->text = "+";
+        wrap->kids.push_back(forced(forced_index, temps));
+        wrap->kids.push_back(expr(3, temps));
+        stmt.expr = std::move(wrap);
+      } else {
+        stmt.expr = expr(static_cast<int>(2 + pick(4)), temps);
+      }
+      temps.push_back(stmt.name);
+      result.push_back(std::move(stmt));
+    }
+    // The output must depend on at least one bound field or the network
+    // has no element count of its own.
+    const std::string text = render(result);
+    if (text.find('u') == std::string::npos &&
+        text.find('v') == std::string::npos &&
+        text.find('w') == std::string::npos) {
+      auto anchor = std::make_unique<FNode>();
+      anchor->kind = FKind::infix;
+      anchor->text = "+";
+      auto field = std::make_unique<FNode>();
+      field->kind = FKind::field;
+      field->text = "u";
+      anchor->kids.push_back(std::move(result.back().expr));
+      anchor->kids.push_back(std::move(field));
+      result.back().expr = std::move(anchor);
+    }
+    return result;
+  }
+};
+
+// ----- execution harness -----
+
+/// Generous capacity so every strategy (staged is the hungriest) runs the
+/// whole corpus without tripping the allocator.
+vcl::DeviceSpec fuzz_device_spec() {
+  vcl::DeviceSpec spec;
+  spec.name = "fuzz_cpu";
+  spec.type = vcl::DeviceType::cpu;
+  spec.global_mem_bytes = std::size_t{1} << 30;
+  spec.compute_units = 4;
+  spec.transfer_gbps = 10.0;
+  spec.global_mem_gbps = 30.0;
+  spec.gflops = 50.0;
+  return spec;
+}
+
+struct Fixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({8, 6, 5});
+  std::vector<float> u, v, w;
+  vcl::Device device{fuzz_device_spec()};
+
+  explicit Fixture(std::uint64_t seed) {
+    std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const auto field = [&] {
+      std::vector<float> values(mesh.cell_count());
+      std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+      for (float& x : values) x = dist(rng);
+      // Sprinkle the special values whose propagation the comparator's
+      // NaN-class rule exists for.
+      const auto sprinkle = [&](float special, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+          values[rng() % values.size()] = special;
+        }
+      };
+      sprinkle(std::numeric_limits<float>::quiet_NaN(), 4);
+      sprinkle(std::numeric_limits<float>::infinity(), 2);
+      sprinkle(-std::numeric_limits<float>::infinity(), 2);
+      sprinkle(-0.0f, 2);
+      return values;
+    };
+    u = field();
+    v = field();
+    w = field();
+  }
+
+  runtime::FieldBindings bindings() const {
+    runtime::FieldBindings b;
+    b.bind_mesh(mesh);
+    b.bind("u", u);
+    b.bind("v", v);
+    b.bind("w", w);
+    return b;
+  }
+};
+
+/// Scalar-interpreter reference: the fused program of the script's network
+/// executed element-at-a-time. grad3d is restricted to host-bound fields,
+/// so the network always fuses to a single stage.
+std::vector<float> reference(const std::string& text, const Fixture& fx) {
+  const dataflow::Network network(dataflow::build_network(text));
+  const kernels::Program program = kernels::generate_fused(network);
+  const runtime::FieldBindings bindings = fx.bindings();
+  std::vector<kernels::BufferBinding> inputs;
+  for (const kernels::BufferParam& param : program.params()) {
+    const std::span<const float> values = bindings.get(param.name);
+    inputs.push_back({values.data(), values.size()});
+  }
+  const std::size_t cells = fx.mesh.cell_count();
+  std::vector<float> out(cells * program.out_stride(), 0.0f);
+  kernels::run_scalar(program, inputs, out.data(), out.size(), 0, cells);
+  return out;
+}
+
+const runtime::StrategyKind kStrategies[] = {
+    runtime::StrategyKind::roundtrip, runtime::StrategyKind::staged,
+    runtime::StrategyKind::fusion, runtime::StrategyKind::streamed};
+
+/// Empty string when every strategy reproduces the reference bits; a
+/// description of the first divergence otherwise.
+std::string check(const std::string& text, Fixture& fx) {
+  std::vector<float> want;
+  try {
+    want = reference(text, fx);
+  } catch (const std::exception& e) {
+    return std::string("reference failed: ") + e.what();
+  }
+  for (const runtime::StrategyKind kind : kStrategies) {
+    try {
+      EngineOptions options;
+      options.strategy = kind;
+      Engine engine(fx.device, options);
+      engine.bind_mesh(fx.mesh);
+      engine.bind("u", fx.u);
+      engine.bind("v", fx.v);
+      engine.bind("w", fx.w);
+      const EvaluationReport report = engine.evaluate(text);
+      const std::size_t mismatch = test::first_bit_mismatch(report.values, want);
+      if (mismatch != static_cast<std::size_t>(-1)) {
+        return std::string(runtime::strategy_name(kind)) +
+               " diverges from the scalar reference at element " +
+               std::to_string(mismatch);
+      }
+    } catch (const std::exception& e) {
+      return std::string(runtime::strategy_name(kind)) + " threw: " + e.what();
+    }
+  }
+  return {};
+}
+
+// ----- shrinking -----
+
+void collect(FNode& node, std::vector<FNode*>& out) {
+  out.push_back(&node);
+  for (const FNodePtr& kid : node.kids) collect(*kid, out);
+}
+
+/// Replaces every reference to `name` with the constant 1 (used when the
+/// defining statement is dropped).
+void strip_refs(FNode& node, const std::string& name) {
+  if (node.kind == FKind::ref && node.text == name) {
+    node.kind = FKind::constant;
+    node.text = "1";
+    node.kids.clear();
+    return;
+  }
+  for (const FNodePtr& kid : node.kids) strip_refs(*kid, name);
+}
+
+FScript clone(const FScript& script) {
+  FScript copy;
+  for (const Stmt& stmt : script) {
+    copy.push_back({stmt.name, clone(*stmt.expr)});
+  }
+  return copy;
+}
+
+/// Greedy shrink: keep applying the first still-failing reduction until no
+/// reduction fails, bounded by a re-execution budget.
+FScript shrink(FScript script, Fixture& fx) {
+  int budget = 400;
+  bool reduced = true;
+  while (reduced && budget > 0) {
+    reduced = false;
+
+    // Drop whole statements (the last one is the output and must stay).
+    for (std::size_t s = 0; s + 1 < script.size() && !reduced; ++s) {
+      FScript candidate = clone(script);
+      const std::string dropped = candidate[s].name;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(s));
+      for (Stmt& stmt : candidate) strip_refs(*stmt.expr, dropped);
+      if (--budget <= 0) break;
+      if (!check(render(candidate), fx).empty()) {
+        script = std::move(candidate);
+        reduced = true;
+      }
+    }
+
+    // Replace a node with one of its children, or with the constant 1.
+    for (std::size_t s = 0; s < script.size() && !reduced; ++s) {
+      std::vector<FNode*> nodes;
+      collect(*script[s].expr, nodes);
+      for (std::size_t n = 0; n < nodes.size() && !reduced; ++n) {
+        const std::size_t options = nodes[n]->kids.size() +
+                                    (nodes[n]->kind != FKind::constant ? 1 : 0);
+        for (std::size_t o = 0; o < options && !reduced; ++o) {
+          FScript candidate = clone(script);
+          std::vector<FNode*> copy_nodes;
+          collect(*candidate[s].expr, copy_nodes);
+          FNode& target = *copy_nodes[n];
+          if (o < target.kids.size()) {
+            FNodePtr replacement = std::move(target.kids[o]);
+            target = std::move(*replacement);
+          } else {
+            target.kind = FKind::constant;
+            target.text = "1";
+            target.kids.clear();
+          }
+          if (--budget <= 0) break;
+          if (!check(render(candidate), fx).empty()) {
+            script = std::move(candidate);
+            reduced = true;
+          }
+        }
+      }
+    }
+  }
+  return script;
+}
+
+// ----- the fuzz loop -----
+
+TEST(FuzzExpressions, StrategiesMatchScalarReference) {
+  const std::uint64_t base_seed = static_cast<std::uint64_t>(
+      support::env::get_int("DFGEN_FUZZ_SEED", 20260805));
+  const int iterations = support::env::get_int("DFGEN_FUZZ_ITERATIONS", 40);
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    Generator gen(seed);
+    Fixture fx(seed);
+    FScript script = gen.script(static_cast<std::size_t>(i));
+    const std::string failure = check(render(script), fx);
+    if (failure.empty()) continue;
+
+    const FScript minimal = shrink(std::move(script), fx);
+    const std::string minimal_text = render(minimal);
+    ADD_FAILURE() << "fuzzer found a divergence (seed " << seed << "): "
+                  << check(minimal_text, fx)
+                  << "\nminimal reproducer:\n" << minimal_text
+                  << "replay with DFGEN_FUZZ_SEED=" << seed
+                  << " DFGEN_FUZZ_ITERATIONS=" << (i + 1);
+    return;
+  }
+}
+
+// A deterministic guard that the harness itself works: a script exercising
+// every construct class must round-trip through check() cleanly.
+TEST(FuzzExpressions, HarnessAcceptsFullGrammar) {
+  Fixture fx(7);
+  const std::string text =
+      "t0 = grad3d(u, dims, x, y, z)[0] + select(u > v, sin(u), cos(v))\n"
+      "t1 = min(t0, max(v, 0.5)) * pow(abs(w) + 1, 0.5) - tanh(t0)\n"
+      "t2 = select(t1 >= t0, exp(-abs(t1)), log(abs(t0) + 1)) / 1.5\n"
+      "t3 = floor(t2) + ceil(t2) + (t2 == t1) + (t2 != t0) + (t1 <= t0) + "
+      "(t1 < t0) + sqrt(abs(t2)) + tan(t2)\n";
+  EXPECT_EQ(check(text, fx), "");
+}
+
+}  // namespace

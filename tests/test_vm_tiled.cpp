@@ -33,6 +33,8 @@
 #include "support/parallel.hpp"
 #include "vcl/catalog.hpp"
 
+#include "bitwise.hpp"
+
 namespace {
 
 using namespace dfg::kernels;
@@ -189,23 +191,7 @@ RandomProgram make_random_program(std::mt19937& rng, Op forced, std::size_t n,
   return result;
 }
 
-/// Bit-exact comparison with one documented exception: when BOTH operands
-/// of a commutative float op (add, mul) are NaN, x86 keeps the payload of
-/// whichever operand the compiler placed first — IEEE 754 leaves the choice
-/// unspecified and GCC commutes freely per code context. NaN must still
-/// meet NaN; everything else (signed zeros, infinities, single-NaN
-/// propagation) must match to the bit.
-void expect_bits_equal(const std::vector<float>& got,
-                       const std::vector<float>& want, const char* what) {
-  ASSERT_EQ(got.size(), want.size()) << what;
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    if (std::isnan(got[i]) && std::isnan(want[i])) continue;
-    ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]),
-              std::bit_cast<std::uint32_t>(want[i]))
-        << what << " diverges at element " << i << ": " << got[i] << " vs "
-        << want[i];
-  }
-}
+using dfg::test::expect_bits_equal;
 
 std::vector<float> run_tiled(const Program& p, const TestInputs& in,
                              std::size_t n) {
