@@ -1,0 +1,211 @@
+// Resident-buffer reuse study: what keeping bound arrays resident on the
+// device buys for repeated-workload traffic.
+//
+// Section 1 — steady-state reuse: a client re-derives fields from one time
+// step, cycling three paper expressions over the same bound u/v/w for 21
+// steps (the in-situ visualization pattern). The cold baseline re-uploads
+// every input on every step; the pooled run uploads each array once and
+// hits residents afterwards. Gates: results bit-identical to the cold
+// baseline at every step, warm steps move zero host-to-device bytes for
+// pooled inputs, and total simulated device time at least 2x faster than
+// the cold baseline end to end.
+//
+// Section 2 — mutating trace: every 5th step the host mutates u in place
+// and announces it (Engine::invalidate), as a running simulation would
+// between renders. The pooled run must re-upload exactly the invalidated
+// array, stay bit-exact, and still come out ahead overall.
+//
+// Results land in BENCH_resident.json in the working directory.
+// DFGEN_SMOKE=1 shrinks the grid; every gate still applies (the simulated
+// clock is deterministic, so the speedup threshold is scale-free).
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct TraceResult {
+  std::size_t steps = 0;
+  double cold_sim_seconds = 0.0;
+  double pooled_sim_seconds = 0.0;
+  std::size_t cold_dev_writes = 0;
+  std::size_t pooled_dev_writes = 0;
+  std::size_t resident_hits = 0;
+  std::size_t upload_bytes_saved = 0;
+  std::size_t reuploads_after_invalidate = 0;
+  bool bit_exact = true;
+
+  double speedup() const { return cold_sim_seconds / pooled_sim_seconds; }
+};
+
+/// Runs the same expression trace through a cold engine and a pooled
+/// engine on identical GPU-class devices, comparing bits per step. A
+/// positive `mutate_every` sign-flips u in place (and announces it) before
+/// those steps — on the host arrays both engines share, so both see it.
+TraceResult run_trace(const dfg::mesh::RectilinearMesh& mesh,
+                      dfg::mesh::VectorField& field, std::size_t steps,
+                      std::size_t mutate_every) {
+  TraceResult result;
+  result.steps = steps;
+
+  dfg::vcl::Device cold_device(dfgbench::scaled_gpu());
+  dfg::Engine cold(cold_device, {});
+  cold.bind_mesh(mesh);
+  cold.bind("u", field.u);
+  cold.bind("v", field.v);
+  cold.bind("w", field.w);
+
+  dfg::vcl::Device pooled_device(dfgbench::scaled_gpu());
+  dfg::EngineOptions pooled_options;
+  pooled_options.resident_pool = true;
+  dfg::Engine pooled(pooled_device, pooled_options);
+  pooled.bind_mesh(mesh);
+  pooled.bind("u", field.u);
+  pooled.bind("v", field.v);
+  pooled.bind("w", field.w);
+
+  const auto& expressions = dfgbench::paper_expressions();
+  for (std::size_t step = 0; step < steps; ++step) {
+    if (mutate_every != 0 && step != 0 && step % mutate_every == 0) {
+      for (float& x : field.u) x = -x;
+      cold.invalidate("u");
+      pooled.invalidate("u");
+    }
+    const char* expression =
+        expressions[step % expressions.size()].expression;
+    const dfg::EvaluationReport want = cold.evaluate(expression);
+    const dfg::EvaluationReport got = pooled.evaluate(expression);
+    result.bit_exact = result.bit_exact && bits_equal(got.values, want.values);
+    result.cold_sim_seconds += want.sim_seconds;
+    result.pooled_sim_seconds += got.sim_seconds;
+    result.cold_dev_writes += want.dev_writes;
+    result.pooled_dev_writes += got.dev_writes;
+    result.resident_hits += got.resident_hits;
+    result.upload_bytes_saved += got.resident_upload_bytes_saved;
+    if (mutate_every != 0 && step != 0 && step % mutate_every == 0) {
+      result.reuploads_after_invalidate += got.dev_writes;
+    }
+  }
+  return result;
+}
+
+void write_json(const TraceResult& steady, const TraceResult& mutating,
+                bool smoke) {
+  std::FILE* out = std::fopen("BENCH_resident.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_resident.json for writing\n");
+    std::exit(1);
+  }
+  const auto section = [&](const char* name, const TraceResult& r,
+                           const char* tail) {
+    std::fprintf(
+        out,
+        "  \"%s\": {\n"
+        "    \"steps\": %zu,\n"
+        "    \"cold_sim_seconds\": %.6f, \"pooled_sim_seconds\": %.6f,\n"
+        "    \"speedup\": %.2f,\n"
+        "    \"cold_dev_writes\": %zu, \"pooled_dev_writes\": %zu,\n"
+        "    \"resident_hits\": %zu, \"upload_bytes_saved\": %zu,\n"
+        "    \"reuploads_after_invalidate\": %zu,\n"
+        "    \"bit_exact\": %s\n  }%s\n",
+        name, r.steps, r.cold_sim_seconds, r.pooled_sim_seconds, r.speedup(),
+        r.cold_dev_writes, r.pooled_dev_writes, r.resident_hits,
+        r.upload_bytes_saved, r.reuploads_after_invalidate,
+        r.bit_exact ? "true" : "false", tail);
+  };
+  std::fprintf(out, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+  section("steady_state", steady, ",");
+  section("mutating", mutating, "");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = dfg::support::env::get_flag("DFGEN_SMOKE");
+  dfgbench::check_environment();
+
+  const dfg::mesh::RectilinearMesh mesh = dfg::mesh::RectilinearMesh::uniform(
+      smoke ? dfg::mesh::Dims{16, 16, 16} : dfg::mesh::Dims{48, 48, 48});
+  dfg::mesh::VectorField field = dfg::mesh::rayleigh_taylor_flow(mesh);
+  const std::size_t steps = smoke ? 9 : 21;
+
+  std::printf("=== Resident-buffer reuse: %zu cells, %zu-step trace ===\n",
+              mesh.cell_count(), steps);
+
+  const TraceResult steady = run_trace(mesh, field, steps, 0);
+  std::printf(
+      "steady state: cold %.6fs vs pooled %.6fs sim (%.2fx), "
+      "uploads %zu -> %zu, %zu hits saved %zu bytes, bit-exact %s\n",
+      steady.cold_sim_seconds, steady.pooled_sim_seconds, steady.speedup(),
+      steady.cold_dev_writes, steady.pooled_dev_writes, steady.resident_hits,
+      steady.upload_bytes_saved, steady.bit_exact ? "yes" : "NO");
+
+  const TraceResult mutating = run_trace(mesh, field, steps, 5);
+  std::printf(
+      "mutating trace: cold %.6fs vs pooled %.6fs sim (%.2fx), "
+      "uploads %zu -> %zu (re-uploads after invalidate %zu), bit-exact %s\n",
+      mutating.cold_sim_seconds, mutating.pooled_sim_seconds,
+      mutating.speedup(), mutating.cold_dev_writes, mutating.pooled_dev_writes,
+      mutating.reuploads_after_invalidate, mutating.bit_exact ? "yes" : "NO");
+
+  write_json(steady, mutating, smoke);
+  std::printf("\nwrote BENCH_resident.json\n");
+
+  // Gates: all deterministic (simulated clock), so they apply in smoke too.
+  if (!steady.bit_exact || !mutating.bit_exact) {
+    std::fprintf(stderr,
+                 "FAIL: pooled results not bit-identical to the cold "
+                 "baseline\n");
+    return 1;
+  }
+  if (steady.pooled_dev_writes >= steady.cold_dev_writes) {
+    std::fprintf(stderr,
+                 "FAIL: pooling eliminated no uploads (%zu vs %zu cold)\n",
+                 steady.pooled_dev_writes, steady.cold_dev_writes);
+    return 1;
+  }
+  if (steady.resident_hits == 0 || steady.upload_bytes_saved == 0) {
+    std::fprintf(stderr, "FAIL: steady-state trace never hit a resident\n");
+    return 1;
+  }
+  if (mutating.reuploads_after_invalidate == 0) {
+    std::fprintf(stderr,
+                 "FAIL: invalidated array was never re-uploaded — the "
+                 "mutation gate cannot have been exercised\n");
+    return 1;
+  }
+  if (steady.speedup() < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state resident reuse only %.2fx the cold "
+                 "baseline (< 2x end-to-end)\n",
+                 steady.speedup());
+    return 1;
+  }
+  if (mutating.speedup() <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: mutating trace came out behind the cold baseline "
+                 "(%.2fx)\n",
+                 mutating.speedup());
+    return 1;
+  }
+  std::printf("all resident-reuse gates passed\n");
+  return 0;
+}

@@ -9,8 +9,11 @@
 #include "kernels/source_printer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "runtime/planner.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "vcl/event.hpp"
+#include "vcl/resident_pool.hpp"
 
 namespace dfg {
 
@@ -22,6 +25,8 @@ namespace {
 /// with concurrent engines on other threads.
 struct ReportCounters {
   obs::MetricId writes, reads, kernels, timeouts, integrity, retries, faults;
+  obs::MetricId res_hits, res_misses, res_evictions, res_invalidations,
+      res_saved;
 
   static ReportCounters resolve(const std::string& device) {
     obs::MetricsRegistry& reg = obs::metrics();
@@ -40,10 +45,20 @@ struct ReportCounters {
                               {{"device", device}});
     ids.faults = reg.counter("dfgen_vcl_faults_injected_total",
                              {{"device", device}});
+    // Registered eagerly (not at first pool event) so the series appear —
+    // as zeros — in snapshots of pool-disabled runs, keeping the metrics
+    // goldens schema-complete.
+    const obs::Labels dev = {{"device", device}};
+    ids.res_hits = reg.counter("dfgen_resident_hits_total", dev);
+    ids.res_misses = reg.counter("dfgen_resident_misses_total", dev);
+    ids.res_evictions = reg.counter("dfgen_resident_evictions_total", dev);
+    ids.res_invalidations =
+        reg.counter("dfgen_resident_invalidations_total", dev);
+    ids.res_saved = reg.counter("dfgen_resident_upload_bytes_saved", dev);
     return ids;
   }
 
-  std::array<std::uint64_t, 7> sample() const {
+  std::array<std::uint64_t, 12> sample() const {
     obs::MetricsRegistry& reg = obs::metrics();
     return {reg.thread_counter_value(writes),
             reg.thread_counter_value(reads),
@@ -51,9 +66,23 @@ struct ReportCounters {
             reg.thread_counter_value(timeouts),
             reg.thread_counter_value(integrity),
             reg.thread_counter_value(retries),
-            reg.thread_counter_value(faults)};
+            reg.thread_counter_value(faults),
+            reg.thread_counter_value(res_hits),
+            reg.thread_counter_value(res_misses),
+            reg.thread_counter_value(res_evictions),
+            reg.thread_counter_value(res_invalidations),
+            reg.thread_counter_value(res_saved)};
   }
 };
+
+/// Resolves EngineOptions::resident_pool against the env overrides
+/// (DFGEN_RESIDENT_POOL forces on, DFGEN_NO_RESIDENT_POOL forces off —
+/// the latter wins, and is the differential tests' kill switch).
+bool resident_pool_enabled(const EngineOptions& options) {
+  if (support::env::get_flag("DFGEN_NO_RESIDENT_POOL", false)) return false;
+  return options.resident_pool ||
+         support::env::get_flag("DFGEN_RESIDENT_POOL", false);
+}
 
 }  // namespace
 
@@ -73,6 +102,13 @@ void Engine::set_strategy(runtime::StrategyKind kind) {
   options_.strategy = kind;
 }
 
+void Engine::invalidate(const std::string& name) {
+  if (!bindings_.has(name)) return;
+  const std::span<const float> view = bindings_.get(name);
+  vcl::note_host_mutation(view.data());
+  device_->resident().invalidate(view.data());
+}
+
 EvaluationReport Engine::evaluate(std::string_view expression,
                                   std::size_t elements) {
   if (elements == 0) {
@@ -80,6 +116,22 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   }
   dataflow::Network network(
       dataflow::build_network(expression, options_.spec_options));
+
+  // Arm (or disarm) the device's resident pool for this evaluation. The
+  // env overrides are read per evaluate so a differential harness can flip
+  // DFGEN_NO_RESIDENT_POOL between otherwise identical runs.
+  const bool pool_on = resident_pool_enabled(options_);
+  device_->resident().set_enabled(pool_on);
+
+  // Strategy choice: static (options_.strategy) or residency-aware.
+  runtime::StrategyKind requested = options_.strategy;
+  if (options_.auto_strategy) {
+    const runtime::Residency residency =
+        runtime::Residency::probe(*device_, bindings_, network);
+    requested = runtime::select_fastest_strategy(network, bindings_,
+                                                 elements, *device_,
+                                                 &residency);
+  }
 
   log_.clear();
   device_->memory().reset_high_water();
@@ -95,15 +147,20 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   const kernels::ProgramCacheStats cache_before =
       kernels::ProgramCache::instance().thread_stats();
   const ReportCounters ids = ReportCounters::resolve(device_->spec().name);
-  const std::array<std::uint64_t, 7> before = ids.sample();
+  const std::array<std::uint64_t, 12> before = ids.sample();
   obs::Span span(
       "evaluate:" + network.spec().node(network.output_id()).label,
       "request");
-  runtime::FallbackOutcome outcome = runtime::execute_with_fallback(
-      network, bindings_, elements, *device_, log_, options_.strategy,
-      options_.fallback, options_.streamed_chunk_cells);
+  runtime::FallbackOutcome outcome = [&] {
+    // Resident buffers acquired by the strategies stay pinned — immune to
+    // LRU/capacity eviction — until the evaluation completes.
+    vcl::ResidentPool::PinScope pins(device_->resident());
+    return runtime::execute_with_fallback(
+        network, bindings_, elements, *device_, log_, requested,
+        options_.fallback, options_.streamed_chunk_cells);
+  }();
   span.add_sim_seconds(log_.total_sim_seconds());
-  const std::array<std::uint64_t, 7> after = ids.sample();
+  const std::array<std::uint64_t, 12> after = ids.sample();
   EvaluationReport report;
   report.values = std::move(outcome.values);
   report.output_name = network.spec().node(network.output_id()).label;
@@ -121,6 +178,11 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.checksum_mismatches = after[4] - before[4];
   report.command_retries = after[5] - before[5];
   report.injected_faults = after[6] - before[6];
+  report.resident_hits = after[7] - before[7];
+  report.resident_misses = after[8] - before[8];
+  report.resident_evictions = after[9] - before[9];
+  report.resident_invalidations = after[10] - before[10];
+  report.resident_upload_bytes_saved = after[11] - before[11];
   report.sim_seconds = log_.total_sim_seconds();
   report.wall_seconds = log_.total_wall_seconds();
   report.memory_high_water_bytes = device_->memory().high_water();

@@ -36,6 +36,20 @@ struct EngineOptions {
   /// GPU cells. Enable it to degrade along fusion → streamed → staged →
   /// roundtrip instead; the report then lists every rung transition.
   runtime::FallbackPolicy fallback;
+  /// Keep bound field uploads resident on the device across evaluations
+  /// (vcl::ResidentPool): repeated evaluations over the same arrays skip
+  /// their host-to-device transfers. Off by default — the cold path is
+  /// byte-identical to previous releases. Callers that mutate a bound
+  /// array between evaluations must call Engine::invalidate (or
+  /// vcl::note_host_mutation). Env overrides, read per evaluation:
+  /// DFGEN_RESIDENT_POOL=1 forces on, DFGEN_NO_RESIDENT_POOL=1 forces off.
+  bool resident_pool = false;
+  /// Pick the strategy per evaluation with
+  /// runtime::select_fastest_strategy, using the device's current
+  /// residency: warm inputs price their uploads at zero, so a warm
+  /// staged/roundtrip run can beat a cold fusion. `strategy` is ignored
+  /// while set.
+  bool auto_strategy = false;
 };
 
 /// One strategy-degradation step taken during an evaluation, in
@@ -83,6 +97,15 @@ struct EvaluationReport {
   std::size_t pipeline_cache_hits = 0;
   std::size_t pipeline_cache_misses = 0;
 
+  /// Resident-buffer pool traffic during this evaluation (all zero while
+  /// the pool is disabled). A hit is an input upload eliminated entirely;
+  /// upload_bytes_saved totals the bytes those transfers would have moved.
+  std::size_t resident_hits = 0;
+  std::size_t resident_misses = 0;
+  std::size_t resident_evictions = 0;
+  std::size_t resident_invalidations = 0;
+  std::size_t resident_upload_bytes_saved = 0;
+
   /// The network-definition script (inspectable, per the paper's §III-B1).
   std::string network_script;
   /// Generated OpenCL-like source of the fused kernel (fusion strategy
@@ -114,6 +137,13 @@ class Engine {
 
   void set_strategy(runtime::StrategyKind kind);
   runtime::StrategyKind strategy() const { return options_.strategy; }
+
+  /// Declares that the host mutated (or replaced) the named bound array:
+  /// bumps its generation tag and drops any resident device copies, so the
+  /// next evaluation re-uploads. Required for correctness whenever the
+  /// resident pool is enabled and a bound array changes in place; harmless
+  /// (and a no-op on unbound names) otherwise.
+  void invalidate(const std::string& name);
 
   /// Evaluates an expression script over an explicit output element count.
   EvaluationReport evaluate(std::string_view expression, std::size_t elements);

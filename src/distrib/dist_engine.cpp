@@ -1,6 +1,7 @@
 #include "distrib/dist_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <utility>
 
@@ -15,6 +16,7 @@
 #include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "vcl/profiling.hpp"
+#include "vcl/resident_pool.hpp"
 
 namespace dfg::distrib {
 
@@ -63,6 +65,43 @@ struct DistCounters {
     return ids;
   }
 };
+
+/// The resident-pool series for this cluster's device spec. Every rank's
+/// device shares the spec name, so one label set aggregates the whole
+/// cluster; ranks execute on the evaluating thread, so thread-shard deltas
+/// isolate this evaluation from concurrent engines.
+struct ResidentCounters {
+  obs::MetricId hits, misses, evictions, invalidations, saved;
+
+  static ResidentCounters resolve(const std::string& device) {
+    obs::MetricsRegistry& reg = obs::metrics();
+    const obs::Labels dev = {{"device", device}};
+    ResidentCounters ids;
+    ids.hits = reg.counter("dfgen_resident_hits_total", dev);
+    ids.misses = reg.counter("dfgen_resident_misses_total", dev);
+    ids.evictions = reg.counter("dfgen_resident_evictions_total", dev);
+    ids.invalidations = reg.counter("dfgen_resident_invalidations_total", dev);
+    ids.saved = reg.counter("dfgen_resident_upload_bytes_saved", dev);
+    return ids;
+  }
+
+  std::array<std::uint64_t, 5> sample() const {
+    obs::MetricsRegistry& reg = obs::metrics();
+    return {reg.thread_counter_value(hits), reg.thread_counter_value(misses),
+            reg.thread_counter_value(evictions),
+            reg.thread_counter_value(invalidations),
+            reg.thread_counter_value(saved)};
+  }
+};
+
+/// ClusterConfig::resident_pool with the env overrides applied
+/// (DFGEN_NO_RESIDENT_POOL wins, then DFGEN_RESIDENT_POOL forces on) —
+/// the same resolution the single-device engine uses.
+bool resident_pool_enabled(const ClusterConfig& config) {
+  if (support::env::get_flag("DFGEN_NO_RESIDENT_POOL", false)) return false;
+  return config.resident_pool ||
+         support::env::get_flag("DFGEN_RESIDENT_POOL", false);
+}
 
 /// One simulated MPI task: its device, accumulated log, and health.
 struct RankState {
@@ -127,9 +166,11 @@ DistributedReport DistributedEngine::evaluate(
   const std::size_t blocks = decomposition_.block_count();
 
   // One virtual device and accumulated profiling log per MPI task.
+  const bool pool_on = resident_pool_enabled(config_);
   std::vector<RankState> states(ranks);
   for (RankState& state : states) {
     state.device = std::make_unique<vcl::Device>(config_.device_spec);
+    state.device->resident().set_enabled(pool_on);
   }
   if (config_.fault_plan.armed() && ranks > 0) {
     states[config_.fault_rank % ranks].device->fault().arm(config_.fault_plan);
@@ -155,6 +196,9 @@ DistributedReport DistributedEngine::evaluate(
   const kernels::ProgramCacheStats cache_before =
       kernels::ProgramCache::instance().thread_stats();
   const DistCounters counters = DistCounters::resolve();
+  const ResidentCounters resident_ids =
+      ResidentCounters::resolve(config_.device_spec.name);
+  const std::array<std::uint64_t, 5> resident_before = resident_ids.sample();
   obs::MetricsRegistry& reg = obs::metrics();
   obs::Span request_span(
       "dist_evaluate:" +
@@ -216,15 +260,20 @@ DistributedReport DistributedEngine::evaluate(
     bool corruption_retried = false;
     for (;;) {
       try {
+        // Residents this attempt acquires stay pinned (immune to eviction)
+        // until the block completes or the attempt fails.
+        vcl::ResidentPool::PinScope pins(state.device->resident());
         return runtime::execute_with_fallback(network, bindings, elements,
                                               *state.device, block_log,
                                               strategy_kind, config_.fallback);
       } catch (const DeviceLost&) {
         if (!config_.fallback.enabled) throw;
-        // The rank's device is gone: replace it with a fresh one (as a
-        // real resource manager would re-acquire a context) and re-run the
-        // block. The replacement starts with no fault plan armed.
+        // The rank's device is gone — and with it every resident buffer:
+        // replace it with a fresh one (as a real resource manager would
+        // re-acquire a context) and re-run the block from cold uploads.
+        // The replacement starts with no fault plan armed.
         state.device = std::make_unique<vcl::Device>(config_.device_spec);
+        state.device->resident().set_enabled(pool_on);
         state.device->fault().set_sink(&block_log);
         ++report.device_losses;
         reg.add(counters.losses);
@@ -240,6 +289,9 @@ DistributedReport DistributedEngine::evaluate(
   const auto quarantine = [&](std::size_t rank) {
     if (!states[rank].healthy) return;
     states[rank].healthy = false;
+    // A quarantined device's memory is no longer trusted; drop its
+    // residents so a (hypothetical) rehabilitation starts from cold.
+    states[rank].device->resident().clear();
     ++report.quarantined_devices;
     reg.add(counters.quarantines);
   };
@@ -384,6 +436,13 @@ DistributedReport DistributedEngine::evaluate(
   report.pipeline_cache_misses =
       (cache_after.pipeline_misses - cache_before.pipeline_misses) +
       (cache_after.standalone_misses - cache_before.standalone_misses);
+
+  const std::array<std::uint64_t, 5> resident_after = resident_ids.sample();
+  report.resident_hits = resident_after[0] - resident_before[0];
+  report.resident_misses = resident_after[1] - resident_before[1];
+  report.resident_evictions = resident_after[2] - resident_before[2];
+  report.resident_invalidations = resident_after[3] - resident_before[3];
+  report.resident_upload_bytes_saved = resident_after[4] - resident_before[4];
 
   report.journaled_blocks = journal.journaled_count();
   report.ghost_messages = exchanger.messages();

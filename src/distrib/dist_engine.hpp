@@ -72,6 +72,13 @@ struct ClusterConfig {
   /// Crash-injection hook for restart tests: abort the evaluation (with
   /// Error) after this many blocks have been journaled. 0 = never.
   std::size_t abort_after_blocks = 0;
+  /// Keep each rank's field uploads resident on its device across the
+  /// blocks it executes (vcl::ResidentPool). A rank that re-runs a block
+  /// (straggler speculation, corruption retry) skips the re-upload; a lost
+  /// or quarantined device drops its residents. Same env overrides as the
+  /// single-device engine: DFGEN_RESIDENT_POOL forces on,
+  /// DFGEN_NO_RESIDENT_POOL forces off (and wins).
+  bool resident_pool = false;
 };
 
 struct DistributedReport {
@@ -122,6 +129,15 @@ struct DistributedReport {
   /// hits grow with the block count.
   std::size_t pipeline_cache_hits = 0;
   std::size_t pipeline_cache_misses = 0;
+  /// Resident-buffer pool traffic summed across all rank devices (zeros
+  /// while ClusterConfig::resident_pool is off). Measured as thread-shard
+  /// deltas over the dfgen_resident_* registry series — ranks execute on
+  /// the evaluating thread, so the delta is exactly this evaluation's.
+  std::size_t resident_hits = 0;
+  std::size_t resident_misses = 0;
+  std::size_t resident_evictions = 0;
+  std::size_t resident_invalidations = 0;
+  std::size_t resident_upload_bytes_saved = 0;
 };
 
 class DistributedEngine {

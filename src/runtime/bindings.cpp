@@ -1,8 +1,15 @@
 #include "runtime/bindings.hpp"
 
 #include "support/error.hpp"
+#include "vcl/resident_pool.hpp"
 
 namespace dfg::runtime {
+
+FieldBindings::~FieldBindings() {
+  for (const auto& [name, values] : owned_) {
+    vcl::note_host_mutation(values.data());
+  }
+}
 
 void FieldBindings::bind(const std::string& name,
                          std::span<const float> values) {
@@ -14,6 +21,11 @@ void FieldBindings::bind(const std::string& name,
 
 void FieldBindings::bind_owned(const std::string& name,
                                std::vector<float> values) {
+  const auto it = owned_.find(name);
+  if (it != owned_.end()) {
+    // The replaced array's storage is about to be freed; retire its tag.
+    vcl::note_host_mutation(it->second.data());
+  }
   owned_[name] = std::move(values);
   bind(name, owned_[name]);
 }

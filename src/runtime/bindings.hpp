@@ -20,6 +20,10 @@ namespace dfg::runtime {
 class FieldBindings {
  public:
   FieldBindings() = default;
+  /// Retires the generation tags of owned arrays (see vcl/resident_pool.hpp):
+  /// their heap addresses may be recycled, and a recycled address must never
+  /// satisfy a resident-pool lookup keyed on the dead array.
+  ~FieldBindings();
   // Move-only: bound views may reference this object's owned arrays.
   FieldBindings(FieldBindings&&) = default;
   FieldBindings& operator=(FieldBindings&&) = default;

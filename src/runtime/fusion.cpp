@@ -86,25 +86,34 @@ std::vector<float> FusionStrategy::execute(const dataflow::Network& network,
   // Buffers live for the whole pipeline: field uploads happen once at
   // first use (in stage-parameter order, matching the uncached event
   // stream); materialised intermediates are written by their stage and
-  // read by later stages' kernels without further transfers.
+  // read by later stages' kernels without further transfers. A field slot
+  // may resolve to a pool-resident buffer instead of an owned upload.
   std::vector<std::optional<vcl::Buffer>> buffers(slot_names.size());
+  std::vector<const vcl::Buffer*> resident(slot_names.size(), nullptr);
+  const auto slot_buffer = [&](std::size_t slot) -> const vcl::Buffer& {
+    return resident[slot] != nullptr ? *resident[slot] : *buffers[slot];
+  };
   for (std::size_t s = 0; s < pipeline->stages.size(); ++s) {
     const kernels::FusedPipeline::Stage& stage = pipeline->stages[s];
     const StagePlan& plan = plans[s];
     std::vector<kernels::BufferBinding> stage_inputs;
     stage_inputs.reserve(plan.param_slots.size());
     for (const std::size_t slot : plan.param_slots) {
-      if (!buffers[slot]) {
-        // A field parameter seen for the first time: upload the binding.
+      if (!buffers[slot] && resident[slot] == nullptr) {
+        // A field parameter seen for the first time: stage the binding.
         // (Materialised parameters are created by their producing stage
         // and are always present by the time a consumer asks.)
-        const auto view = bindings.get(slot_names[slot]);
-        vcl::Buffer buffer = device.allocate(view.size());
-        queue.write(buffer, view, slot_names[slot]);
-        buffers[slot] = std::move(buffer);
+        StagedInput staged = stage_input(
+            queue, bindings.get(slot_names[slot]), slot_names[slot]);
+        if (staged.resident != nullptr) {
+          resident[slot] = staged.resident;
+        } else {
+          buffers[slot] = std::move(staged.owned);
+        }
       }
-      stage_inputs.push_back(kernels::BufferBinding{
-          buffers[slot]->device_view().data(), buffers[slot]->size()});
+      const vcl::Buffer& buffer = slot_buffer(slot);
+      stage_inputs.push_back(
+          kernels::BufferBinding{buffer.device_view().data(), buffer.size()});
     }
     vcl::Buffer out_buffer =
         device.allocate(elements * stage.program.out_stride());
@@ -113,7 +122,7 @@ std::vector<float> FusionStrategy::execute(const dataflow::Network& network,
     buffers[plan.out_slot] = std::move(out_buffer);
   }
 
-  const vcl::Buffer& final_buffer = *buffers[final_slot];
+  const vcl::Buffer& final_buffer = slot_buffer(final_slot);
   std::vector<float> result(final_buffer.size());
   queue.read(final_buffer, result,
              network.spec().node(output_id).label);

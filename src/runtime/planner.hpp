@@ -12,6 +12,8 @@
 
 #include <cstddef>
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "dataflow/network.hpp"
@@ -22,15 +24,39 @@
 
 namespace dfg::runtime {
 
+/// Which of a network's field inputs are warm — already resident on the
+/// target device, so a strategy would eliminate their uploads entirely.
+/// Passed to the estimators (nullptr = all-cold, the historical behaviour,
+/// bit-exact against the tracker with the pool disabled). The streamed
+/// estimators deliberately ignore residency: slab sub-ranges are keyed per
+/// chunk, so warmth there depends on chunk alignment — pricing them cold
+/// keeps streamed estimates conservative.
+struct Residency {
+  std::set<std::string> warm;
+
+  bool is_warm(const std::string& name) const {
+    return warm.count(name) != 0;
+  }
+
+  /// Asks the device's resident pool which of `network`'s bound fields
+  /// would hit right now. Empty when the pool is disabled.
+  static Residency probe(const vcl::Device& device,
+                         const FieldBindings& bindings,
+                         const dataflow::Network& network);
+};
+
 /// Predicted device-memory high-water mark (bytes) of executing `network`
 /// over `elements` cells under `kind`. For the streamed strategy the
 /// prediction assumes the given chunk size (0 = the minimal viable chunk,
 /// i.e. the strategy's memory floor). Bindings are consulted for array
-/// extents only; no data is read.
+/// extents only; no data is read. With `residency`, warm field inputs are
+/// excluded from the working set (their buffers already exist; the
+/// device's free memory already accounts for them).
 std::size_t estimate_high_water(const dataflow::Network& network,
                                 const FieldBindings& bindings,
                                 std::size_t elements, StrategyKind kind,
-                                std::size_t streamed_chunk_cells = 0);
+                                std::size_t streamed_chunk_cells = 0,
+                                const Residency* residency = nullptr);
 
 /// Per-chunk (upload, kernel, read) durations of streamed execution under
 /// `spec`'s cost model, for overlap analysis with vcl::pipeline_makespan.
@@ -56,7 +82,8 @@ double estimate_sim_seconds(const dataflow::Network& network,
                             const FieldBindings& bindings,
                             std::size_t elements, const vcl::DeviceSpec& spec,
                             StrategyKind kind,
-                            std::size_t streamed_chunk_cells = 0);
+                            std::size_t streamed_chunk_cells = 0,
+                            const Residency* residency = nullptr);
 
 /// The fastest strategy whose predicted working set fits the device's
 /// *free* memory, in preference order fusion > streamed > staged >
@@ -65,5 +92,18 @@ double estimate_sim_seconds(const dataflow::Network& network,
 StrategyKind select_strategy(const dataflow::Network& network,
                              const FieldBindings& bindings,
                              std::size_t elements, const vcl::Device& device);
+
+/// Residency-aware selection: among the strategies whose residency-aware
+/// working set fits the device's free memory, the one with the smallest
+/// residency-aware simulated-time estimate (ties break in the preference
+/// order select_strategy uses). With warm inputs this can legitimately
+/// invert the static order — e.g. prefer a warm staged/roundtrip run,
+/// whose uploads vanish, over a cold fusion. Throws DeviceOutOfMemory when
+/// nothing fits.
+StrategyKind select_fastest_strategy(const dataflow::Network& network,
+                                     const FieldBindings& bindings,
+                                     std::size_t elements,
+                                     const vcl::Device& device,
+                                     const Residency* residency = nullptr);
 
 }  // namespace dfg::runtime

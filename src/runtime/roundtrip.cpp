@@ -83,19 +83,23 @@ std::vector<float> RoundtripStrategy::execute(const dataflow::Network& network,
                                                      node.component);
     const kernels::Program& program = *program_ptr;
 
-    // Upload one buffer per argument occurrence.
-    std::vector<vcl::Buffer> arg_buffers;
+    // Upload one buffer per argument occurrence. Only bound field arrays
+    // are pool-eligible: host intermediates (owned vectors above) die at
+    // the end of this evaluation and must stay transient.
+    std::vector<StagedInput> arg_buffers;
     std::vector<kernels::BufferBinding> arg_bindings;
     arg_buffers.reserve(node.inputs.size());
     arg_bindings.reserve(node.inputs.size());
     for (std::size_t a = 0; a < node.inputs.size(); ++a) {
       const HostValue& in = values[node.inputs[a]];
-      vcl::Buffer buffer = device.allocate(in.view.size());
-      queue.write(buffer, in.view,
-                  node.kind + ":" + spec.node(node.inputs[a]).label);
-      arg_bindings.push_back(kernels::BufferBinding{
-          buffer.device_view().data(), buffer.size()});
-      arg_buffers.push_back(std::move(buffer));
+      const bool poolable = spec.node(node.inputs[a]).type ==
+                            dataflow::NodeType::field_source;
+      StagedInput staged =
+          stage_input(queue, in.view,
+                      node.kind + ":" + spec.node(node.inputs[a]).label,
+                      poolable);
+      arg_bindings.push_back(staged.binding);
+      arg_buffers.push_back(std::move(staged));
     }
 
     vcl::Buffer out_buffer = device.allocate(elements * program.out_stride());

@@ -96,23 +96,31 @@ void run_fused_slab(const kernels::Program& program,
   const std::size_t slab_cells = slab_planes * plan.plane_cells;
 
   vcl::CommandQueue queue(device, log);
+  // Resident sub-range buffers must stay evictable *between* chunks (a
+  // scan larger than the pool watermark recycles LRU slabs) but pinned
+  // while this chunk's kernel can still read them.
+  vcl::ResidentPool::PinScope slab_pins(device.resident());
 
   // The per-slab dims array: local plane count, same transverse shape.
   const std::vector<float> local_dims{static_cast<float>(plan.nx),
                                       static_cast<float>(plan.ny),
                                       static_cast<float>(slab_planes)};
 
-  std::vector<vcl::Buffer> buffers;
+  std::vector<StagedInput> inputs;
   std::vector<kernels::BufferBinding> vm_bindings;
-  buffers.reserve(params.size());
+  inputs.reserve(params.size());
   vm_bindings.reserve(params.size());
   for (const SlabParam& param : params) {
     if (param.is_dims) {
+      // The dims array is a stack temporary rewritten per slab: never
+      // pool-eligible.
       vcl::Buffer buffer = device.allocate(3);
       queue.write(buffer, local_dims, param.name + "@slab");
       vm_bindings.push_back(kernels::BufferBinding{
           buffer.device_view().data(), buffer.size()});
-      buffers.push_back(std::move(buffer));
+      StagedInput staged;
+      staged.owned = std::move(buffer);
+      inputs.push_back(std::move(staged));
       continue;
     }
     const std::size_t offset = slab_lo * plan.plane_cells;
@@ -120,12 +128,15 @@ void run_fused_slab(const kernels::Program& program,
       throw NetworkError("field '" + param.name +
                          "' too small for the requested slab");
     }
-    vcl::Buffer buffer = device.allocate(slab_cells);
-    queue.write(buffer, param.view.subspan(offset, slab_cells),
-                param.name + "@slab");
-    vm_bindings.push_back(kernels::BufferBinding{
-        buffer.device_view().data(), buffer.size()});
-    buffers.push_back(std::move(buffer));
+    // Sub-range uploads key the pool on the slab pointer but follow the
+    // *base* array's generation tag, so mutating the bound field
+    // invalidates every one of its slabs.
+    StagedInput staged =
+        stage_input(queue, param.view.subspan(offset, slab_cells),
+                    param.name + "@slab", /*poolable=*/true,
+                    /*generation_key=*/param.view.data());
+    vm_bindings.push_back(staged.binding);
+    inputs.push_back(std::move(staged));
   }
 
   vcl::Buffer out_buffer =

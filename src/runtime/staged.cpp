@@ -27,8 +27,18 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
                                            vcl::ProfilingLog& log) const {
   vcl::CommandQueue queue(device, log);
   const auto& spec = network.spec();
+  // A node's device value is either owned (filter outputs, constants) or a
+  // view of a pool-resident field upload; exactly one side is set.
   std::vector<vcl::Buffer> buffers(spec.nodes().size());
+  std::vector<const vcl::Buffer*> resident(spec.nodes().size(), nullptr);
   std::vector<int> refs = network.use_counts();
+
+  const auto node_buffer = [&](int id) -> const vcl::Buffer& {
+    return resident[id] != nullptr ? *resident[id] : buffers[id];
+  };
+  const auto node_live = [&](int id) {
+    return resident[id] != nullptr || buffers[id].valid();
+  };
 
   // Sources are materialised lazily, at their first consumer: each unique
   // external input still uploads exactly once and each unique constant is
@@ -39,8 +49,12 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
     const dataflow::SpecNode& node = spec.node(id);
     if (node.type == dataflow::NodeType::field_source) {
       const auto view = bindings.get(node.field_name);
-      buffers[id] = device.allocate(view.size());
-      queue.write(buffers[id], view, node.field_name);
+      StagedInput staged = stage_input(queue, view, node.field_name);
+      if (staged.resident != nullptr) {
+        resident[id] = staged.resident;
+      } else {
+        buffers[id] = std::move(staged.owned);
+      }
     } else {  // constant
       buffers[id] = device.allocate(elements);
       const std::shared_ptr<const kernels::Program> fill =
@@ -51,7 +65,7 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
   };
 
   const auto binding_of = [&](int id) {
-    if (!buffers[id].valid()) {
+    if (!node_live(id)) {
       if (spec.node(id).type == dataflow::NodeType::filter) {
         throw NetworkError("staged execution consumed '" +
                            spec.node(id).label +
@@ -59,8 +73,9 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
       }
       materialise_source(id);
     }
-    return kernels::BufferBinding{buffers[id].device_view().data(),
-                                  buffers[id].size()};
+    const vcl::Buffer& buffer = node_buffer(id);
+    return kernels::BufferBinding{buffer.device_view().data(),
+                                  buffer.size()};
   };
 
   for (const int id : network.topo_order()) {
@@ -79,13 +94,18 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
                    buffers[id].device_view(), elements);
 
     // Reference counting: release intermediates after their last consumer.
+    // Dropping a resident view just forgets the pointer — the buffer stays
+    // in the pool for the next evaluation; that is the transfer saving.
     for (const int in : node.inputs) {
-      if (--refs[in] == 0) buffers[in].release();
+      if (--refs[in] == 0) {
+        buffers[in].release();
+        resident[in] = nullptr;
+      }
     }
   }
 
   const int out_id = spec.output_id();
-  if (!buffers[out_id].valid()) {
+  if (!node_live(out_id)) {
     // The output can be a bare source (e.g. "r = 3.0") that no filter
     // consumed; materialise it now.
     if (spec.node(out_id).type == dataflow::NodeType::filter) {
@@ -93,8 +113,9 @@ std::vector<float> StagedStrategy::execute(const dataflow::Network& network,
     }
     materialise_source(out_id);
   }
-  std::vector<float> result(buffers[out_id].size());
-  queue.read(buffers[out_id], result, spec.node(out_id).label);
+  const vcl::Buffer& out_buffer = node_buffer(out_id);
+  std::vector<float> result(out_buffer.size());
+  queue.read(out_buffer, result, spec.node(out_id).label);
   result.resize(elements);
   return result;
 }

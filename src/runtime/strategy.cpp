@@ -36,6 +36,27 @@ std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
   throw Error("unknown strategy kind");
 }
 
+StagedInput stage_input(vcl::CommandQueue& queue, std::span<const float> host,
+                        const std::string& label, bool poolable,
+                        const void* generation_key) {
+  vcl::Device& device = queue.device();
+  StagedInput in;
+  if (poolable) {
+    if (const vcl::Buffer* res =
+            device.resident().acquire(queue, host, label, generation_key)) {
+      in.resident = res;
+      in.binding =
+          kernels::BufferBinding{res->device_view().data(), res->size()};
+      return in;
+    }
+  }
+  in.owned = device.allocate(host.size());
+  queue.write(in.owned, host, label);
+  in.binding =
+      kernels::BufferBinding{in.owned.device_view().data(), in.owned.size()};
+  return in;
+}
+
 void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
                     std::vector<kernels::BufferBinding> inputs,
                     std::span<float> out, std::size_t elements) {

@@ -120,6 +120,8 @@ ServiceOptions ServiceOptions::from_env() {
   }
   options.coalescing =
       support::env::get_flag("DFGEN_SERVICE_COALESCE", options.coalescing);
+  options.resident_pool = support::env::get_flag(
+      "DFGEN_SERVICE_RESIDENT_POOL", options.resident_pool);
   return options;
 }
 
@@ -134,6 +136,10 @@ EvalService::EvalService(std::vector<vcl::Device*> devices,
       paused_(options.start_paused), device_logs_(devices_.size()) {
   if (devices_.empty()) {
     throw Error("EvalService requires at least one device");
+  }
+  resident_baseline_.reserve(devices_.size());
+  for (const vcl::Device* device : devices_) {
+    resident_baseline_.push_back(device->resident().stats());
   }
   workers_.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -349,11 +355,33 @@ void EvalService::note_queue_depth_locked() {
 }
 
 std::shared_ptr<EvalService::Pending> EvalService::pop_locked(
-    Session& session) {
-  // Highest priority first; FIFO among equals.
+    Session& session, const vcl::Device& device) {
+  // Highest priority first; FIFO among equals — except that with the
+  // resident pool active, a request whose bound arrays are all warm on
+  // this worker's device beats colder equals (the would_hit probe is safe
+  // here: the worker owns its idle device while it holds the service
+  // lock). Priority strictly dominates affinity, so a hot-array tenant
+  // can never starve a higher-priority one.
+  const auto warm_on_device = [&](const Pending& pending) {
+    if (!device.resident().enabled() || pending.request.fields.empty()) {
+      return false;
+    }
+    for (const FieldRef& field : pending.request.fields) {
+      if (!device.resident().would_hit(field.values)) return false;
+    }
+    return true;
+  };
   auto best = session.queue.begin();
+  bool best_warm = warm_on_device(**best);
   for (auto it = session.queue.begin(); it != session.queue.end(); ++it) {
-    if ((*it)->request.priority > (*best)->request.priority) best = it;
+    if ((*it)->request.priority > (*best)->request.priority) {
+      best = it;
+      best_warm = warm_on_device(**best);
+    } else if ((*it)->request.priority == (*best)->request.priority &&
+               !best_warm && warm_on_device(**it)) {
+      best = it;
+      best_warm = true;
+    }
   }
   std::shared_ptr<Pending> pending = *best;
   session.queue.erase(best);
@@ -381,7 +409,8 @@ void EvalService::worker(std::size_t device_index) {
     if (picked.empty()) continue;
 
     std::vector<std::shared_ptr<Pending>> batch;
-    batch.push_back(pop_locked(sessions_.at(picked)));
+    batch.push_back(
+        pop_locked(sessions_.at(picked), *devices_[device_index]));
     if (options_.coalescing) {
       const CoalesceKey& key = batch.front()->key;
       for (auto& [id, session] : sessions_) {
@@ -435,6 +464,7 @@ void EvalService::execute_batch(std::size_t device_index,
   // The batch runs under its leader's strategy, session and deadline.
   EngineOptions engine_options;
   engine_options.strategy = leader->request.strategy;
+  engine_options.resident_pool = options_.resident_pool;
   engine_options.fallback = options_.fallback;
   engine_options.fallback.deadline_factor =
       leader->request.deadline_factor > 0.0 ? leader->request.deadline_factor
@@ -574,6 +604,16 @@ ServiceSnapshot EvalService::snapshot() const {
   copy.command_timeouts = value(incidents_counter(svc_, "timeout"));
   copy.command_retries = value(incidents_counter(svc_, "retry"));
   copy.injected_faults = value(incidents_counter(svc_, "fault"));
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const vcl::ResidentPool::Stats now = devices_[i]->resident().stats();
+    const vcl::ResidentPool::Stats& base = resident_baseline_[i];
+    copy.resident_hits += now.hits - base.hits;
+    copy.resident_misses += now.misses - base.misses;
+    copy.resident_evictions += now.evictions - base.evictions;
+    copy.resident_invalidations += now.invalidations - base.invalidations;
+    copy.resident_upload_bytes_saved +=
+        now.upload_bytes_saved - base.upload_bytes_saved;
+  }
   return copy;
 }
 

@@ -137,6 +137,16 @@ struct ServiceSnapshot {
   std::size_t injected_faults = 0;
   std::size_t max_queue_depth_seen = 0;
   double total_queue_wait_seconds = 0.0;
+  /// Resident-buffer pool traffic across the service's devices since
+  /// construction (zeros while ServiceOptions::resident_pool is off):
+  /// per-device vcl::ResidentPool::stats() deltas against baselines taken
+  /// when the service was built, so devices shared across services only
+  /// report traffic this service caused.
+  std::size_t resident_hits = 0;
+  std::size_t resident_misses = 0;
+  std::size_t resident_evictions = 0;
+  std::size_t resident_invalidations = 0;
+  std::size_t resident_upload_bytes_saved = 0;
   std::map<std::string, SessionStats> sessions;
 };
 
@@ -162,10 +172,18 @@ struct ServiceOptions {
   /// callers submit a burst atomically — the coalescer then sees the whole
   /// burst, which the tests use for determinism.
   bool start_paused = false;
+  /// Keep tenants' field uploads resident on the service's devices across
+  /// batches (vcl::ResidentPool): a tenant re-deriving fields from the
+  /// same bound arrays skips their uploads, and dispatch prefers queued
+  /// requests whose arrays are already warm on the picking worker's
+  /// device. Off by default. Tenants that mutate a bound array between
+  /// submissions must bump its tag (vcl::note_host_mutation). The per-
+  /// evaluation env overrides still apply (DFGEN_NO_RESIDENT_POOL wins).
+  bool resident_pool = false;
 
   /// Defaults overlaid with DFGEN_SERVICE_QUEUE_DEPTH,
-  /// DFGEN_SERVICE_QUOTA_MB, DFGEN_SERVICE_BACKLOG_MB and
-  /// DFGEN_SERVICE_COALESCE.
+  /// DFGEN_SERVICE_QUOTA_MB, DFGEN_SERVICE_BACKLOG_MB,
+  /// DFGEN_SERVICE_COALESCE and DFGEN_SERVICE_RESIDENT_POOL.
   static ServiceOptions from_env();
 };
 

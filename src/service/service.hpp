@@ -50,6 +50,7 @@
 #include "service/scheduler.hpp"
 #include "vcl/device.hpp"
 #include "vcl/profiling.hpp"
+#include "vcl/resident_pool.hpp"
 
 namespace dfg::service {
 
@@ -141,7 +142,12 @@ class EvalService {
   };
 
   Session& session_locked(const std::string& id);
-  std::shared_ptr<Pending> pop_locked(Session& session);
+  /// Pops the session's next request for `device`: highest priority first,
+  /// and — with the resident pool active — residency affinity among equal
+  /// priorities (a request whose arrays are all warm on `device` beats
+  /// FIFO order, so warm work lands where its buffers already live).
+  std::shared_ptr<Pending> pop_locked(Session& session,
+                                      const vcl::Device& device);
   /// Publishes queued_count_ to the queue-depth gauge and its high-water.
   void note_queue_depth_locked();
   void reject(const std::shared_ptr<detail::TicketState>& ticket,
@@ -175,6 +181,9 @@ class EvalService {
   ServiceSnapshot snapshot_;
   /// Accumulated per-device profiling events (appended after each batch).
   std::vector<vcl::ProfilingLog> device_logs_;
+  /// Per-device resident-pool stats at construction; snapshot() reports
+  /// deltas against these so pre-existing pool traffic is excluded.
+  std::vector<vcl::ResidentPool::Stats> resident_baseline_;
 
   std::vector<std::thread> workers_;
 };

@@ -33,6 +33,10 @@ std::set<std::string>& known_registry() {
       "DFGEN_SERVICE_QUOTA_MB",
       "DFGEN_SERVICE_BACKLOG_MB",
       "DFGEN_SERVICE_COALESCE",
+      "DFGEN_SERVICE_RESIDENT_POOL",
+      "DFGEN_RESIDENT_POOL",
+      "DFGEN_NO_RESIDENT_POOL",
+      "DFGEN_RESIDENT_WATERMARK",
       "DFGEN_METRICS",
       "DFGEN_METRICS_OUT",
       "DFGEN_FUZZ_SEED",

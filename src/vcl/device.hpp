@@ -21,6 +21,7 @@
 
 #include "support/error.hpp"
 #include "vcl/fault.hpp"
+#include "vcl/resident_pool.hpp"
 
 namespace dfg::vcl {
 
@@ -125,7 +126,8 @@ class Device {
   explicit Device(DeviceSpec spec)
       : spec_(std::move(spec)),
         memory_(spec_.name, spec_.global_mem_bytes),
-        fault_(spec_.name) {}
+        fault_(spec_.name),
+        resident_(*this) {}
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -163,8 +165,16 @@ class Device {
                     fault_.synthetic_available(memory_.in_use()));
   }
 
+  /// Resident-buffer pool: bound host inputs kept on-device across
+  /// evaluations (disabled by default; the engine arms it per evaluate).
+  ResidentPool& resident() { return resident_; }
+  const ResidentPool& resident() const { return resident_; }
+
   /// Allocates a device buffer of `elements` float32 values. Throws
-  /// DeviceOutOfMemory if the device capacity would be exceeded.
+  /// DeviceOutOfMemory if the device capacity would be exceeded. When the
+  /// capacity wall is hit, unpinned resident buffers are evicted LRU-first
+  /// and the allocation retried, so pool occupancy can never fail a
+  /// transient allocation the cold path would have satisfied.
   Buffer allocate(std::size_t elements);
 
  private:
@@ -173,6 +183,9 @@ class Device {
   FaultInjector fault_;
   RetryPolicy retry_;
   double watchdog_factor_ = 8.0;
+  /// Declared last: destroyed first, while the tracker is still alive to
+  /// account the released resident bytes.
+  ResidentPool resident_;
 };
 
 }  // namespace dfg::vcl

@@ -33,6 +33,7 @@
 #include "runtime/bindings.hpp"
 #include "support/env.hpp"
 #include "vcl/device.hpp"
+#include "vcl/resident_pool.hpp"
 
 #include "bitwise.hpp"
 
@@ -360,34 +361,93 @@ const runtime::StrategyKind kStrategies[] = {
     runtime::StrategyKind::roundtrip, runtime::StrategyKind::staged,
     runtime::StrategyKind::fusion, runtime::StrategyKind::streamed};
 
-/// Empty string when every strategy reproduces the reference bits; a
-/// description of the first divergence otherwise.
-std::string check(const std::string& text, Fixture& fx) {
+/// Residency state each iteration drives through every strategy: whether
+/// the resident-buffer pool is on, how many warm re-evaluations run before
+/// the result is compared again, and an optional in-place host mutation
+/// (announced via Engine::invalidate) after the warm runs. Derived from
+/// the iteration's seeded rng, so a reported seed replays the schedule.
+struct ResidencySchedule {
+  bool pool = false;
+  int warm_runs = 1;       ///< evaluations expected to reproduce `want`
+  int mutate_field = -1;   ///< index into kFields; -1 = no mutation step
+  std::size_t mutate_index = 0;
+
+  std::string describe() const {
+    if (!pool) return "pool off";
+    std::string out = "pool on, " + std::to_string(warm_runs) + " warm run(s)";
+    if (mutate_field >= 0) {
+      out += ", mutate " + std::string(kFields[mutate_field]) + "[" +
+             std::to_string(mutate_index) + "]";
+    }
+    return out;
+  }
+};
+
+/// Empty string when every strategy reproduces the reference bits across
+/// the whole residency schedule; a description of the first divergence
+/// otherwise. The fixture's fields are restored (and their generation tags
+/// bumped) before returning, so repeated calls — the shrinker — see
+/// identical inputs.
+std::string check(const std::string& text, Fixture& fx,
+                  const ResidencySchedule& sched = {}) {
   std::vector<float> want;
   try {
     want = reference(text, fx);
   } catch (const std::exception& e) {
     return std::string("reference failed: ") + e.what();
   }
+  std::vector<float>* fields[] = {&fx.u, &fx.v, &fx.w};
   for (const runtime::StrategyKind kind : kStrategies) {
+    std::string failure;
     try {
       EngineOptions options;
       options.strategy = kind;
+      options.resident_pool = sched.pool;
       Engine engine(fx.device, options);
       engine.bind_mesh(fx.mesh);
       engine.bind("u", fx.u);
       engine.bind("v", fx.v);
       engine.bind("w", fx.w);
-      const EvaluationReport report = engine.evaluate(text);
-      const std::size_t mismatch = test::first_bit_mismatch(report.values, want);
-      if (mismatch != static_cast<std::size_t>(-1)) {
-        return std::string(runtime::strategy_name(kind)) +
-               " diverges from the scalar reference at element " +
-               std::to_string(mismatch);
+      const auto run_against = [&](const std::vector<float>& expect,
+                                   const char* phase) {
+        const EvaluationReport report = engine.evaluate(text);
+        const std::size_t mismatch =
+            test::first_bit_mismatch(report.values, expect);
+        if (mismatch != static_cast<std::size_t>(-1)) {
+          failure = std::string(runtime::strategy_name(kind)) + " (" + phase +
+                    ") diverges from the scalar reference at element " +
+                    std::to_string(mismatch);
+          return false;
+        }
+        return true;
+      };
+      bool ok = true;
+      for (int r = 0; ok && r < std::max(1, sched.warm_runs); ++r) {
+        ok = run_against(want, r == 0 ? "cold" : "warm");
+      }
+      if (ok && sched.mutate_field >= 0) {
+        // Sign-flip one element in place (exact involution), announce it,
+        // and require the next evaluation to track the mutated bits.
+        std::vector<float>& field = *fields[sched.mutate_field];
+        const std::size_t at = sched.mutate_index % field.size();
+        field[at] = -field[at];
+        engine.invalidate(kFields[sched.mutate_field]);
+        std::vector<float> want_post;
+        try {
+          want_post = reference(text, fx);
+          run_against(want_post, "post-mutation");
+        } catch (const std::exception& e) {
+          failure = std::string("post-mutation reference failed: ") + e.what();
+        }
+        field[at] = -field[at];
+        // The restore is itself a host mutation other strategies' pooled
+        // entries must observe.
+        vcl::note_host_mutation(field.data());
       }
     } catch (const std::exception& e) {
-      return std::string(runtime::strategy_name(kind)) + " threw: " + e.what();
+      failure = std::string(runtime::strategy_name(kind)) + " threw: " + e.what();
     }
+    if (!failure.empty()) return failure;
   }
   return {};
 }
@@ -420,8 +480,11 @@ FScript clone(const FScript& script) {
 }
 
 /// Greedy shrink: keep applying the first still-failing reduction until no
-/// reduction fails, bounded by a re-execution budget.
-FScript shrink(FScript script, Fixture& fx) {
+/// reduction fails, bounded by a re-execution budget. The residency
+/// schedule is held fixed through every candidate re-execution, so a
+/// failure that needs warm state (or a mutation step) to manifest keeps
+/// failing while the script shrinks.
+FScript shrink(FScript script, Fixture& fx, const ResidencySchedule& sched) {
   int budget = 400;
   bool reduced = true;
   while (reduced && budget > 0) {
@@ -434,7 +497,7 @@ FScript shrink(FScript script, Fixture& fx) {
       candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(s));
       for (Stmt& stmt : candidate) strip_refs(*stmt.expr, dropped);
       if (--budget <= 0) break;
-      if (!check(render(candidate), fx).empty()) {
+      if (!check(render(candidate), fx, sched).empty()) {
         script = std::move(candidate);
         reduced = true;
       }
@@ -461,7 +524,7 @@ FScript shrink(FScript script, Fixture& fx) {
             target.kids.clear();
           }
           if (--budget <= 0) break;
-          if (!check(render(candidate), fx).empty()) {
+          if (!check(render(candidate), fx, sched).empty()) {
             script = std::move(candidate);
             reduced = true;
           }
@@ -484,13 +547,29 @@ TEST(FuzzExpressions, StrategiesMatchScalarReference) {
     Generator gen(seed);
     Fixture fx(seed);
     FScript script = gen.script(static_cast<std::size_t>(i));
-    const std::string failure = check(render(script), fx);
+
+    // Randomize the residency state the script executes under: roughly
+    // half the corpus runs with the pool on, re-evaluating warm and
+    // sometimes mutating a field mid-iteration. Drawn from the same seeded
+    // rng, so the reported seed reproduces the schedule too.
+    ResidencySchedule sched;
+    sched.pool = gen.pick(2) == 0;
+    if (sched.pool) {
+      sched.warm_runs = 1 + static_cast<int>(gen.pick(2));
+      if (gen.pick(2) == 0) {
+        sched.mutate_field = static_cast<int>(gen.pick(std::size(kFields)));
+        sched.mutate_index = gen.pick(fx.mesh.cell_count());
+      }
+    }
+
+    const std::string failure = check(render(script), fx, sched);
     if (failure.empty()) continue;
 
-    const FScript minimal = shrink(std::move(script), fx);
+    const FScript minimal = shrink(std::move(script), fx, sched);
     const std::string minimal_text = render(minimal);
     ADD_FAILURE() << "fuzzer found a divergence (seed " << seed << "): "
-                  << check(minimal_text, fx)
+                  << check(minimal_text, fx, sched)
+                  << "\nresidency schedule: " << sched.describe()
                   << "\nminimal reproducer:\n" << minimal_text
                   << "replay with DFGEN_FUZZ_SEED=" << seed
                   << " DFGEN_FUZZ_ITERATIONS=" << (i + 1);
@@ -509,6 +588,22 @@ TEST(FuzzExpressions, HarnessAcceptsFullGrammar) {
       "t3 = floor(t2) + ceil(t2) + (t2 == t1) + (t2 != t0) + (t1 <= t0) + "
       "(t1 < t0) + sqrt(abs(t2)) + tan(t2)\n";
   EXPECT_EQ(check(text, fx), "");
+}
+
+// Same guard under a fixed worst-case residency schedule: warm
+// re-evaluations must reproduce the cold bits from resident buffers, and
+// an announced mid-iteration mutation must be tracked by every strategy.
+TEST(FuzzExpressions, HarnessAcceptsResidencySchedules) {
+  Fixture fx(11);
+  ResidencySchedule sched;
+  sched.pool = true;
+  sched.warm_runs = 2;
+  sched.mutate_field = 0;
+  sched.mutate_index = 3;
+  const std::string text =
+      "t0 = grad3d(u, dims, x, y, z)[1] + select(u > v, sin(u), cos(v))\n"
+      "t1 = min(t0, max(v, 0.5)) * pow(abs(w) + 1, 0.5) - tanh(t0)\n";
+  EXPECT_EQ(check(text, fx, sched), "");
 }
 
 }  // namespace

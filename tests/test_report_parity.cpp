@@ -123,6 +123,82 @@ TEST(ReportParity, EngineReportEqualsLogRecomputationUnderFaults) {
   expect_report_matches(report, want);
 }
 
+TEST(ReportParity, EngineResidentCountersEqualRegistryDeltas) {
+  // The resident counters are registry-backed like the rest of the report:
+  // their per-evaluation deltas must equal the device pool's cumulative
+  // stats deltas sampled around the evaluate call.
+  obs::ScopedMetricsRegistry scoped;
+  Workload wl;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  EngineOptions options;
+  options.resident_pool = true;
+  Engine engine(device, options);
+  wl.bind(engine);
+
+  for (int run = 0; run < 3; ++run) {
+    const vcl::ResidentPool::Stats before = device.resident().stats();
+    const EvaluationReport report = engine.evaluate(expressions::kQCriterion);
+    const vcl::ResidentPool::Stats after = device.resident().stats();
+    EXPECT_EQ(report.resident_hits, after.hits - before.hits);
+    EXPECT_EQ(report.resident_misses, after.misses - before.misses);
+    EXPECT_EQ(report.resident_evictions, after.evictions - before.evictions);
+    EXPECT_EQ(report.resident_invalidations,
+              after.invalidations - before.invalidations);
+    EXPECT_EQ(report.resident_upload_bytes_saved,
+              after.upload_bytes_saved - before.upload_bytes_saved);
+    if (run > 0) EXPECT_GT(report.resident_hits, 0u);
+  }
+}
+
+TEST(ReportParity, DistributedResidentCountersEqualRegistryDeltas) {
+  obs::ScopedMetricsRegistry scoped;
+  obs::MetricsRegistry& reg = scoped.registry();
+
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({8, 8, 8});
+  mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh);
+  distrib::ClusterConfig config;
+  config.nodes = 1;
+  config.devices_per_node = 2;
+  config.device_spec = vcl::tesla_m2050_scaled();
+  config.checkpoint_dir.clear();
+  config.resident_pool = true;
+  // Every readback on rank 0 corrupts: the first block's corruption escapes
+  // the queue-level retry, the block re-executes on the same rank — and the
+  // re-run's uploads hit the residents the first attempt left behind. The
+  // second escape quarantines the rank, which drops its residents.
+  config.fault_plan.corrupt_read_index = 1;
+  config.fault_plan.corrupt_count = 1000;
+  config.fault_rank = 0;
+  distrib::DistributedEngine engine(
+      mesh, distrib::GridDecomposition(mesh.dims(), 2, 2, 2), config);
+  engine.bind_global("u", field.u);
+  engine.bind_global("v", field.v);
+  engine.bind_global("w", field.w);
+  const distrib::DistributedReport report =
+      engine.evaluate(expressions::kQCriterion, StrategyKind::fusion);
+
+  // Fresh registry + single evaluating thread: the report's deltas are the
+  // registry's whole content for this device label.
+  const auto resident = [&](const char* name) {
+    return reg.thread_counter_sum(name,
+                                  {{"device", config.device_spec.name}});
+  };
+  EXPECT_EQ(report.resident_hits, resident("dfgen_resident_hits_total"));
+  EXPECT_EQ(report.resident_misses, resident("dfgen_resident_misses_total"));
+  EXPECT_EQ(report.resident_evictions,
+            resident("dfgen_resident_evictions_total"));
+  EXPECT_EQ(report.resident_invalidations,
+            resident("dfgen_resident_invalidations_total"));
+  EXPECT_EQ(report.resident_upload_bytes_saved,
+            resident("dfgen_resident_upload_bytes_saved"));
+  // The corruption-forced block re-run hit the first attempt's residents;
+  // the quarantine that followed dropped them.
+  EXPECT_GT(report.resident_hits, 0u);
+  EXPECT_GT(report.resident_upload_bytes_saved, 0u);
+  EXPECT_GT(report.resident_invalidations, 0u);
+  EXPECT_GE(report.quarantined_devices, 1u);
+}
+
 TEST(ReportParity, DistributedReportEqualsRegistryDeltasUnderFaults) {
   // Fresh registry: the evaluation runs entirely on this thread, so the
   // registry's thread-shard sums over all devices must equal the report's
