@@ -61,15 +61,35 @@ CheckpointJournal::CheckpointJournal(std::string dir, std::uint64_t run_key)
                 "': " + ec.message());
   }
   // Index every readable entry of this run; anything else is ignored
-  // (entries of other runs may share the directory).
+  // (entries of other runs may share the directory). A crash between
+  // writing a tmp file and the committing rename leaves a stale
+  // `*.ckpt.tmp` behind: it was never committed, so it must never be
+  // replayed — remove it here rather than letting orphans accumulate.
   for (const fs::directory_entry& file : fs::directory_iterator(dir_, ec)) {
     if (!file.is_regular_file()) continue;
+    if (file.path().extension() == ".tmp") {
+      // Only reap tmp files that are clearly orphaned checkpoint entries
+      // ("<name>.ckpt.tmp"); unrelated tmp files in a shared directory are
+      // left alone.
+      if (file.path().stem().extension() == ".ckpt") {
+        std::error_code remove_ec;
+        fs::remove(file.path(), remove_ec);
+      }
+      continue;
+    }
     if (file.path().extension() != ".ckpt") continue;
     std::uint64_t block = 0;
     if (read_entry(file.path().string(), run_key_, &block)) {
       entries_[static_cast<std::size_t>(block)] = file.path().string();
     }
   }
+}
+
+std::vector<std::size_t> CheckpointJournal::blocks() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [block, path] : entries_) ids.push_back(block);
+  return ids;
 }
 
 std::string CheckpointJournal::entry_path(std::size_t block) const {

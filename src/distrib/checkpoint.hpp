@@ -49,6 +49,11 @@ class CheckpointJournal {
   /// Number of valid entries currently indexed.
   std::size_t journaled_count() const { return entries_.size(); }
 
+  /// Block ids of every indexed entry, ascending. Lets a restarted
+  /// consumer enumerate and re-load its journaled state without knowing
+  /// the block ids in advance (the shard re-warm path).
+  std::vector<std::size_t> blocks() const;
+
  private:
   std::string entry_path(std::size_t block) const;
 

@@ -1,0 +1,42 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/checksum.hpp"
+
+namespace dfg::shard {
+
+HashRing::HashRing(std::size_t shards, std::size_t virtual_nodes,
+                   std::uint64_t seed)
+    : shards_(shards) {
+  if (virtual_nodes == 0) virtual_nodes = 1;
+  ring_.reserve(shards * virtual_nodes);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      const std::string point =
+          "shard-" + std::to_string(s) + "-vnode-" + std::to_string(v);
+      ring_.emplace_back(support::fnv1a(point, seed), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  order.reserve(shards_);
+  if (ring_.empty()) return order;
+  std::vector<bool> seen(shards_, false);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(key, std::size_t{0}));
+  for (std::size_t steps = 0;
+       steps < ring_.size() && order.size() < shards_; ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (seen[it->second]) continue;
+    seen[it->second] = true;
+    order.push_back(it->second);
+  }
+  return order;
+}
+
+}  // namespace dfg::shard

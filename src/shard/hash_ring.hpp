@@ -1,0 +1,43 @@
+// Shard layer: consistent-hash ring.
+//
+// The router places every request on a shard by consistent-hashing its
+// network fingerprint: the same expression structure always lands on the
+// same shard, so that shard's ProgramCache holds the compiled pipeline and
+// its ResidentPool holds the tenant's uploads — affinity is what makes
+// sharding cheaper than round-robin, not just wider. Virtual nodes smooth
+// the key distribution; the preference order (successor, then the next
+// distinct shards clockwise) is also the deterministic reroute/hedge
+// order, so when a shard drains its keyed range moves to one well-defined
+// neighbour instead of scattering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfg::shard {
+
+class HashRing {
+ public:
+  /// `virtual_nodes` points per shard, positioned by a seeded FNV-1a hash
+  /// (two rings with equal shape and seed are identical).
+  HashRing(std::size_t shards, std::size_t virtual_nodes,
+           std::uint64_t seed);
+
+  std::size_t shard_count() const { return shards_; }
+
+  /// Every shard exactly once, in clockwise preference order for `key`:
+  /// element 0 owns the key, element 1 receives its range when 0 drains,
+  /// and so on.
+  std::vector<std::size_t> preference(std::uint64_t key) const;
+
+  /// preference(key)[0].
+  std::size_t owner(std::uint64_t key) const { return preference(key)[0]; }
+
+ private:
+  std::size_t shards_;
+  /// (ring position, shard) sorted by position.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace dfg::shard

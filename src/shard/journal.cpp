@@ -1,0 +1,66 @@
+#include "shard/journal.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace dfg::shard {
+
+ResultJournal::ResultJournal(const std::string& dir,
+                             std::uint64_t cluster_key)
+    : journal_(dir, cluster_key) {}
+
+bool ResultJournal::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_.enabled();
+}
+
+void ResultJournal::record(std::uint64_t digest,
+                           std::span<const float> values) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!journal_.enabled()) return;
+  try {
+    journal_.append(static_cast<std::size_t>(digest), values);
+  } catch (const Error& e) {
+    if (!warned_) {
+      warned_ = true;
+      std::fprintf(stderr, "dfgen: result journal write failed: %s\n",
+                   e.what());
+    }
+  }
+}
+
+std::optional<std::vector<float>> ResultJournal::lookup(
+    std::uint64_t digest) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto block = static_cast<std::size_t>(digest);
+  if (!journal_.enabled() || !journal_.has(block)) return std::nullopt;
+  try {
+    return journal_.load(block);
+  } catch (const Error&) {
+    return std::nullopt;  // invalidated on disk since indexing: a miss
+  }
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<float>>>
+ResultJournal::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, std::vector<float>>> out;
+  if (!journal_.enabled()) return out;
+  for (const std::size_t block : journal_.blocks()) {
+    try {
+      out.emplace_back(static_cast<std::uint64_t>(block),
+                       journal_.load(block));
+    } catch (const Error&) {
+      // Entry rotted since indexing; skip rather than fail the re-warm.
+    }
+  }
+  return out;
+}
+
+std::size_t ResultJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_.journaled_count();
+}
+
+}  // namespace dfg::shard

@@ -1,0 +1,62 @@
+// Shard layer: digest-keyed result journal.
+//
+// A thread-safe facade over distrib::CheckpointJournal that keys entries
+// by request *digest* (expression fingerprint + input content) instead of
+// block index. The router records every completed result; the journal then
+// serves two robustness roles:
+//   * restart re-warm — a shard revived by the supervisor is handed the
+//     journal's entries as a warm result cache, so the keyed range that
+//     rerouted away during the outage comes back to a shard that can
+//     answer repeat requests without re-executing;
+//   * last-resort serving — a request whose retry budget is exhausted
+//     (every route failed) is answered from the journal when an identical
+//     request completed earlier, degrading a would-be failure into a
+//     bit-exact cached result.
+// Because the digest covers input *content* (checksummed fields), a stale
+// entry cannot be served after inputs change: changed bytes change the
+// digest.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distrib/checkpoint.hpp"
+
+namespace dfg::shard {
+
+class ResultJournal {
+ public:
+  /// Disabled: record() is a no-op, lookup() always misses.
+  ResultJournal() = default;
+
+  /// Opens (creating if needed) `dir`; `cluster_key` plays the run-key
+  /// role, so clusters with different seeds never share entries.
+  ResultJournal(const std::string& dir, std::uint64_t cluster_key);
+
+  bool enabled() const;
+
+  /// Journals a completed result under its digest. I/O failures are
+  /// reported to stderr once and swallowed: journaling is best-effort and
+  /// must never fail the request it records.
+  void record(std::uint64_t digest, std::span<const float> values);
+
+  std::optional<std::vector<float>> lookup(std::uint64_t digest) const;
+
+  /// Every (digest, values) entry currently valid — the restart re-warm
+  /// payload.
+  std::vector<std::pair<std::uint64_t, std::vector<float>>> all() const;
+
+  std::size_t entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  distrib::CheckpointJournal journal_;
+  bool warned_ = false;
+};
+
+}  // namespace dfg::shard

@@ -1,0 +1,682 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "support/checksum.hpp"
+#include "support/env.hpp"
+
+namespace dfg::shard {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_cluster{1};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Inner-service priority: higher dispatches first within a session, so
+/// the class order maps onto descending integers.
+int inner_priority(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::interactive: return 2;
+    case PriorityClass::batch: return 1;
+    case PriorityClass::speculative: return 0;
+  }
+  return 0;
+}
+
+std::shared_ptr<const EvaluationReport> journal_report(
+    std::vector<float> values) {
+  auto report = std::make_shared<EvaluationReport>();
+  report->elements = values.size();
+  report->values = std::move(values);
+  report->strategy = "journal";
+  return report;
+}
+
+void resolve(const std::shared_ptr<detail::ShardTicketState>& state,
+             ShardReport report) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->report = std::move(report);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+/// Option hygiene applied once at construction: clamp degenerate values
+/// and wire the cross-component couplings (the shards heartbeat on the
+/// supervisor's clock; the inner services get comfortable queue headroom
+/// over the router's limit so router-level shedding, not inner admission,
+/// is the overload policy).
+ClusterOptions normalize(ClusterOptions o) {
+  if (o.shards == 0) o.shards = 1;
+  if (o.router.shard_queue_depth == 0) o.router.shard_queue_depth = 1;
+  if (o.router.virtual_nodes == 0) o.router.virtual_nodes = 1;
+  o.shard.heartbeat_interval_seconds = o.supervisor.heartbeat_interval_seconds;
+  o.shard.service.max_queue_depth = std::max(
+      o.shard.service.max_queue_depth, o.router.shard_queue_depth * 4);
+  return o;
+}
+
+}  // namespace
+
+std::string AdmissionError::message() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s request shed: shard %zu at depth %zu of limit %zu; "
+                "retry after %.4fs",
+                priority_class_name(priority), shard, queue_depth,
+                queue_limit, retry_after_seconds);
+  return buf;
+}
+
+const ShardReport& ShardTicket::wait() const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->report;
+}
+
+bool ShardTicket::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+ClusterOptions ClusterOptions::from_env() {
+  ClusterOptions o;
+  o.shards = static_cast<std::size_t>(std::max(
+      1, support::env::get_int("DFGEN_SHARDS", static_cast<int>(o.shards))));
+  o.router.shard_queue_depth = static_cast<std::size_t>(std::max(
+      1, support::env::get_int(
+             "DFGEN_SHARD_QUEUE_DEPTH",
+             static_cast<int>(o.router.shard_queue_depth))));
+  o.router.shed_policy =
+      support::env::get_string("DFGEN_SHED_POLICY", o.router.shed_policy);
+  return o;
+}
+
+/// One admitted request in flight: the resubmittable work, its live
+/// attempts, and the reroute/hedge bookkeeping the monitor drives.
+struct ShardRouter::Flight {
+  ShardWork work;
+  std::uint64_t fingerprint = 0;
+  PriorityClass priority = PriorityClass::batch;
+  std::shared_ptr<detail::ShardTicketState> ticket;
+  Clock::time_point started{};
+  std::vector<std::shared_ptr<Attempt>> attempts;
+  /// Shards this request already attempted (cleared when exhausted, so the
+  /// budget — not the memory — bounds retries).
+  std::vector<char> tried;
+  std::size_t reroutes_used = 0;
+  std::size_t hedges = 0;
+  /// In backoff: no live attempts, resubmit no earlier than not_before.
+  bool waiting = false;
+  Clock::time_point not_before{};
+  std::string last_error;
+};
+
+ShardRouter::ShardRouter(ClusterOptions options)
+    : options_(normalize(std::move(options))),
+      cluster_(std::to_string(
+          g_next_cluster.fetch_add(1, std::memory_order_relaxed))),
+      journal_(options_.journal_dir,
+               support::fnv1a("result-journal", options_.cluster_seed)),
+      ring_(options_.shards, options_.router.virtual_nodes,
+            options_.cluster_seed) {
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    ShardOptions so = options_.shard;
+    if (i < options_.shard_fault_plans.size() &&
+        options_.shard_fault_plans[i].armed()) {
+      so.fault_plan = options_.shard_fault_plans[i];
+    }
+    shards_.push_back(
+        std::make_unique<Shard>(i, "cl" + cluster_, std::move(so)));
+  }
+  supervisor_ = std::make_unique<ShardSupervisor>(
+      shards_, journal_, options_.supervisor, cluster_);
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  const obs::Labels base{{"cluster", cluster_}};
+  submitted_id_ = reg.counter("dfgen_shard_submitted_total", base);
+  admitted_id_ = reg.counter("dfgen_shard_admitted_total", base);
+  completed_id_ = reg.counter("dfgen_shard_completed_total", base);
+  failed_id_ = reg.counter("dfgen_shard_failed_total", base);
+  reroutes_id_ = reg.counter("dfgen_shard_reroutes_total", base);
+  hedges_launched_id_ = reg.counter("dfgen_shard_hedges_total",
+                                    {{"cluster", cluster_},
+                                     {"kind", "launched"}});
+  hedges_won_id_ = reg.counter("dfgen_shard_hedges_total",
+                               {{"cluster", cluster_}, {"kind", "won"}});
+  journal_serves_id_ = reg.counter("dfgen_shard_journal_serves_total", base);
+  warm_hits_id_ = reg.counter("dfgen_shard_warm_hits_total", base);
+  latency_all_id_ = reg.histogram("dfgen_shard_request_latency_ns",
+                                  {{"class", "all"}, {"cluster", cluster_}});
+  for (int c = 0; c < 3; ++c) {
+    const char* name = priority_class_name(static_cast<PriorityClass>(c));
+    shed_id_[static_cast<std::size_t>(c)] =
+        reg.counter("dfgen_shard_shed_total",
+                    {{"class", name}, {"cluster", cluster_}});
+    latency_class_id_[static_cast<std::size_t>(c)] =
+        reg.histogram("dfgen_shard_request_latency_ns",
+                      {{"class", name}, {"cluster", cluster_}});
+  }
+
+  supervisor_->start();
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+ShardRouter::~ShardRouter() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  supervisor_->stop();
+  // shards_ tear down last (member order): each drains its inner service.
+}
+
+std::size_t ShardRouter::class_limit(PriorityClass c) const {
+  const std::size_t limit = options_.router.shard_queue_depth;
+  if (options_.router.shed_policy == "hard") return limit;
+  switch (c) {
+    case PriorityClass::interactive:
+      return limit;
+    case PriorityClass::batch:
+      return std::max<std::size_t>(1, (limit * 3) / 4);
+    case PriorityClass::speculative:
+      return std::max<std::size_t>(1, limit / 2);
+  }
+  return limit;
+}
+
+ShardTicket ShardRouter::submit(ShardRequest request) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.add(submitted_id_);
+  auto state = std::make_shared<detail::ShardTicketState>();
+  ShardTicket ticket(state);
+
+  const auto fail = [&](std::string error) {
+    ShardReport report;
+    report.status = ShardRequestStatus::failed;
+    report.priority = request.priority;
+    report.error = std::move(error);
+    reg.add(failed_id_);
+    resolve(state, std::move(report));
+    return ticket;
+  };
+
+  // Affinity key: the expression's structural fingerprint, so equal
+  // expressions always route to the shard holding their compiled program.
+  std::uint64_t fingerprint = 0;
+  try {
+    dataflow::Network net(dataflow::build_network(request.expression, {}));
+    fingerprint = net.fingerprint();
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  std::size_t elements = request.elements;
+  if (elements == 0 && request.mesh != nullptr) {
+    elements = request.mesh->cell_count();
+  }
+  if (elements == 0 && !request.fields.empty()) {
+    elements = request.fields.front().values.size();
+  }
+  if (elements == 0) {
+    return fail("cannot derive element count: bind a mesh, a field, or set "
+                "elements explicitly");
+  }
+
+  // Result identity: fingerprint + shape + strategy + field *content* (in
+  // name order, so binding order is irrelevant). Changed input bytes change
+  // the digest, which is what makes journal/warm serves safe.
+  std::uint64_t digest =
+      support::fnv1a(&fingerprint, sizeof(fingerprint),
+                     support::kFnvOffsetBasis ^ options_.cluster_seed);
+  const std::uint64_t elements64 = elements;
+  digest = support::fnv1a(&elements64, sizeof(elements64), digest);
+  const std::uint32_t strategy = static_cast<std::uint32_t>(request.strategy);
+  digest = support::fnv1a(&strategy, sizeof(strategy), digest);
+  std::vector<std::size_t> order(request.fields.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return request.fields[a].name < request.fields[b].name;
+  });
+  for (const std::size_t i : order) {
+    digest = support::fnv1a(request.fields[i].name, digest);
+    digest = support::checksum_floats(request.fields[i].values, digest);
+  }
+
+  service::Request inner;
+  inner.expression = request.expression;
+  inner.mesh = request.mesh;
+  inner.fields = request.fields;
+  inner.session = request.session;
+  inner.priority = inner_priority(request.priority);
+  inner.strategy = request.strategy;
+  inner.elements = elements;
+  ShardWork work{std::move(inner), digest};
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    lock.unlock();
+    return fail("router is shutting down");
+  }
+  const std::vector<std::size_t> prefs = ring_.preference(fingerprint);
+  const std::size_t limit = class_limit(request.priority);
+  std::shared_ptr<Attempt> attempt;
+  for (const std::size_t s : prefs) {
+    if (!supervisor_->routable(s)) continue;
+    Shard& candidate = *shards_[s];
+    if (!candidate.accepting()) continue;
+    if (candidate.outstanding() >= limit) continue;
+    attempt = candidate.try_submit(work);
+    if (attempt != nullptr) break;
+  }
+
+  if (attempt != nullptr) {
+    reg.add(admitted_id_);
+    bool warm = false;
+    std::shared_ptr<const EvaluationReport> warm_result;
+    {
+      std::lock_guard<std::mutex> alock(attempt->mutex);
+      warm = attempt->warm;
+      warm_result = attempt->warm_result;
+    }
+    if (warm) {
+      reg.add(warm_hits_id_);
+      reg.add(completed_id_);
+      const std::uint64_t zero_ns = 0;
+      reg.observe(latency_all_id_, zero_ns);
+      reg.observe(
+          latency_class_id_[static_cast<std::size_t>(request.priority)],
+          zero_ns);
+      ShardReport report;
+      report.status = ShardRequestStatus::completed;
+      report.priority = request.priority;
+      report.evaluation = std::move(warm_result);
+      report.shard = attempt->shard;
+      report.served_warm = true;
+      lock.unlock();
+      resolve(state, std::move(report));
+      return ticket;
+    }
+    auto flight = std::make_unique<Flight>();
+    flight->work = std::move(work);
+    flight->fingerprint = fingerprint;
+    flight->priority = request.priority;
+    flight->ticket = state;
+    flight->started = Clock::now();
+    flight->tried.assign(shards_.size(), 0);
+    flight->tried[attempt->shard] = 1;
+    flight->attempts.push_back(std::move(attempt));
+    flights_.push_back(std::move(flight));
+    monitor_cv_.notify_all();
+    return ticket;
+  }
+
+  // No shard admitted. An identical earlier result makes this a journal
+  // serve instead of a shed — degraded capacity should not fail repeat
+  // readers.
+  if (auto cached = journal_.lookup(digest)) {
+    reg.add(admitted_id_);
+    reg.add(journal_serves_id_);
+    reg.add(completed_id_);
+    ShardReport report;
+    report.status = ShardRequestStatus::completed;
+    report.priority = request.priority;
+    report.evaluation = journal_report(std::move(*cached));
+    report.shard = prefs.front();
+    report.served_from_journal = true;
+    lock.unlock();
+    resolve(state, std::move(report));
+    return ticket;
+  }
+
+  AdmissionError admission;
+  admission.priority = request.priority;
+  admission.shard = prefs.front();
+  admission.queue_depth = shards_[admission.shard]->outstanding();
+  admission.queue_limit = limit;
+  admission.retry_after_seconds =
+      ema_latency_seconds_ * static_cast<double>(admission.queue_depth + 1);
+  reg.add(shed_id_[static_cast<std::size_t>(request.priority)]);
+  ShardReport report;
+  report.status = ShardRequestStatus::shed;
+  report.priority = request.priority;
+  report.shard = admission.shard;
+  report.admission = admission;
+  lock.unlock();
+  resolve(state, std::move(report));
+  return ticket;
+}
+
+void ShardRouter::finish_locked(Flight& flight, ShardReport report) {
+  const double latency =
+      std::chrono::duration<double>(Clock::now() - flight.started).count();
+  report.priority = flight.priority;
+  report.reroutes = flight.reroutes_used;
+  report.hedges = flight.hedges;
+  report.latency_seconds = latency;
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (report.status == ShardRequestStatus::completed) {
+    reg.add(completed_id_);
+    const auto ns = static_cast<std::uint64_t>(latency * 1e9);
+    reg.observe(latency_all_id_, ns);
+    reg.observe(latency_class_id_[static_cast<std::size_t>(flight.priority)],
+                ns);
+    ema_latency_seconds_ = 0.9 * ema_latency_seconds_ + 0.1 * latency;
+  } else {
+    reg.add(failed_id_);
+  }
+  resolve(flight.ticket, std::move(report));
+}
+
+bool ShardRouter::reroute_locked(Flight& flight) {
+  const std::vector<std::size_t> prefs = ring_.preference(flight.fingerprint);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::size_t s : prefs) {
+      if (flight.tried[s] != 0 || !supervisor_->routable(s)) continue;
+      Shard& candidate = *shards_[s];
+      if (!candidate.accepting()) continue;
+      if (candidate.outstanding() >= options_.router.shard_queue_depth) {
+        continue;
+      }
+      auto attempt = candidate.try_submit(flight.work);
+      if (attempt == nullptr) continue;
+      flight.tried[s] = 1;
+      flight.reroutes_used += 1;
+      flight.waiting = false;
+      obs::metrics().add(reroutes_id_);
+      flight.attempts.push_back(std::move(attempt));
+      return true;
+    }
+    // Every shard tried: forget and go around once more — the reroute
+    // budget, not this memory, is what bounds the request's lifetime.
+    std::fill(flight.tried.begin(), flight.tried.end(), 0);
+  }
+  // Nowhere to go right now (outage or uniform overload): consume budget
+  // and back off, so a cluster-wide outage fails requests in bounded time.
+  flight.reroutes_used += 1;
+  flight.waiting = true;
+  const double backoff =
+      options_.router.backoff_base_seconds *
+      std::pow(options_.router.backoff_multiplier,
+               static_cast<double>(flight.reroutes_used));
+  flight.not_before = Clock::now() + seconds_to_duration(backoff);
+  return false;
+}
+
+void ShardRouter::hedge_locked(Flight& flight) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  const std::uint64_t launched = reg.counter_value(hedges_launched_id_);
+  const std::uint64_t admitted = reg.counter_value(admitted_id_);
+  const auto budget = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(options_.router.hedge_budget_fraction *
+                                    static_cast<double>(admitted)));
+  if (launched >= budget) return;
+  const std::size_t primary = flight.attempts.front()->shard;
+  for (const std::size_t s : ring_.preference(flight.fingerprint)) {
+    if (s == primary || !supervisor_->routable(s)) continue;
+    Shard& candidate = *shards_[s];
+    if (!candidate.accepting()) continue;
+    if (candidate.outstanding() >= options_.router.shard_queue_depth) continue;
+    auto attempt = candidate.try_submit(flight.work);
+    if (attempt == nullptr) continue;
+    attempt->hedge = true;
+    flight.hedges += 1;
+    reg.add(hedges_launched_id_);
+    flight.attempts.push_back(std::move(attempt));
+    return;
+  }
+}
+
+void ShardRouter::poll_locked(
+    std::vector<std::pair<std::uint64_t,
+                          std::shared_ptr<const EvaluationReport>>>& records) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  const Clock::time_point now = Clock::now();
+
+  for (std::size_t fi = 0; fi < flights_.size();) {
+    Flight& flight = *flights_[fi];
+    bool terminal = false;
+    ShardReport report;
+
+    for (std::size_t ai = 0; ai < flight.attempts.size();) {
+      const std::shared_ptr<Attempt>& attempt = flight.attempts[ai];
+      bool refused = false;
+      bool ready = false;
+      bool warm = false;
+      std::shared_ptr<const EvaluationReport> warm_result;
+      service::Ticket inner_ticket;
+      {
+        std::lock_guard<std::mutex> alock(attempt->mutex);
+        refused = attempt->refused;
+        warm = attempt->warm;
+        warm_result = attempt->warm_result;
+        if (attempt->ticketed) {
+          inner_ticket = attempt->ticket;
+          ready = inner_ticket.ready();
+        }
+      }
+      if (warm) {
+        // A reroute or hedge landed on a journal-warmed cache.
+        terminal = true;
+        report.status = ShardRequestStatus::completed;
+        report.evaluation = std::move(warm_result);
+        report.shard = attempt->shard;
+        report.served_warm = true;
+        reg.add(warm_hits_id_);
+        if (attempt->hedge) reg.add(hedges_won_id_);
+        flight.attempts.erase(flight.attempts.begin() +
+                              static_cast<std::ptrdiff_t>(ai));
+        break;
+      }
+      if (refused) {
+        if (attempt->counted) shards_[attempt->shard]->note_resolved();
+        flight.last_error =
+            "shard " + std::to_string(attempt->shard) + " refused the request";
+        flight.attempts.erase(flight.attempts.begin() +
+                              static_cast<std::ptrdiff_t>(ai));
+        continue;
+      }
+      if (ready) {
+        const service::ServiceReport& inner = inner_ticket.wait();
+        if (inner.status == service::RequestStatus::completed) {
+          terminal = true;
+          report.status = ShardRequestStatus::completed;
+          report.evaluation = inner.evaluation;
+          report.shard = attempt->shard;
+          if (attempt->hedge) reg.add(hedges_won_id_);
+          shards_[attempt->shard]->note_resolved();
+          records.emplace_back(flight.work.digest, inner.evaluation);
+          flight.attempts.erase(flight.attempts.begin() +
+                                static_cast<std::ptrdiff_t>(ai));
+          break;
+        }
+        const std::string error =
+            inner.status == service::RequestStatus::failed
+                ? inner.error
+                : inner.reject_reason;
+        shards_[attempt->shard]->note_failure(error);
+        shards_[attempt->shard]->note_resolved();
+        flight.last_error = error.empty() ? "request rejected" : error;
+        flight.attempts.erase(flight.attempts.begin() +
+                              static_cast<std::ptrdiff_t>(ai));
+        continue;
+      }
+      ++ai;
+    }
+
+    if (terminal) {
+      // Losing attempts stay accounted on their shards until terminal.
+      for (auto& rest : flight.attempts) orphans_.push_back(std::move(rest));
+      flight.attempts.clear();
+      finish_locked(flight, std::move(report));
+      flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(fi));
+      continue;
+    }
+
+    if (flight.attempts.empty()) {
+      if (flight.reroutes_used >= options_.router.max_reroutes) {
+        // Route budget exhausted: the journal is the last resort.
+        if (auto cached = journal_.lookup(flight.work.digest)) {
+          report.status = ShardRequestStatus::completed;
+          report.evaluation = journal_report(std::move(*cached));
+          report.served_from_journal = true;
+          reg.add(journal_serves_id_);
+        } else {
+          report.status = ShardRequestStatus::failed;
+          report.error = flight.last_error.empty()
+                             ? "no route to any shard"
+                             : flight.last_error;
+        }
+        finish_locked(flight, std::move(report));
+        flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(fi));
+        continue;
+      }
+      if (!flight.waiting) {
+        flight.waiting = true;
+        const double backoff =
+            options_.router.backoff_base_seconds *
+            std::pow(options_.router.backoff_multiplier,
+                     static_cast<double>(flight.reroutes_used));
+        flight.not_before = now + seconds_to_duration(backoff);
+      } else if (now >= flight.not_before) {
+        reroute_locked(flight);
+      }
+      ++fi;
+      continue;
+    }
+
+    if (options_.router.hedge_after_seconds > 0.0 && flight.hedges == 0 &&
+        flight.attempts.size() == 1 &&
+        std::chrono::duration<double>(now - flight.started).count() >
+            options_.router.hedge_after_seconds) {
+      hedge_locked(flight);
+    }
+    ++fi;
+  }
+
+  for (std::size_t oi = 0; oi < orphans_.size();) {
+    const std::shared_ptr<Attempt>& attempt = orphans_[oi];
+    bool done = false;
+    service::Ticket inner_ticket;
+    bool has_ticket = false;
+    {
+      std::lock_guard<std::mutex> alock(attempt->mutex);
+      if (attempt->refused || attempt->warm) {
+        done = true;
+      } else if (attempt->ticketed) {
+        inner_ticket = attempt->ticket;
+        has_ticket = true;
+      }
+    }
+    if (!done && has_ticket && inner_ticket.ready()) {
+      done = true;
+      const service::ServiceReport& inner = inner_ticket.wait();
+      if (inner.status == service::RequestStatus::failed) {
+        // A losing hedge can still carry the poison signal.
+        shards_[attempt->shard]->note_failure(inner.error);
+      }
+    }
+    if (done) {
+      if (attempt->counted) shards_[attempt->shard]->note_resolved();
+      orphans_.erase(orphans_.begin() + static_cast<std::ptrdiff_t>(oi));
+      continue;
+    }
+    ++oi;
+  }
+}
+
+void ShardRouter::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t,
+                        std::shared_ptr<const EvaluationReport>>> records;
+  for (;;) {
+    monitor_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(
+            options_.router.monitor_interval_seconds));
+    if (stopping_ && flights_.empty() && orphans_.empty()) return;
+    records.clear();
+    poll_locked(records);
+    if (!records.empty()) {
+      // Journal writes are file I/O: keep them off the router lock so
+      // submits and polls never stall behind the disk. journaling_ keeps
+      // drain() from slipping through the unlocked window: a drained
+      // cluster's results must already be lookupable in the journal.
+      journaling_ = true;
+      lock.unlock();
+      for (auto& [digest, evaluation] : records) {
+        journal_.record(digest, evaluation->values);
+      }
+      lock.lock();
+      journaling_ = false;
+    }
+    if (flights_.empty() && orphans_.empty() && !journaling_) {
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+void ShardRouter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  monitor_cv_.notify_all();
+  drain_cv_.wait(lock, [&] {
+    return flights_.empty() && orphans_.empty() && !journaling_;
+  });
+}
+
+ClusterSnapshot ShardRouter::snapshot() const {
+  obs::MetricsRegistry& reg = obs::metrics();
+  ClusterSnapshot s;
+  s.submitted = reg.counter_value(submitted_id_);
+  s.admitted = reg.counter_value(admitted_id_);
+  s.completed = reg.counter_value(completed_id_);
+  s.failed = reg.counter_value(failed_id_);
+  for (std::size_t c = 0; c < 3; ++c) {
+    s.shed_by_class[c] = reg.counter_value(shed_id_[c]);
+    s.shed += s.shed_by_class[c];
+  }
+  s.reroutes = reg.counter_value(reroutes_id_);
+  s.hedges_launched = reg.counter_value(hedges_launched_id_);
+  s.hedges_won = reg.counter_value(hedges_won_id_);
+  s.journal_serves = reg.counter_value(journal_serves_id_);
+  s.warm_hits = reg.counter_value(warm_hits_id_);
+  s.restarts = supervisor_->restarts();
+  s.heartbeat_misses = supervisor_->heartbeat_misses();
+  s.latency_p50_ns = reg.histogram_quantile(latency_all_id_, 0.5);
+  s.latency_p99_ns = reg.histogram_quantile(latency_all_id_, 0.99);
+  s.latency_p999_ns = reg.histogram_quantile(latency_all_id_, 0.999);
+  s.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardStatus status;
+    status.index = i;
+    status.health = supervisor_->health(i);
+    status.outstanding = shards_[i]->outstanding();
+    status.restarts = shards_[i]->restarts();
+    status.warm_entries = shards_[i]->warm_entries();
+    status.service = shards_[i]->service_snapshot();
+    s.shards.push_back(std::move(status));
+  }
+  return s;
+}
+
+}  // namespace dfg::shard

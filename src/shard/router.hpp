@@ -1,0 +1,286 @@
+// Shard layer: front router — admission, affinity, rerouting, hedging.
+//
+// The ShardRouter is the cluster's single front door. One submit() call:
+//
+//   1. fingerprints the expression (dataflow structural hash) and digests
+//      the full request identity (fingerprint + elements + strategy +
+//      field names + field *content* checksums) — the affinity key and the
+//      journal/warm-cache key respectively;
+//   2. consults the consistent-hash ring for the shard preference order,
+//      so equal expressions always land on the shard whose ProgramCache
+//      and ResidentPool already serve them;
+//   3. applies priority-aware overload control: each shard admits up to
+//      its queue-depth limit for interactive work, but batch and
+//      speculative requests are shed earlier (75% / 50% of the limit under
+//      the default "priority" policy), keeping headroom for the class a
+//      human is waiting on. A shed is a typed AdmissionError carrying the
+//      observed depth, the limit, and a retry-after hint derived from the
+//      router's completion-latency EMA — backpressure a caller can act on;
+//   4. hands the admitted request to the owning shard and tracks it as a
+//      Flight until some attempt completes.
+//
+// A single monitor thread polls every flight: failed or refused attempts
+// are rerouted to the next ring node under a bounded exponential-backoff
+// budget; requests outliving the hedge threshold get one duplicate attempt
+// on a different shard (first completion wins, the loser is discarded);
+// a request whose route budget is exhausted is served from the result
+// journal when an identical request completed before, else failed with the
+// last observed error. Every admitted request reaches exactly one terminal
+// state — completed, shed, or failed — which is the zero-lost-requests
+// invariant the chaos bench gates on.
+//
+// End-to-end latency histograms here are wall-clock by design (the
+// documented exception in obs/metrics.hpp): they measure real queueing and
+// rerouting behaviour that the simulated device clock cannot see.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "shard/hash_ring.hpp"
+#include "shard/journal.hpp"
+#include "shard/shard.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/traffic.hpp"
+
+namespace dfg::shard {
+
+/// One unit of work submitted to the cluster. Mesh and field views must
+/// outlive the ticket (the same in-situ no-copy contract as the service).
+struct ShardRequest {
+  std::string expression;
+  const mesh::RectilinearMesh* mesh = nullptr;
+  std::vector<service::FieldRef> fields;
+  std::string session = "default";
+  PriorityClass priority = PriorityClass::batch;
+  runtime::StrategyKind strategy = runtime::StrategyKind::fusion;
+  /// 0 derives from the mesh, else from the first bound field.
+  std::size_t elements = 0;
+};
+
+/// Typed admission rejection: which class was shed, where, how deep the
+/// queue was against its class limit, and when retrying is likely to
+/// succeed (EMA of recent completion latency × queued depth).
+struct AdmissionError {
+  PriorityClass priority = PriorityClass::batch;
+  std::size_t shard = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_limit = 0;
+  double retry_after_seconds = 0.0;
+  std::string message() const;
+};
+
+enum class ShardRequestStatus {
+  pending,    ///< still in flight
+  completed,  ///< some attempt (or the journal) produced a result
+  shed,       ///< refused at admission by overload control
+  failed,     ///< every route failed and the journal had no answer
+};
+
+/// Terminal outcome of one cluster request.
+struct ShardReport {
+  ShardRequestStatus status = ShardRequestStatus::pending;
+  PriorityClass priority = PriorityClass::batch;
+  /// Result (completed status only); bit-exact with a single-service run.
+  std::shared_ptr<const EvaluationReport> evaluation;
+  /// Last route's error (failed status only).
+  std::string error;
+  /// Present exactly when status == shed.
+  std::optional<AdmissionError> admission;
+  /// Shard that served the completion (or the owner, for sheds).
+  std::size_t shard = 0;
+  /// Reroutes this request consumed (0 = first route completed).
+  std::size_t reroutes = 0;
+  /// Hedge attempts launched for this request.
+  std::size_t hedges = 0;
+  bool served_from_journal = false;
+  /// Served by a restarted shard's journal-warmed cache at admission.
+  bool served_warm = false;
+  /// Wall-clock submit-to-terminal latency.
+  double latency_seconds = 0.0;
+};
+
+namespace detail {
+struct ShardTicketState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ShardReport report;
+};
+}  // namespace detail
+
+/// Handle to one cluster request; copyable, wait() blocks until terminal.
+class ShardTicket {
+ public:
+  ShardTicket() = default;
+  const ShardReport& wait() const;
+  bool ready() const;
+
+ private:
+  friend class ShardRouter;
+  explicit ShardTicket(std::shared_ptr<detail::ShardTicketState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::ShardTicketState> state_;
+};
+
+struct RouterOptions {
+  /// Per-shard outstanding-attempt limit; the interactive class may fill
+  /// it, lower classes are shed earlier (see shed_policy).
+  std::size_t shard_queue_depth = 32;
+  /// "priority": interactive sheds at 100% of the limit, batch at 75%,
+  /// speculative at 50%. "hard": every class sheds at 100%.
+  std::string shed_policy = "priority";
+  /// Route budget per request beyond the initial attempt.
+  std::size_t max_reroutes = 3;
+  double backoff_base_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  /// Hedge a sole in-flight attempt older than this onto a second shard
+  /// (first completion wins). 0 disables hedging.
+  double hedge_after_seconds = 0.0;
+  /// Hedge budget: at most max(4, fraction × admitted) hedges per cluster
+  /// lifetime, bounding duplicated device work on stragglers.
+  double hedge_budget_fraction = 0.05;
+  std::size_t virtual_nodes = 16;
+  double monitor_interval_seconds = 0.0002;
+};
+
+struct ShardStatus {
+  std::size_t index = 0;
+  ShardHealth health = ShardHealth::healthy;
+  std::size_t outstanding = 0;
+  std::uint64_t restarts = 0;
+  std::size_t warm_entries = 0;
+  service::ServiceSnapshot service;
+};
+
+/// Cluster-wide counters: views over this cluster's `cluster=<N>` registry
+/// series plus per-shard status. completed + shed + failed == submitted
+/// once the cluster is drained.
+struct ClusterSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  /// Indexed by PriorityClass.
+  std::array<std::uint64_t, 3> shed_by_class{};
+  std::uint64_t reroutes = 0;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t journal_serves = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t heartbeat_misses = 0;
+  /// Wall-clock end-to-end latency quantiles (log2-bucket upper bounds).
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_p999_ns = 0;
+  std::vector<ShardStatus> shards;
+};
+
+struct ClusterOptions {
+  std::size_t shards = 4;
+  /// Template for every shard (fault_plan may be overridden per shard).
+  ShardOptions shard;
+  RouterOptions router;
+  SupervisorOptions supervisor;
+  /// Result-journal directory; empty disables journaling (no re-warm, no
+  /// last-resort serves).
+  std::string journal_dir;
+  /// Salts the request digest and the ring layout; clusters with different
+  /// seeds never share journal entries.
+  std::uint64_t cluster_seed = 0x5eed;
+  /// Per-shard fault-plan overrides for chaos runs (index < shards).
+  std::vector<vcl::FaultPlan> shard_fault_plans;
+
+  /// Defaults overlaid with DFGEN_SHARDS, DFGEN_SHARD_QUEUE_DEPTH and
+  /// DFGEN_SHED_POLICY.
+  static ClusterOptions from_env();
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ClusterOptions options);
+  /// Drains every flight, then stops the monitor, supervisor and shards.
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Admits, sheds, or serves the request; never blocks on device work.
+  /// Shed and parse-failed tickets are already resolved on return.
+  ShardTicket submit(ShardRequest request);
+
+  /// Blocks until every admitted request reached a terminal state.
+  void drain();
+
+  ClusterSnapshot snapshot() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Direct shard access for tests and chaos drivers (kill()).
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+  const ShardSupervisor& supervisor() const { return *supervisor_; }
+  const HashRing& ring() const { return ring_; }
+  ResultJournal& journal() { return journal_; }
+
+ private:
+  struct Flight;
+
+  std::size_t class_limit(PriorityClass c) const;
+  void monitor_loop();
+  /// One poll pass over flights and orphans; appends completed results to
+  /// `records` for journaling outside the lock. Caller holds mutex_.
+  void poll_locked(std::vector<std::pair<std::uint64_t,
+                                         std::shared_ptr<const EvaluationReport>>>&
+                       records);
+  void finish_locked(Flight& flight, ShardReport report);
+  bool reroute_locked(Flight& flight);
+  void hedge_locked(Flight& flight);
+
+  const ClusterOptions options_;
+  const std::string cluster_;
+
+  ResultJournal journal_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  HashRing ring_;
+  std::unique_ptr<ShardSupervisor> supervisor_;
+
+  // Registry handles for this cluster's series.
+  obs::MetricId submitted_id_;
+  obs::MetricId admitted_id_;
+  obs::MetricId completed_id_;
+  obs::MetricId failed_id_;
+  std::array<obs::MetricId, 3> shed_id_{};
+  obs::MetricId reroutes_id_;
+  obs::MetricId hedges_launched_id_;
+  obs::MetricId hedges_won_id_;
+  obs::MetricId journal_serves_id_;
+  obs::MetricId warm_hits_id_;
+  obs::MetricId latency_all_id_;
+  std::array<obs::MetricId, 3> latency_class_id_{};
+
+  mutable std::mutex mutex_;
+  std::condition_variable monitor_cv_;
+  std::condition_variable drain_cv_;
+  bool stopping_ = false;
+  /// True while the monitor has dropped mutex_ to append this pass's
+  /// completions to the journal; drain() waits it out.
+  bool journaling_ = false;
+  std::vector<std::unique_ptr<Flight>> flights_;
+  /// Losing hedge / superseded attempts still outstanding on their shards;
+  /// polled until terminal so shard depth accounting stays exact.
+  std::vector<std::shared_ptr<Attempt>> orphans_;
+  /// EMA of completion latency, feeding the shed retry-after hint.
+  double ema_latency_seconds_ = 0.005;
+
+  std::thread monitor_;
+};
+
+}  // namespace dfg::shard

@@ -1,0 +1,233 @@
+#include "shard/shard.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "vcl/catalog.hpp"
+
+namespace dfg::shard {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* health_name(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::healthy: return "healthy";
+    case ShardHealth::suspect: return "suspect";
+    case ShardHealth::draining: return "draining";
+    case ShardHealth::restarting: return "restarting";
+    case ShardHealth::dead: return "dead";
+  }
+  return "unknown";
+}
+
+Shard::Shard(std::size_t index, std::string cluster, ShardOptions options)
+    : index_(index), cluster_(std::move(cluster)),
+      options_(std::move(options)) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    build_locked();
+  }
+  beat();
+  proxy_ = std::thread([this] { proxy_loop(); });
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+Shard::~Shard() {
+  stopping_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  if (proxy_.joinable()) proxy_.join();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  // Refuse whatever the proxy never dispatched so no router ever waits on
+  // an attempt that cannot progress.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto& [work, attempt] : queue_) {
+      std::lock_guard<std::mutex> alock(attempt->mutex);
+      attempt->refused = true;
+    }
+    queue_.clear();
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  service_.reset();
+  devices_.clear();
+}
+
+void Shard::build_locked() {
+  devices_.clear();
+  const std::size_t count = options_.devices == 0 ? 1 : options_.devices;
+  std::vector<vcl::Device*> raw;
+  raw.reserve(count);
+  for (std::size_t d = 0; d < count; ++d) {
+    vcl::DeviceSpec spec = options_.device_spec;
+    if (spec.global_mem_bytes == 0) spec = vcl::xeon_x5660_scaled();
+    spec.name += "/" + cluster_ + ".s" + std::to_string(index_) + "d" +
+                 std::to_string(d);
+    auto device = std::make_unique<vcl::Device>(spec);
+    // Chaos plans fire on the first incarnation only: a restart models
+    // swapping in replacement hardware, which is healthy.
+    if (first_build_ && options_.fault_plan.armed()) {
+      device->fault().arm(options_.fault_plan);
+    }
+    raw.push_back(device.get());
+    devices_.push_back(std::move(device));
+  }
+  service_ = std::make_unique<service::EvalService>(raw, options_.service);
+}
+
+bool Shard::accepting() const {
+  if (poisoned_.load(std::memory_order_relaxed) ||
+      stopping_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return !killed_ && service_ != nullptr;
+}
+
+std::shared_ptr<Attempt> Shard::try_submit(ShardWork work) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (killed_ || poisoned_.load(std::memory_order_relaxed) ||
+      stopping_.load(std::memory_order_relaxed) || service_ == nullptr) {
+    return nullptr;
+  }
+  auto attempt = std::make_shared<Attempt>();
+  attempt->shard = index_;
+  const auto warm = warm_.find(work.digest);
+  if (warm != warm_.end()) {
+    attempt->warm = true;
+    attempt->warm_result = warm->second;
+    return attempt;
+  }
+  attempt->counted = true;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    queue_.emplace_back(std::move(work), attempt);
+  }
+  queue_cv_.notify_all();
+  return attempt;
+}
+
+void Shard::note_resolved() {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Shard::note_failure(const std::string& error) {
+  // DeviceLost is sticky on the device: once the router sees one, every
+  // later evaluation there fails too — go silent so the supervisor drains
+  // and restarts us. Transient failures (kernel errors, rejections) are
+  // the router's retry problem, not a health event.
+  if (error.find("' lost;") != std::string::npos) {
+    poisoned_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Shard::kill() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  killed_ = true;
+}
+
+void Shard::restart(
+    std::vector<std::pair<std::uint64_t, std::vector<float>>> warm) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  // Drains in-flight inner work (tickets resolve — fast on a lost device),
+  // then replaces service and devices outright.
+  service_.reset();
+  first_build_ = false;
+  build_locked();
+  warm_.clear();
+  for (auto& [digest, values] : warm) {
+    auto report = std::make_shared<EvaluationReport>();
+    report->elements = values.size();
+    report->values = std::move(values);
+    report->strategy = "journal";
+    warm_[digest] = std::move(report);
+  }
+  killed_ = false;
+  poisoned_.store(false, std::memory_order_relaxed);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  beat();
+}
+
+std::size_t Shard::warm_entries() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return warm_.size();
+}
+
+std::size_t Shard::device_count() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return devices_.size();
+}
+
+service::ServiceSnapshot Shard::service_snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (service_ == nullptr) return {};
+  return service_->snapshot();
+}
+
+void Shard::beat() { last_beat_ns_.store(now_ns(), std::memory_order_relaxed); }
+
+void Shard::proxy_loop() {
+  for (;;) {
+    std::pair<ShardWork, std::shared_ptr<Attempt>> item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.synthetic_delay_seconds > 0.0) {
+      // Straggler injection: slow this shard's intake without holding any
+      // lock the router needs. Interruptible so teardown stays fast.
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(options_.synthetic_delay_seconds),
+          [&] { return stopping_.load(std::memory_order_relaxed); });
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto& [work, attempt] = item;
+    std::lock_guard<std::mutex> alock(attempt->mutex);
+    if (killed_ || poisoned_.load(std::memory_order_relaxed) ||
+        stopping_.load(std::memory_order_relaxed) || service_ == nullptr) {
+      attempt->refused = true;
+      continue;
+    }
+    try {
+      attempt->ticket = service_->submit(std::move(work.request));
+      attempt->ticketed = true;
+    } catch (const std::exception&) {
+      attempt->refused = true;
+    }
+  }
+}
+
+void Shard::heartbeat_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (!killed_ && !poisoned_.load(std::memory_order_relaxed) &&
+          service_ != nullptr) {
+        beat();
+      }
+    }
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(options_.heartbeat_interval_seconds),
+        [&] { return stopping_.load(std::memory_order_relaxed); });
+  }
+}
+
+}  // namespace dfg::shard

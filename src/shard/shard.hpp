@@ -1,0 +1,190 @@
+// Shard layer: one supervised evaluation shard.
+//
+// A Shard is the cluster's unit of failure: a full service::EvalService
+// wrapped around its own isolated vcl::Device set (nobody else ever drives
+// those devices), plus the machinery supervision needs —
+//   * a heartbeat thread that stamps a wall-clock beat while the shard is
+//     willing and able to take work; a killed or poisoned shard goes
+//     silent, and the supervisor's deadline turns silence into a health
+//     transition (the same deadline-factor discipline the device watchdog
+//     applies to commands);
+//   * a proxy thread between the router and the inner service, so a
+//     configured straggler delay (or a dying service) slows *this shard*
+//     without ever blocking the router's submit path;
+//   * a warm result cache keyed by request digest, populated from the
+//     ResultJournal when the supervisor restarts the shard — the keyed
+//     range that failed over during the outage comes back able to answer
+//     repeat requests instantly;
+//   * restart-by-replacement: restart() tears down the service *and* the
+//     devices and builds fresh ones, the virtual analogue of swapping a
+//     board, so a sticky DeviceLost never outlives the restart.
+//
+// The router observes a shard only through Attempts: try_submit() returns
+// a shared handle the shard's proxy later moves to "ticketed" (inner
+// service accepted) or "refused" (shard died first), and the inner
+// service resolves the ticket. All three transitions are observable
+// without blocking, which is what lets one router monitor thread poll
+// every in-flight request of the cluster.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/service.hpp"
+#include "vcl/device.hpp"
+#include "vcl/fault.hpp"
+
+namespace dfg::shard {
+
+/// Health state machine, owned by the supervisor:
+///   healthy → suspect (one missed heartbeat deadline) → draining (two
+///   deadlines: stop routing, wait for in-flight work) → restarting →
+///   healthy again; draining decays to dead when auto-restart is off.
+/// suspect still routes (a slow beat is not an outage); draining and
+/// beyond do not.
+enum class ShardHealth { healthy, suspect, draining, restarting, dead };
+
+const char* health_name(ShardHealth h);
+
+struct ShardOptions {
+  /// Devices per shard; device names are suffixed per shard/device, so
+  /// every shard's metric series and fault state are isolated.
+  std::size_t devices = 1;
+  /// Spec template for each device; a zero-capacity spec selects the
+  /// catalog's scaled CPU device.
+  vcl::DeviceSpec device_spec;
+  service::ServiceOptions service;
+  /// Armed on every device at construction (not re-armed after restart:
+  /// replacement hardware is healthy). This is how the chaos bench kills
+  /// a shard mid-run deterministically.
+  vcl::FaultPlan fault_plan;
+  /// Straggler injection: the proxy sleeps this long before dispatching
+  /// each request, slowing the shard without blocking the router.
+  double synthetic_delay_seconds = 0.0;
+  double heartbeat_interval_seconds = 0.002;
+};
+
+/// What the router hands a shard: the prepared inner request plus the
+/// cluster-level digest the warm cache is keyed on.
+struct ShardWork {
+  service::Request request;
+  std::uint64_t digest = 0;
+};
+
+/// One routed attempt. Written by the shard's proxy (refused/ticketed)
+/// under `mutex`; `counted`/`shard`/`hedge` are set before the handle is
+/// shared and never change.
+struct Attempt {
+  std::size_t shard = 0;
+  /// Accounted against the shard's outstanding depth (false for warm hits,
+  /// which resolve inline at submit).
+  bool counted = false;
+  /// Set by the router: this attempt duplicates one already in flight.
+  bool hedge = false;
+
+  std::mutex mutex;
+  bool refused = false;
+  bool warm = false;
+  std::shared_ptr<const EvaluationReport> warm_result;
+  bool ticketed = false;
+  service::Ticket ticket;
+};
+
+class Shard {
+ public:
+  Shard(std::size_t index, std::string cluster, ShardOptions options);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  std::size_t index() const { return index_; }
+
+  /// False once the shard is killed, poisoned by a device loss, or being
+  /// restarted; the router skips non-accepting shards.
+  bool accepting() const;
+
+  /// Queues `work` for the proxy; returns nullptr when not accepting.
+  /// A warm-cache hit returns an attempt already resolved with the cached
+  /// result (warm == true) without touching the inner service.
+  std::shared_ptr<Attempt> try_submit(ShardWork work);
+
+  /// Attempts admitted and not yet observed terminal by the router — the
+  /// backpressure signal the shed policy reads.
+  std::size_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  /// Router bookkeeping: an accounted attempt reached a terminal state.
+  void note_resolved();
+  /// Router observed this shard fail an attempt; a device-loss error
+  /// poisons the shard (it stops beating and accepting until restarted).
+  void note_failure(const std::string& error);
+
+  std::uint64_t last_heartbeat_ns() const {
+    return last_beat_ns_.load(std::memory_order_relaxed);
+  }
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_relaxed);
+  }
+
+  /// Administrative kill: stop accepting and stop heartbeating. In-flight
+  /// inner requests still resolve (their tickets are never dropped).
+  void kill();
+
+  /// Tears down the inner service and devices, builds fresh ones, installs
+  /// `warm` as the digest-keyed warm cache, and resumes accepting and
+  /// heartbeating. Blocks until in-flight inner work has drained.
+  void restart(
+      std::vector<std::pair<std::uint64_t, std::vector<float>>> warm);
+
+  std::uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  std::size_t warm_entries() const;
+  std::size_t device_count() const;
+
+  service::ServiceSnapshot service_snapshot() const;
+
+ private:
+  void build_locked();
+  void proxy_loop();
+  void heartbeat_loop();
+  void beat();
+
+  const std::size_t index_;
+  const std::string cluster_;
+  const ShardOptions options_;
+
+  /// Guards devices_, service_, warm_ and the killed flag; taken by the
+  /// proxy per dispatch, so restart() naturally waits for the dispatch in
+  /// progress.
+  mutable std::mutex state_mutex_;
+  std::vector<std::unique_ptr<vcl::Device>> devices_;
+  std::unique_ptr<service::EvalService> service_;
+  std::map<std::uint64_t, std::shared_ptr<const EvaluationReport>> warm_;
+  bool killed_ = false;
+  bool first_build_ = true;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::pair<ShardWork, std::shared_ptr<Attempt>>> queue_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint64_t> last_beat_ns_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+
+  std::thread proxy_;
+  std::thread heartbeat_;
+};
+
+}  // namespace dfg::shard

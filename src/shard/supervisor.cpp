@@ -1,0 +1,122 @@
+#include "shard/supervisor.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace dfg::shard {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(
+    std::vector<std::unique_ptr<Shard>>& shards, ResultJournal& journal,
+    SupervisorOptions options, std::string cluster)
+    : shards_(shards), journal_(journal), options_(options),
+      cluster_(std::move(cluster)) {
+  states_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    states_.push_back(
+        std::make_unique<std::atomic<ShardHealth>>(ShardHealth::healthy));
+  }
+}
+
+ShardSupervisor::~ShardSupervisor() { stop(); }
+
+void ShardSupervisor::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ShardSupervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardSupervisor::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.poll_interval_seconds),
+        [&] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    const std::uint64_t now = now_ns();
+    for (std::size_t i = 0; i < shards_.size(); ++i) step(i, now);
+    lock.lock();
+  }
+}
+
+void ShardSupervisor::step(std::size_t i, std::uint64_t now) {
+  Shard& shard = *shards_[i];
+  std::atomic<ShardHealth>& state = *states_[i];
+  const auto deadline_ns = static_cast<std::uint64_t>(
+      options_.deadline_factor * options_.heartbeat_interval_seconds * 1e9);
+  const std::uint64_t beat = shard.last_heartbeat_ns();
+  const std::uint64_t age = now > beat ? now - beat : 0;
+
+  switch (state.load(std::memory_order_relaxed)) {
+    case ShardHealth::healthy:
+      if (age > deadline_ns) {
+        state.store(ShardHealth::suspect, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.add(reg.counter("dfgen_shard_heartbeat_misses_total",
+                            {{"cluster", cluster_},
+                             {"shard", std::to_string(i)}}));
+      }
+      break;
+    case ShardHealth::suspect:
+      if (age <= deadline_ns) {
+        // The beat came back: a slow shard, not a dead one.
+        state.store(ShardHealth::healthy, std::memory_order_relaxed);
+      } else if (age > 2 * deadline_ns) {
+        state.store(ShardHealth::draining, std::memory_order_relaxed);
+      }
+      break;
+    case ShardHealth::draining:
+      // The ring already routes around us; wait until the router has
+      // observed every outstanding attempt before tearing anything down.
+      if (shard.outstanding() != 0) break;
+      if (!options_.auto_restart) {
+        state.store(ShardHealth::dead, std::memory_order_relaxed);
+        break;
+      }
+      state.store(ShardHealth::restarting, std::memory_order_relaxed);
+      shard.restart(journal_.all());
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      {
+        obs::MetricsRegistry& reg = obs::metrics();
+        reg.add(reg.counter("dfgen_shard_restarts_total",
+                            {{"cluster", cluster_},
+                             {"shard", std::to_string(i)}}));
+      }
+      state.store(ShardHealth::healthy, std::memory_order_relaxed);
+      break;
+    case ShardHealth::restarting:
+      // Transitional; restart() runs synchronously in this thread, so the
+      // state only reads restarting from other threads mid-restart.
+      break;
+    case ShardHealth::dead:
+      // Terminal without auto-restart; an externally restarted shard that
+      // beats again is welcomed back.
+      if (age <= deadline_ns) {
+        state.store(ShardHealth::healthy, std::memory_order_relaxed);
+      }
+      break;
+  }
+}
+
+}  // namespace dfg::shard

@@ -1,0 +1,99 @@
+// Shard layer: heartbeat-deadline shard supervision.
+//
+// The supervisor turns shard silence into routing decisions. Each shard
+// heartbeats on a fixed interval while willing to take work; the
+// supervisor applies the watchdog's deadline discipline to those beats —
+// a beat overdue by deadline_factor × interval is a miss:
+//
+//   healthy ──(1 deadline)──▶ suspect ──(2 deadlines)──▶ draining
+//      ▲  ◀──(beat seen)────────┘                           │
+//      │                                   (outstanding==0) │
+//      └─────────── restarting ◀─────────────────────────────┘
+//                        (auto_restart off: draining ▶ dead)
+//
+// suspect still routes — a late beat is degradation, not an outage, and
+// rerouting on the first miss would flap. draining stops routing (the
+// ring moves the shard's keyed range to its successor) and waits for the
+// router to observe every outstanding attempt, then restart() replaces
+// the shard's service and devices and re-warms its result cache from the
+// ResultJournal. Health states are atomics: the router reads routable()
+// on every admission without taking any supervisor lock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/journal.hpp"
+#include "shard/shard.hpp"
+
+namespace dfg::shard {
+
+struct SupervisorOptions {
+  double heartbeat_interval_seconds = 0.002;
+  /// Beat deadline = factor × interval — the same deadline discipline the
+  /// device watchdog applies to commands (DFGEN_DEADLINE_FACTOR's role,
+  /// applied to liveness).
+  double deadline_factor = 8.0;
+  double poll_interval_seconds = 0.001;
+  /// Restart drained shards (re-warmed from the journal); off, a drained
+  /// shard decays to dead and stays out of the ring.
+  bool auto_restart = true;
+};
+
+class ShardSupervisor {
+ public:
+  /// Supervises `shards` (owned by the router, which outlives the
+  /// supervisor). Not started until start().
+  ShardSupervisor(std::vector<std::unique_ptr<Shard>>& shards,
+                  ResultJournal& journal, SupervisorOptions options,
+                  std::string cluster);
+  ~ShardSupervisor();
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  void start();
+  void stop();
+
+  ShardHealth health(std::size_t shard) const {
+    return states_[shard]->load(std::memory_order_relaxed);
+  }
+  /// Healthy and suspect shards take new work; draining/restarting/dead do
+  /// not.
+  bool routable(std::size_t shard) const {
+    const ShardHealth h = health(shard);
+    return h == ShardHealth::healthy || h == ShardHealth::suspect;
+  }
+
+  std::uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heartbeat_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void step(std::size_t i, std::uint64_t now_ns);
+
+  std::vector<std::unique_ptr<Shard>>& shards_;
+  ResultJournal& journal_;
+  const SupervisorOptions options_;
+  const std::string cluster_;
+
+  std::vector<std::unique_ptr<std::atomic<ShardHealth>>> states_;
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> misses_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dfg::shard

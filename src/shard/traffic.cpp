@@ -1,0 +1,83 @@
+#include "shard/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace dfg::shard {
+
+const char* priority_class_name(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::interactive: return "interactive";
+    case PriorityClass::batch: return "batch";
+    case PriorityClass::speculative: return "speculative";
+  }
+  return "unknown";
+}
+
+std::vector<TrafficEvent> generate_trace(const TrafficOptions& options,
+                                         std::size_t catalog_size) {
+  if (catalog_size == 0) catalog_size = 1;
+  std::mt19937_64 rng(options.seed);
+
+  // Zipf CDF over the catalog.
+  std::vector<double> cdf(catalog_size);
+  double total = 0.0;
+  for (std::size_t r = 0; r < catalog_size; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1),
+                            options.zipf_exponent);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  auto exponential = [&](double mean) {
+    // Inverse-CDF sampling; clamp the uniform away from 0 so log() is
+    // finite. Mean 0 degenerates to simultaneous arrivals.
+    if (mean <= 0.0) return 0.0;
+    return -mean * std::log(std::max(uniform(rng), 1e-12));
+  };
+
+  std::vector<TrafficEvent> trace;
+  trace.reserve(options.requests);
+  double now = 0.0;
+  bool bursting = false;
+  double state_ends = exponential(options.mean_quiet_seconds);
+  const double burst_rate_scale =
+      options.burst_factor > 0.0 ? 1.0 / options.burst_factor : 1.0;
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    const double gap = exponential(options.mean_interarrival_seconds) *
+                       (bursting ? burst_rate_scale : 1.0);
+    now += gap;
+    while (now >= state_ends) {
+      bursting = !bursting;
+      state_ends += exponential(bursting ? options.mean_burst_seconds
+                                         : options.mean_quiet_seconds);
+    }
+
+    TrafficEvent event;
+    event.at_seconds = now;
+    const double zipf_draw = uniform(rng);
+    event.expression = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), zipf_draw) - cdf.begin());
+    if (event.expression >= catalog_size) event.expression = catalog_size - 1;
+    event.session = static_cast<std::size_t>(
+        uniform(rng) * static_cast<double>(std::max<std::size_t>(
+                           options.sessions, 1)));
+    if (event.session >= options.sessions && options.sessions > 0) {
+      event.session = options.sessions - 1;
+    }
+    const double p = uniform(rng);
+    if (p < options.interactive_fraction) {
+      event.priority = PriorityClass::interactive;
+    } else if (p < options.interactive_fraction + options.batch_fraction) {
+      event.priority = PriorityClass::batch;
+    } else {
+      event.priority = PriorityClass::speculative;
+    }
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+}  // namespace dfg::shard

@@ -1,0 +1,57 @@
+// Shard layer: seeded heavy-tailed traffic generation.
+//
+// Production derived-field traffic is not uniform: a handful of canonical
+// expressions (velocity magnitude, Q-criterion) dominate, arrivals come in
+// bursts (a timestep lands and every dashboard refreshes), and consumers
+// span priority classes from a human waiting on a plot to speculative
+// prefetch. The generator models all three — Zipf expression popularity,
+// a two-state bursty arrival process, and a configurable priority mix —
+// as a pure function of its seed, so a trace can be replayed bit-for-bit
+// against different cluster shapes (the 1-shard vs 4-shard study) or
+// against a fault schedule (the chaos differential).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfg::shard {
+
+enum class PriorityClass { interactive = 0, batch = 1, speculative = 2 };
+
+const char* priority_class_name(PriorityClass c);
+
+struct TrafficOptions {
+  std::uint64_t seed = 1;
+  std::size_t requests = 1000;
+  std::size_t sessions = 16;
+  /// Zipf exponent over the expression catalog (rank r drawn with weight
+  /// 1/r^s): larger = more skew toward the most popular expression.
+  double zipf_exponent = 1.1;
+  /// Mean inter-arrival gap outside bursts (exponential).
+  double mean_interarrival_seconds = 0.0005;
+  /// Arrival-rate multiplier while inside a burst.
+  double burst_factor = 8.0;
+  /// Mean dwell time of the burst / quiet states.
+  double mean_burst_seconds = 0.02;
+  double mean_quiet_seconds = 0.05;
+  /// Priority mix; the remainder after interactive + batch is speculative.
+  double interactive_fraction = 0.6;
+  double batch_fraction = 0.3;
+};
+
+struct TrafficEvent {
+  double at_seconds = 0.0;
+  /// Index into the caller's expression catalog (Zipf rank order: 0 is
+  /// the most popular).
+  std::size_t expression = 0;
+  std::size_t session = 0;
+  PriorityClass priority = PriorityClass::batch;
+};
+
+/// Deterministic trace of `options.requests` events sorted by arrival
+/// time. `catalog_size` bounds the expression index (must be >= 1).
+std::vector<TrafficEvent> generate_trace(const TrafficOptions& options,
+                                         std::size_t catalog_size);
+
+}  // namespace dfg::shard

@@ -1,5 +1,6 @@
 #include "support/env.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -34,6 +35,9 @@ std::set<std::string>& known_registry() {
       "DFGEN_SERVICE_BACKLOG_MB",
       "DFGEN_SERVICE_COALESCE",
       "DFGEN_SERVICE_RESIDENT_POOL",
+      "DFGEN_SHARDS",
+      "DFGEN_SHARD_QUEUE_DEPTH",
+      "DFGEN_SHED_POLICY",
       "DFGEN_RESIDENT_POOL",
       "DFGEN_NO_RESIDENT_POOL",
       "DFGEN_RESIDENT_WATERMARK",
@@ -50,6 +54,23 @@ void report_malformed(const std::string& name, const char* value,
                       const char* wanted) {
   std::fprintf(stderr, "dfgen: ignoring %s='%s' (expected %s)\n",
                name.c_str(), value, wanted);
+}
+
+/// Classic two-row Levenshtein distance; the knob names are short enough
+/// that quadratic cost is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
 }
 
 }  // namespace
@@ -123,13 +144,35 @@ std::vector<std::string> unknown_variables() {
   return unknown;
 }
 
+std::string suggestion_for(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::string best;
+  std::size_t best_distance = 4;  // suggest only within distance 3
+  for (const std::string& candidate : known_registry()) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
 std::size_t warn_unknown_variables() {
   const std::vector<std::string> unknown = unknown_variables();
   for (const std::string& name : unknown) {
-    std::fprintf(stderr,
-                 "dfgen: unknown environment variable %s (DFGEN_ prefix is "
-                 "reserved; is it misspelled?)\n",
-                 name.c_str());
+    const std::string suggestion = suggestion_for(name);
+    if (suggestion.empty()) {
+      std::fprintf(stderr,
+                   "dfgen: unknown environment variable %s (DFGEN_ prefix is "
+                   "reserved; is it misspelled?)\n",
+                   name.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "dfgen: unknown environment variable %s (did you mean "
+                   "%s?)\n",
+                   name.c_str(), suggestion.c_str());
+    }
   }
   return unknown.size();
 }

@@ -30,7 +30,14 @@ std::string get_string(const std::string& name, std::string fallback);
 /// accessor has registered (likely typos).
 std::vector<std::string> unknown_variables();
 
-/// Prints one warning line per unknown DFGEN_* variable to stderr.
+/// The registered variable closest to `name` by edit distance, when close
+/// enough to be a plausible typo (distance ≤ 3); empty string otherwise.
+/// This is what turns "unknown DFGEN_SHARD_QUEUE_DEPT" into an actionable
+/// "did you mean DFGEN_SHARD_QUEUE_DEPTH?".
+std::string suggestion_for(const std::string& name);
+
+/// Prints one warning line per unknown DFGEN_* variable to stderr, with a
+/// did-you-mean suggestion when a registered name is a near miss.
 /// Returns the number of unknowns. Benches call this once at startup.
 std::size_t warn_unknown_variables();
 

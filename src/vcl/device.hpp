@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "support/error.hpp"
@@ -73,45 +74,89 @@ class AllocationHook {
 /// Tracks live device allocations against a capacity and records the
 /// high-water mark. reserve() throws DeviceOutOfMemory when the capacity
 /// would be exceeded, leaving the tracker unchanged.
+///
+/// Internally synchronized: the resident pool may release device buffers
+/// from a thread that is not driving the device (Engine::invalidate from
+/// another session while an evaluation is in flight), so reserve/release
+/// must tolerate concurrent callers. The hook is still called under the
+/// tracker lock, preserving the reserve-then-veto atomicity quotas rely on.
 class MemoryTracker {
  public:
   MemoryTracker(std::string device_name, std::size_t capacity_bytes)
       : device_name_(std::move(device_name)), capacity_(capacity_bytes) {}
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// RAII: suspends hook callbacks for reserve/release calls made by the
+  /// *calling thread* while alive. Thread-local rather than clearing the
+  /// hook pointer, so a concurrent thread's allocations still see the
+  /// hook (the resident pool suspends accounting for its own traffic
+  /// without un-hooking whichever session is currently metered).
+  class HookSuspension {
+   public:
+    HookSuspension() { ++t_hook_suspended_; }
+    ~HookSuspension() { --t_hook_suspended_; }
+    HookSuspension(const HookSuspension&) = delete;
+    HookSuspension& operator=(const HookSuspension&) = delete;
+  };
 
   void reserve(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (bytes > capacity_ - in_use_) {
       throw DeviceOutOfMemory(device_name_, bytes, in_use_, capacity_);
     }
     // The hook may veto (throw) before any state changes; ordering keeps
     // veto semantics identical to a real over-capacity failure.
-    if (hook_ != nullptr) hook_->on_reserve(bytes);
+    if (hook_ != nullptr && t_hook_suspended_ == 0) hook_->on_reserve(bytes);
     in_use_ += bytes;
     if (in_use_ > high_water_) high_water_ = in_use_;
   }
 
   void release(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
     in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
-    if (hook_ != nullptr) hook_->on_release(bytes);
+    if (hook_ != nullptr && t_hook_suspended_ == 0) hook_->on_release(bytes);
   }
 
   /// Installs (or clears, with nullptr) the accounting hook. The hook must
   /// outlive every allocation made while it is installed; callers install
   /// it only while they have exclusive use of the device.
-  void set_hook(AllocationHook* hook) { hook_ = hook; }
-  AllocationHook* hook() const { return hook_; }
+  void set_hook(AllocationHook* hook) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook_ = hook;
+  }
+  AllocationHook* hook() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hook_;
+  }
 
-  std::size_t in_use() const { return in_use_; }
-  std::size_t high_water() const { return high_water_; }
+  std::size_t in_use() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+  }
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
   std::size_t capacity() const { return capacity_; }
-  std::size_t available() const { return capacity_ - in_use_; }
+  std::size_t available() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ - in_use_;
+  }
 
   /// Resets the high-water mark to the current usage (used between test
   /// cases; live buffers keep counting).
-  void reset_high_water() { high_water_ = in_use_; }
+  void reset_high_water() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    high_water_ = in_use_;
+  }
 
  private:
+  inline static thread_local int t_hook_suspended_ = 0;
+
   std::string device_name_;
   std::size_t capacity_;
+  mutable std::mutex mutex_;
   std::size_t in_use_ = 0;
   std::size_t high_water_ = 0;
   AllocationHook* hook_ = nullptr;

@@ -23,25 +23,6 @@ std::unordered_map<const void*, std::uint64_t>& generation_map() {
   return *map;
 }
 
-/// Removes a MemoryTracker's AllocationHook for a lexical scope. Resident
-/// traffic (upload, eviction, invalidation) is device-level state shared
-/// across sessions, so it must not be charged against — or vetoed by —
-/// whichever session's quota hook happens to be installed.
-class HookSuspender {
- public:
-  explicit HookSuspender(MemoryTracker& tracker)
-      : tracker_(&tracker), saved_(tracker.hook()) {
-    tracker_->set_hook(nullptr);
-  }
-  ~HookSuspender() { tracker_->set_hook(saved_); }
-  HookSuspender(const HookSuspender&) = delete;
-  HookSuspender& operator=(const HookSuspender&) = delete;
-
- private:
-  MemoryTracker* tracker_;
-  AllocationHook* saved_;
-};
-
 }  // namespace
 
 std::uint64_t host_generation(const void* ptr) {
@@ -57,8 +38,9 @@ void note_host_mutation(const void* ptr) {
   ++generation_map()[ptr];
 }
 
-ResidentPool::PinScope::PinScope(ResidentPool& pool)
-    : pool_(&pool), parent_(pool.active_scope_) {
+ResidentPool::PinScope::PinScope(ResidentPool& pool) : pool_(&pool) {
+  std::lock_guard<std::mutex> lock(pool.mutex_);
+  parent_ = pool.active_scope_;
   pool.active_scope_ = this;
 }
 
@@ -73,30 +55,51 @@ ResidentPool::~ResidentPool() {
   // Device teardown: every scope is gone, so force-drop even entries a
   // buggy caller left pinned rather than leak tracker bytes.
   for (auto& [key, entry] : entries_) entry.pins = 0;
-  HookSuspender suspend(device_->memory());
+  MemoryTracker::HookSuspension suspend;
   entries_.clear();
   resident_bytes_.store(0, std::memory_order_relaxed);
 }
 
 void ResidentPool::set_watermark_fraction(double fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
   watermark_fraction_ = std::clamp(fraction, 0.0, 1.0);
 }
 
+double ResidentPool::watermark_fraction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_fraction_;
+}
+
 std::size_t ResidentPool::watermark_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_bytes_locked();
+}
+
+std::size_t ResidentPool::watermark_bytes_locked() const {
   return static_cast<std::size_t>(
       watermark_fraction_ *
       static_cast<double>(device_->memory().capacity()));
+}
+
+std::size_t ResidentPool::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 const Buffer* ResidentPool::acquire(CommandQueue& queue,
                                     std::span<const float> host,
                                     const std::string& label,
                                     const void* generation_key) {
-  if (!enabled_ || host.empty()) return nullptr;
+  if (!enabled() || host.empty()) return nullptr;
   if (generation_key == nullptr) generation_key = host.data();
   const Key key{host.data(), host.size()};
   const std::uint64_t generation = host_generation(generation_key);
 
+  // The lock is held across the whole acquire, including a miss's upload:
+  // the returned Buffer* must not be invalidated between insert and pin,
+  // and a concurrent invalidate() of this key must either run before (we
+  // re-upload) or after (it dooms the now-pinned entry, erased at unpin).
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end() && !it->second.doomed &&
       it->second.generation == generation) {
@@ -104,25 +107,27 @@ const Buffer* ResidentPool::acquire(CommandQueue& queue,
     count(&Stats::upload_bytes_saved, "dfgen_resident_upload_bytes_saved",
           host.size() * sizeof(float));
     it->second.last_use = ++tick_;
-    pin(it);
+    pin_locked(it);
     return &it->second.buffer;
   }
   if (it != entries_.end()) {
     // Stale generation: the host array changed under us. Re-uploading is
     // mandatory; serving the old bytes would be a coherence violation.
-    drop_entry(it);
+    drop_entry_locked(it);
   }
 
   const std::size_t bytes = host.size() * sizeof(float);
-  const std::size_t cap = watermark_bytes();
+  const std::size_t cap = watermark_bytes_locked();
   if (bytes > cap) return nullptr;  // will never fit: stay transient
   while (resident_bytes_.load(std::memory_order_relaxed) + bytes > cap) {
-    if (evict_lru_unpinned() == 0) return nullptr;  // all pinned: cold path
+    if (evict_lru_unpinned_locked() == 0) {
+      return nullptr;  // all pinned: cold path
+    }
   }
 
   Buffer buffer;
   {
-    HookSuspender suspend(device_->memory());
+    MemoryTracker::HookSuspension suspend;
     for (;;) {
       try {
         buffer = Buffer(*device_, host.size());
@@ -130,7 +135,7 @@ const Buffer* ResidentPool::acquire(CommandQueue& queue,
       } catch (const DeviceOutOfMemory&) {
         // Transients own the rest of the device right now; shrink the pool
         // before giving up and letting the caller upload transiently.
-        if (evict_lru_unpinned() == 0) return nullptr;
+        if (evict_lru_unpinned_locked() == 0) return nullptr;
       }
     }
   }
@@ -149,37 +154,45 @@ const Buffer* ResidentPool::acquire(CommandQueue& queue,
   resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   count(&Stats::misses, "dfgen_resident_misses_total");
   publish_gauge();
-  pin(pos);
+  pin_locked(pos);
   return &pos->second.buffer;
 }
 
 bool ResidentPool::would_hit(std::span<const float> host,
                              const void* generation_key) const {
-  if (!enabled_ || host.empty()) return false;
+  if (!enabled() || host.empty()) return false;
   if (generation_key == nullptr) generation_key = host.data();
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(Key{host.data(), host.size()});
   return it != entries_.end() && !it->second.doomed &&
          it->second.generation == host_generation(generation_key);
 }
 
 void ResidentPool::invalidate(const void* ptr) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.lower_bound(Key{ptr, 0});
        it != entries_.end() && it->first.ptr == ptr;) {
     auto next = std::next(it);
-    drop_entry(it);
+    drop_entry_locked(it);
     it = next;
   }
 }
 
 void ResidentPool::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     auto next = std::next(it);
-    drop_entry(it);
+    drop_entry_locked(it);
     it = next;
   }
 }
 
 std::size_t ResidentPool::evict_lru_unpinned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evict_lru_unpinned_locked();
+}
+
+std::size_t ResidentPool::evict_lru_unpinned_locked() {
   auto victim = entries_.end();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->second.pins > 0) continue;
@@ -190,7 +203,7 @@ std::size_t ResidentPool::evict_lru_unpinned() {
   }
   if (victim == entries_.end()) return 0;
   const std::size_t freed = victim->second.buffer.bytes();
-  erase_entry(victim);
+  erase_entry_locked(victim);
   count(&Stats::evictions, "dfgen_resident_evictions_total");
   publish_gauge();
   return freed;
@@ -207,7 +220,7 @@ ResidentPool::Stats ResidentPool::stats() const {
   return out;
 }
 
-void ResidentPool::pin(EntryMap::iterator it) {
+void ResidentPool::pin_locked(EntryMap::iterator it) {
   // Without an open scope nothing records the release, so the entry stays
   // unpinned; callers that hold buffers across commands open a PinScope.
   if (active_scope_ == nullptr) return;
@@ -216,22 +229,23 @@ void ResidentPool::pin(EntryMap::iterator it) {
 }
 
 void ResidentPool::end_scope(PinScope& scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
   active_scope_ = scope.parent_;
   for (const auto& [ptr, len] : scope.keys_) {
     const auto it = entries_.find(Key{ptr, len});
     if (it == entries_.end()) continue;
-    if (--it->second.pins <= 0 && it->second.doomed) erase_entry(it);
+    if (--it->second.pins <= 0 && it->second.doomed) erase_entry_locked(it);
   }
 }
 
-void ResidentPool::erase_entry(EntryMap::iterator it) {
+void ResidentPool::erase_entry_locked(EntryMap::iterator it) {
   const std::size_t bytes = it->second.buffer.bytes();
-  HookSuspender suspend(device_->memory());
+  MemoryTracker::HookSuspension suspend;
   entries_.erase(it);
   resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
-void ResidentPool::drop_entry(EntryMap::iterator it) {
+void ResidentPool::drop_entry_locked(EntryMap::iterator it) {
   count(&Stats::invalidations, "dfgen_resident_invalidations_total");
   if (it->second.pins > 0) {
     // A kernel may still read this buffer; keep the allocation alive but
@@ -239,7 +253,7 @@ void ResidentPool::drop_entry(EntryMap::iterator it) {
     it->second.doomed = true;
     return;
   }
-  erase_entry(it);
+  erase_entry_locked(it);
   publish_gauge();
 }
 

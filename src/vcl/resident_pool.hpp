@@ -40,12 +40,24 @@
 //   * entries acquired under a PinScope are pinned until the scope closes
 //     (the engine opens one per evaluation, slab execution one per chunk),
 //     so eviction can never free a buffer a running kernel still reads.
+//
+// Thread safety: the pool is internally synchronized. Strategies acquire
+// from the device's evaluating thread, but invalidation arrives from
+// wherever the host mutates data — Engine::invalidate on another session's
+// thread, the service's bind teardown — and Device::allocate's evict-retry
+// may run concurrently with either. All public methods lock one pool
+// mutex; the only state readable without it is the atomic counters and the
+// enabled flag. Pinned entries are never freed by a concurrent
+// invalidation: they are doomed and erased at the last unpin, so an
+// in-flight evaluation keeps its buffers while losing the race only for
+// *future* hits.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -112,13 +124,15 @@ class ResidentPool {
   /// is byte-identical to a build without the pool. Entries survive a
   /// disable: re-enabling sees the old residents (generation checks keep
   /// them honest).
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
   /// Fraction of device capacity the pool may occupy (LRU-evicted back
   /// under it on insert). Clamped to [0, 1].
   void set_watermark_fraction(double fraction);
-  double watermark_fraction() const { return watermark_fraction_; }
+  double watermark_fraction() const;
 
   /// Returns a resident device buffer holding `host`, or nullptr when the
   /// caller must take the cold path (pool disabled, array larger than the
@@ -152,7 +166,7 @@ class ResidentPool {
   std::size_t resident_bytes() const {
     return resident_bytes_.load(std::memory_order_relaxed);
   }
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count() const;
   std::size_t watermark_bytes() const;
 
   Stats stats() const;
@@ -175,18 +189,22 @@ class ResidentPool {
   };
   using EntryMap = std::map<Key, Entry>;
 
-  void pin(EntryMap::iterator it);
+  // The *_locked helpers assume mutex_ is held by the caller.
+  void pin_locked(EntryMap::iterator it);
   void end_scope(PinScope& scope);
+  std::size_t evict_lru_unpinned_locked();
+  std::size_t watermark_bytes_locked() const;
   /// Erases an entry (hook suspended) and keeps resident_bytes_ exact.
-  void erase_entry(EntryMap::iterator it);
+  void erase_entry_locked(EntryMap::iterator it);
   /// Invalidation path: erase now, or doom until unpinned.
-  void drop_entry(EntryMap::iterator it);
+  void drop_entry_locked(EntryMap::iterator it);
   void count(std::uint64_t Stats::*member, const char* counter,
              std::uint64_t delta = 1);
   void publish_gauge();
 
   Device* device_;
-  bool enabled_ = false;
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
   double watermark_fraction_ = 0.5;
   EntryMap entries_;
   std::uint64_t tick_ = 0;

@@ -278,4 +278,47 @@ TEST(Checkpoint, DirectoryDefaultsFromEnvironment) {
   EXPECT_TRUE(cleared.checkpoint_dir.empty());
 }
 
+TEST(Checkpoint, StaleTmpFilesAreReapedNotReplayed) {
+  const std::string dir = scratch_dir("staletmp");
+  {
+    distrib::CheckpointJournal journal(dir, 77);
+    journal.append(3, std::vector<float>{1.0f, 2.0f});
+  }
+  // Simulate a crash between writing the tmp file and the committing
+  // rename: the orphan was never committed, so it must be removed on the
+  // next open, never indexed or replayed.
+  const std::string stale = dir + "/deadbeefdeadbeef-block-9.ckpt.tmp";
+  {
+    std::ofstream out(stale, std::ios::binary);
+    out << "half-written entry";
+  }
+  // An unrelated tmp file in a shared directory is not ours to reap.
+  const std::string unrelated = dir + "/notes.tmp";
+  {
+    std::ofstream out(unrelated);
+    out << "keep me";
+  }
+
+  distrib::CheckpointJournal reopened(dir, 77);
+  EXPECT_FALSE(std::filesystem::exists(stale))
+      << "orphaned .ckpt.tmp must be reaped on open";
+  EXPECT_TRUE(std::filesystem::exists(unrelated))
+      << "non-checkpoint tmp files are left alone";
+  EXPECT_TRUE(reopened.has(3));
+  EXPECT_FALSE(reopened.has(9));
+  EXPECT_EQ(reopened.blocks(), (std::vector<std::size_t>{3}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, BlocksEnumeratesIndexedEntriesAscending) {
+  const std::string dir = scratch_dir("blocks");
+  distrib::CheckpointJournal journal(dir, 55);
+  EXPECT_TRUE(journal.blocks().empty());
+  journal.append(5, std::vector<float>{1.0f});
+  journal.append(2, std::vector<float>{2.0f});
+  journal.append(9, std::vector<float>{3.0f});
+  EXPECT_EQ(journal.blocks(), (std::vector<std::size_t>{2, 5, 9}));
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace

@@ -13,8 +13,10 @@
 // against a DFGEN_NO_RESIDENT_POOL=1 twin.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <random>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -768,6 +770,84 @@ TEST(ResidentService, ConcurrentTenantsUnderEvictionPressureRespectQuotas) {
             device_a.resident().watermark_bytes());
   EXPECT_LE(device_b.resident().resident_bytes(),
             device_b.resident().watermark_bytes());
+}
+
+// Satellite of the sharding PR: the coherence contract under *concurrent*
+// invalidation. One tenant's evaluations hold PinScopes on the shared
+// entries while another host thread hammers Engine::invalidate on the
+// same arrays — the historical TSan hole this exercises is the pool's
+// entry map and the MemoryTracker's accounting racing the worker. With
+// the internal locks this must be data-race-free, every evaluation must
+// complete, and — because the host bytes never actually change — every
+// result must stay bit-identical to a cold run (an announced invalidation
+// may only cost a re-upload, never correctness).
+TEST(ResidentPoolService, ConcurrentInvalidateWhilePinnedIsCoherentAndSafe) {
+  const mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({8, 6, 4});
+  const std::size_t cells = mesh.cell_count();
+  mesh::VectorField flow = mesh::rayleigh_taylor_flow(mesh);
+
+  std::vector<float> reference;
+  {
+    vcl::Device cold(pool_spec(64 * cells));
+    Engine engine(cold);
+    engine.bind_mesh(mesh);
+    engine.bind("u", flow.u);
+    engine.bind("v", flow.v);
+    engine.bind("w", flow.w);
+    reference = engine.evaluate(expressions::kVelocityMagnitude).values;
+  }
+
+  vcl::Device device(pool_spec(64 * cells));
+  device.resident().set_watermark_fraction(0.5);
+
+  // The invalidator engine shares the device and arrays but never
+  // enqueues device work: invalidate() touches only the generation table
+  // and the pool — what a host owner does when it announces a mutation of
+  // arrays another session's in-flight evaluation has pinned.
+  Engine invalidator(device);
+  invalidator.bind_mesh(mesh);
+  invalidator.bind("u", flow.u);
+  invalidator.bind("v", flow.v);
+  invalidator.bind("w", flow.w);
+
+  service::ServiceOptions options;
+  options.resident_pool = true;
+  options.coalescing = false;
+  options.max_queue_depth = 1024;
+  {
+    service::EvalService svc({&device}, options);
+    std::atomic<bool> stop{false};
+    std::thread hammer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        invalidator.invalidate("u");
+        invalidator.invalidate("v");
+        invalidator.invalidate("w");
+      }
+    });
+    std::vector<service::Ticket> tickets;
+    for (int round = 0; round < 40; ++round) {
+      service::Request request;
+      request.expression = expressions::kVelocityMagnitude;
+      request.mesh = &mesh;
+      request.fields = {{"u", flow.u}, {"v", flow.v}, {"w", flow.w}};
+      request.session = "pinned-tenant";
+      tickets.push_back(svc.submit(request));
+    }
+    for (const service::Ticket& ticket : tickets) {
+      const service::ServiceReport& report = ticket.wait();
+      ASSERT_EQ(report.status, service::RequestStatus::completed)
+          << report.error;
+      dfg::test::expect_bits_equal(report.evaluation->values, reference,
+                                   "concurrent invalidate storm");
+    }
+    stop.store(true, std::memory_order_relaxed);
+    hammer.join();
+    svc.drain();
+  }
+  // The storm over: pinned entries were never evicted mid-use, and the
+  // books balance.
+  EXPECT_LE(device.resident().resident_bytes(),
+            device.resident().watermark_bytes());
 }
 
 }  // namespace

@@ -1,0 +1,373 @@
+// The sharded evaluation cluster: the consistent-hash ring is
+// deterministic and covers every shard, the traffic generator replays
+// bit-identically from its seed, a multi-shard cluster produces results
+// bit-identical to a single Engine, overload control sheds lower priority
+// classes first with typed retry-after errors, a killed shard's keyed
+// range reroutes to the ring successor and the supervisor restarts it,
+// and a journal-re-warmed shard answers repeat requests from its warm
+// cache. The invariant gated throughout: every submitted request reaches
+// exactly one terminal state (completed + shed + failed == submitted).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "mesh/generators.hpp"
+#include "shard/hash_ring.hpp"
+#include "shard/router.hpp"
+#include "shard/traffic.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+using shard::ClusterOptions;
+using shard::ClusterSnapshot;
+using shard::HashRing;
+using shard::PriorityClass;
+using shard::ShardRequest;
+using shard::ShardRequestStatus;
+using shard::ShardRouter;
+using shard::ShardTicket;
+
+/// Submit-and-wait that returns the report BY VALUE: wait()'s reference
+/// lives inside the ticket's shared state, which dies with the last ticket
+/// copy once the router's monitor retires the flight.
+shard::ShardReport submit_and_wait(shard::ShardRouter& router,
+                                   shard::ShardRequest request) {
+  shard::ShardTicket ticket = router.submit(std::move(request));
+  return ticket.wait();
+}
+
+struct Fixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({6, 5, 4});
+  mesh::VectorField field;
+
+  Fixture() : field(mesh::rayleigh_taylor_flow(mesh, 7)) {}
+
+  ShardRequest request(const std::string& expression,
+                       const std::string& session = "default",
+                       PriorityClass priority = PriorityClass::batch) const {
+    ShardRequest r;
+    r.expression = expression;
+    r.mesh = &mesh;
+    r.fields = {{"u", field.u}, {"v", field.v}, {"w", field.w}};
+    r.session = session;
+    r.priority = priority;
+    return r;
+  }
+
+  std::vector<float> reference(const std::string& expression) const {
+    vcl::Device device(vcl::xeon_x5660_scaled());
+    Engine engine(device);
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+};
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const bool nan = std::isnan(want[i]);
+    ASSERT_EQ(std::isnan(got[i]), nan) << "cell " << i;
+    if (!nan) {
+      ASSERT_EQ(got[i], want[i]) << "cell " << i;
+    }
+  }
+}
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("dfgen_shard_") + tag + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(HashRing, DeterministicCoversEveryShardAndBalances) {
+  const HashRing a(4, 16, 42);
+  const HashRing b(4, 16, 42);
+  std::vector<std::size_t> owned(4, 0);
+  for (std::uint64_t key = 1; key <= 400; ++key) {
+    const auto pa = a.preference(key * 0x9e3779b97f4a7c15ull);
+    const auto pb = b.preference(key * 0x9e3779b97f4a7c15ull);
+    ASSERT_EQ(pa, pb) << "same shape + seed must build the same ring";
+    ASSERT_EQ(pa.size(), 4u);
+    ASSERT_EQ(std::set<std::size_t>(pa.begin(), pa.end()).size(), 4u)
+        << "preference order must visit every shard exactly once";
+    owned[pa.front()] += 1;
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(owned[s], 0u) << "virtual nodes should spread ownership";
+  }
+  // A different seed lays out a different ring.
+  const HashRing c(4, 16, 43);
+  bool differs = false;
+  for (std::uint64_t key = 1; key <= 64 && !differs; ++key) {
+    differs = c.owner(key * 0x9e3779b97f4a7c15ull) !=
+              a.owner(key * 0x9e3779b97f4a7c15ull);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Traffic, SeededTraceReplaysBitIdentically) {
+  shard::TrafficOptions options;
+  options.seed = 99;
+  options.requests = 300;
+  const auto a = shard::generate_trace(options, 8);
+  const auto b = shard::generate_trace(options, 8);
+  ASSERT_EQ(a.size(), 300u);
+  std::size_t interactive = 0;
+  std::size_t rank0 = 0;
+  std::size_t rank_last = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].at_seconds, b[i].at_seconds);
+    ASSERT_EQ(a[i].expression, b[i].expression);
+    ASSERT_EQ(a[i].session, b[i].session);
+    ASSERT_EQ(a[i].priority, b[i].priority);
+    if (i > 0) {
+      ASSERT_GE(a[i].at_seconds, a[i - 1].at_seconds);
+    }
+    ASSERT_LT(a[i].expression, 8u);
+    if (a[i].priority == PriorityClass::interactive) ++interactive;
+    if (a[i].expression == 0) ++rank0;
+    if (a[i].expression == 7) ++rank_last;
+  }
+  EXPECT_GT(interactive, 0u);
+  EXPECT_GT(rank0, rank_last) << "Zipf skew: rank 0 must dominate the tail";
+}
+
+TEST(ShardRouter, FourShardsMatchSingleEngineBitExactly) {
+  Fixture fx;
+  ClusterOptions options;
+  options.shards = 4;
+  options.cluster_seed = 7;
+  ShardRouter router(options);
+
+  const std::vector<std::string> catalog = {
+      expressions::kVelocityMagnitude, expressions::kVorticityMagnitude,
+      expressions::kQCriterion, "e = u*u + 0.5*v", "f = sqrt(w*w) + u"};
+  std::vector<ShardTicket> tickets;
+  std::vector<std::size_t> expr_of;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t e = 0; e < catalog.size(); ++e) {
+      tickets.push_back(router.submit(
+          fx.request(catalog[e], "tenant" + std::to_string(round))));
+      expr_of.push_back(e);
+    }
+  }
+  router.drain();
+
+  std::map<std::size_t, std::vector<float>> references;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const shard::ShardReport& report = tickets[i].wait();
+    ASSERT_EQ(report.status, ShardRequestStatus::completed) << report.error;
+    ASSERT_NE(report.evaluation, nullptr);
+    if (references.count(expr_of[i]) == 0) {
+      references[expr_of[i]] = fx.reference(catalog[expr_of[i]]);
+    }
+    expect_bitwise_equal(report.evaluation->values, references[expr_of[i]]);
+  }
+
+  const ClusterSnapshot snap = router.snapshot();
+  EXPECT_EQ(snap.submitted, tickets.size());
+  EXPECT_EQ(snap.completed + snap.shed + snap.failed, snap.submitted);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.shed, 0u);
+  EXPECT_EQ(snap.shards.size(), 4u);
+}
+
+TEST(ShardRouter, UnroutableRequestFailsWithTypedError) {
+  ClusterOptions options;
+  options.shards = 1;
+  ShardRouter router(options);
+  ShardRequest r;
+  r.expression = "a = b + c";  // no fields, no mesh, no elements
+  const shard::ShardReport report = submit_and_wait(router, r);
+  EXPECT_EQ(report.status, ShardRequestStatus::failed);
+  EXPECT_FALSE(report.error.empty());
+
+  ShardRequest bad;
+  bad.expression = "a = nosuchfilter(b)";
+  const shard::ShardReport parse = submit_and_wait(router, bad);
+  EXPECT_EQ(parse.status, ShardRequestStatus::failed);
+  EXPECT_FALSE(parse.error.empty());
+}
+
+TEST(ShardRouter, OverloadShedsLowerClassesFirstWithRetryAfter) {
+  Fixture fx;
+  ClusterOptions options;
+  options.shards = 1;
+  options.router.shard_queue_depth = 4;  // interactive 4, batch 3, spec 2
+  options.shard.synthetic_delay_seconds = 0.02;
+  ShardRouter router(options);
+
+  std::vector<ShardTicket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    tickets.push_back(router.submit(
+        fx.request("e = u + v*" + std::to_string(i) + ".0", "spec",
+                   PriorityClass::speculative)));
+  }
+  std::size_t sheds = 0;
+  for (auto& t : tickets) {
+    const shard::ShardReport& report = t.wait();
+    if (report.status != ShardRequestStatus::shed) continue;
+    ++sheds;
+    ASSERT_TRUE(report.admission.has_value());
+    EXPECT_EQ(report.admission->priority, PriorityClass::speculative);
+    EXPECT_EQ(report.admission->queue_limit, 2u);
+    EXPECT_GE(report.admission->queue_depth, report.admission->queue_limit);
+    EXPECT_GT(report.admission->retry_after_seconds, 0.0);
+    EXPECT_NE(report.admission->message().find("speculative"),
+              std::string::npos);
+  }
+  EXPECT_GT(sheds, 0u) << "12 speculative submits against a limit of 2 "
+                          "in-flight must shed";
+  router.drain();
+
+  const ClusterSnapshot snap = router.snapshot();
+  EXPECT_EQ(
+      snap.shed_by_class[static_cast<std::size_t>(PriorityClass::speculative)],
+      sheds);
+  EXPECT_EQ(snap.completed + snap.shed + snap.failed, snap.submitted);
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST(ShardRouter, KilledShardReroutesToRingSuccessorAndRestarts) {
+  Fixture fx;
+  ClusterOptions options;
+  options.shards = 2;
+  options.cluster_seed = 11;
+  options.router.shard_queue_depth = 64;
+  // Queue work up behind a slow proxy so the kill lands on in-flight
+  // attempts, exercising refuse -> reroute rather than admission-time
+  // avoidance.
+  options.shard.synthetic_delay_seconds = 0.01;
+  ShardRouter router(options);
+
+  // Pin every request to shard 0 (by its own ring), so the kill below is
+  // guaranteed to strand keyed work that must move to the successor.
+  std::vector<std::string> exprs;
+  for (int i = 0; exprs.size() < 10 && i < 200; ++i) {
+    const std::string candidate = "e = u*v + " + std::to_string(i) + ".0";
+    const dataflow::Network net(dataflow::build_network(candidate, {}));
+    if (router.ring().owner(net.fingerprint()) == 0) {
+      exprs.push_back(candidate);
+    }
+  }
+  ASSERT_GE(exprs.size(), 3u);
+  std::vector<ShardTicket> tickets;
+  for (const std::string& e : exprs) {
+    tickets.push_back(router.submit(fx.request(e, "chaos")));
+  }
+  router.shard(0).kill();
+  router.drain();
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const shard::ShardReport& report = tickets[i].wait();
+    ASSERT_EQ(report.status, ShardRequestStatus::completed) << report.error;
+    expect_bitwise_equal(report.evaluation->values, fx.reference(exprs[i]));
+  }
+
+  ClusterSnapshot snap = router.snapshot();
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_GE(snap.reroutes, 1u)
+      << "work queued on the killed shard must move to the successor";
+
+  // The killed shard stops heartbeating; the supervisor must walk it
+  // through suspect -> draining -> restart and readmit it to the ring.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    snap = router.snapshot();
+    if (snap.restarts >= 1 &&
+        snap.shards[0].health == shard::ShardHealth::healthy) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(snap.restarts, 1u);
+  EXPECT_EQ(snap.shards[0].health, shard::ShardHealth::healthy);
+  EXPECT_GE(snap.heartbeat_misses, 1u);
+
+  // And the revived shard serves again.
+  const shard::ShardReport after =
+      submit_and_wait(router, fx.request("e = u + w", "chaos"));
+  EXPECT_EQ(after.status, ShardRequestStatus::completed) << after.error;
+}
+
+TEST(ShardRouter, JournalRewarmServesRepeatRequestsWithoutReexecution) {
+  Fixture fx;
+  const std::string dir = temp_dir("journal");
+  ClusterOptions options;
+  options.shards = 2;
+  options.cluster_seed = 5;
+  options.journal_dir = dir;
+  {
+    ShardRouter router(options);
+    const shard::ShardReport first =
+        submit_and_wait(router, fx.request(expressions::kVelocityMagnitude));
+    ASSERT_EQ(first.status, ShardRequestStatus::completed) << first.error;
+    router.drain();
+    EXPECT_GE(router.journal().entries(), 1u)
+        << "completions must be journaled";
+
+    // Re-warm every shard from the journal; an identical request must now
+    // be served from the warm cache at admission, no re-execution.
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+      router.shard(s).restart(router.journal().all());
+      EXPECT_GE(router.shard(s).warm_entries(), 1u);
+    }
+    const shard::ShardReport again =
+        submit_and_wait(router, fx.request(expressions::kVelocityMagnitude));
+    ASSERT_EQ(again.status, ShardRequestStatus::completed) << again.error;
+    EXPECT_TRUE(again.served_warm);
+    expect_bitwise_equal(again.evaluation->values,
+                         fx.reference(expressions::kVelocityMagnitude));
+    EXPECT_GE(router.snapshot().warm_hits, 1u);
+
+    // Changed input content must change the digest: mutate one field value
+    // and the warm cache must miss (full re-execution, fresh result).
+    Fixture other;
+    other.field.u[0] += 1.0f;
+    const shard::ShardReport changed = submit_and_wait(
+        router, other.request(expressions::kVelocityMagnitude));
+    ASSERT_EQ(changed.status, ShardRequestStatus::completed) << changed.error;
+    EXPECT_FALSE(changed.served_warm);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterOptions, FromEnvReadsShardKnobs) {
+  ::setenv("DFGEN_SHARDS", "6", 1);
+  ::setenv("DFGEN_SHARD_QUEUE_DEPTH", "9", 1);
+  ::setenv("DFGEN_SHED_POLICY", "hard", 1);
+  const ClusterOptions options = ClusterOptions::from_env();
+  EXPECT_EQ(options.shards, 6u);
+  EXPECT_EQ(options.router.shard_queue_depth, 9u);
+  EXPECT_EQ(options.router.shed_policy, "hard");
+  ::unsetenv("DFGEN_SHARDS");
+  ::unsetenv("DFGEN_SHARD_QUEUE_DEPTH");
+  ::unsetenv("DFGEN_SHED_POLICY");
+}
+
+}  // namespace
