@@ -55,6 +55,15 @@ struct ReportCounters {
     ids.res_invalidations =
         reg.counter("dfgen_resident_invalidations_total", dev);
     ids.res_saved = reg.counter("dfgen_resident_upload_bytes_saved", dev);
+    // Same eager registration for the jit series (process-wide, no device
+    // label: the module cache is shared): vm-only runs snapshot them as
+    // zeros instead of omitting them.
+    reg.counter("dfgen_jit_compiles_total");
+    reg.counter("dfgen_jit_compile_failures_total");
+    reg.counter("dfgen_jit_cache_hits_total");
+    reg.counter("dfgen_jit_cache_misses_total");
+    reg.counter("dfgen_jit_cache_evictions_total");
+    reg.counter("dfgen_jit_fallbacks_total");
     return ids;
   }
 
@@ -123,14 +132,24 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   const bool pool_on = resident_pool_enabled(options_);
   device_->resident().set_enabled(pool_on);
 
-  // Strategy choice: static (options_.strategy) or residency-aware.
+  // Arm the execution backend. The option pins it; otherwise the device
+  // re-resolves DFGEN_BACKEND per evaluation (a differential harness can
+  // flip backends between otherwise identical runs).
+  if (options_.backend) {
+    device_->set_backend(kernels::backend_for(*options_.backend));
+  }
+  const kernels::ExecutionBackend& backend = device_->backend();
+
+  // Strategy choice: static (options_.strategy) or residency-aware. The
+  // planner prices kernels at the armed backend's compute efficiency so a
+  // jit device's estimates match what its launches will report.
   runtime::StrategyKind requested = options_.strategy;
   if (options_.auto_strategy) {
     const runtime::Residency residency =
         runtime::Residency::probe(*device_, bindings_, network);
-    requested = runtime::select_fastest_strategy(network, bindings_,
-                                                 elements, *device_,
-                                                 &residency);
+    requested = runtime::select_fastest_strategy(
+        network, bindings_, elements, *device_, &residency,
+        backend.compute_efficiency());
   }
 
   log_.clear();
@@ -166,6 +185,7 @@ EvaluationReport Engine::evaluate(std::string_view expression,
   report.output_name = network.spec().node(network.output_id()).label;
   report.elements = elements;
   report.strategy = runtime::strategy_name(outcome.executed);
+  report.backend = backend.name();
   for (const runtime::DegradationRecord& step : outcome.degradations) {
     report.degradations.push_back({runtime::strategy_name(step.from),
                                    runtime::strategy_name(step.to),

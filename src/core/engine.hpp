@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "dataflow/spec.hpp"
+#include "kernels/backend.hpp"
 #include "mesh/mesh.hpp"
 #include "runtime/bindings.hpp"
 #include "runtime/fallback.hpp"
@@ -50,6 +52,12 @@ struct EngineOptions {
   /// staged/roundtrip run can beat a cold fusion. `strategy` is ignored
   /// while set.
   bool auto_strategy = false;
+  /// Execution backend for this engine's device: the tiled VM interpreter
+  /// (`vm`), native code compiled per program (`jit`), or `auto_select`
+  /// (jit with per-program fallback to the VM). Unset defers to
+  /// DFGEN_BACKEND, read per evaluation; set, it overrides the env for
+  /// this engine's device.
+  std::optional<kernels::BackendKind> backend;
 };
 
 /// One strategy-degradation step taken during an evaluation, in
@@ -71,6 +79,10 @@ struct EvaluationReport {
   /// The strategy that actually produced `values` — the requested one, or
   /// the rung the engine degraded to.
   std::string strategy;
+  /// The execution backend the device was armed with ("vm", "jit", ...).
+  /// Note a jit device may still have run individual programs on the VM if
+  /// their compiles failed — see dfgen_jit_fallbacks_total.
+  std::string backend;
   std::size_t dev_writes = 0;   ///< host-to-device transfers (Dev-W)
   std::size_t dev_reads = 0;    ///< device-to-host transfers (Dev-R)
   std::size_t kernel_execs = 0; ///< kernel dispatches (K-Exe)

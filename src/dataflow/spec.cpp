@@ -147,6 +147,35 @@ void NetworkSpec::set_output(int id) {
   output_id_ = id;
 }
 
+void NetworkSpec::rewire_input(int id, std::size_t arg, int new_input) {
+  check_id(id, "in rewire_input");
+  check_id(new_input, "as rewired input");
+  SpecNode& node = nodes_[id];
+  if (node.type != NodeType::filter) {
+    throw NetworkError("rewire_input: node '" + node.label +
+                       "' is not a filter");
+  }
+  if (arg >= node.inputs.size()) {
+    throw NetworkError("rewire_input: '" + node.kind + "' has no argument " +
+                       std::to_string(arg));
+  }
+  if (new_input >= id) {
+    throw NetworkError(
+        "rewire_input: producer must precede consumer (rewiring node " +
+        std::to_string(id) + " to " + std::to_string(new_input) +
+        " would break construction order)");
+  }
+  const SpecNode& incoming = nodes_[new_input];
+  const SpecNode& displaced = nodes_[node.inputs[arg]];
+  if (incoming.components != displaced.components) {
+    throw NetworkError("rewire_input: '" + incoming.label + "' produces " +
+                       std::to_string(incoming.components) +
+                       " components where '" + displaced.label +
+                       "' produced " + std::to_string(displaced.components));
+  }
+  node.inputs[arg] = new_input;
+}
+
 void NetworkSpec::set_label(int id, const std::string& label) {
   check_id(id, "in set_label");
   nodes_[id].label = label;

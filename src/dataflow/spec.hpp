@@ -79,6 +79,16 @@ class NetworkSpec {
 
   /// Marks the node whose value the network produces.
   void set_output(int id);
+  /// Redirects filter `id`'s `arg`-th input edge to `new_input`, keeping
+  /// every node id stable (no compaction — downstream consumers resolve
+  /// pipeline stages and materialised-parameter names by node id). The new
+  /// producer must precede the consumer (ids are construction order, so
+  /// this preserves acyclicity) and match the displaced input's component
+  /// count. Nodes orphaned by rewiring are left in place; the bytecode
+  /// optimizer's dead-code elimination discards their instructions. This
+  /// is the mutation the pre-codegen rewrite pass (kernels::rewrite_network)
+  /// is built on.
+  void rewire_input(int id, std::size_t arg, int new_input);
   /// Associates a user-facing name with a node (assignment statements).
   void set_label(int id, const std::string& label);
 

@@ -167,10 +167,13 @@ DistributedReport DistributedEngine::evaluate(
 
   // One virtual device and accumulated profiling log per MPI task.
   const bool pool_on = resident_pool_enabled(config_);
+  const std::shared_ptr<kernels::ExecutionBackend> backend =
+      config_.backend ? kernels::backend_for(*config_.backend) : nullptr;
   std::vector<RankState> states(ranks);
   for (RankState& state : states) {
     state.device = std::make_unique<vcl::Device>(config_.device_spec);
     state.device->resident().set_enabled(pool_on);
+    if (backend) state.device->set_backend(backend);
   }
   if (config_.fault_plan.armed() && ranks > 0) {
     states[config_.fault_rank % ranks].device->fault().arm(config_.fault_plan);
@@ -274,6 +277,7 @@ DistributedReport DistributedEngine::evaluate(
         // The replacement starts with no fault plan armed.
         state.device = std::make_unique<vcl::Device>(config_.device_spec);
         state.device->resident().set_enabled(pool_on);
+        if (backend) state.device->set_backend(backend);
         state.device->fault().set_sink(&block_log);
         ++report.device_losses;
         reg.add(counters.losses);
@@ -371,7 +375,8 @@ DistributedReport DistributedEngine::evaluate(
     // wins and both executions stay charged.
     if (config_.straggler_budget_factor > 0.0) {
       const double estimate = runtime::estimate_sim_seconds(
-          network, bindings, elements, config_.device_spec, outcome.executed);
+          network, bindings, elements, config_.device_spec, outcome.executed,
+          backend ? backend->compute_efficiency() : 0.0);
       const double reference = std::max(estimate, fastest_clean);
       if (reference > 0.0 &&
           duration > config_.straggler_budget_factor * reference) {

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -35,6 +36,7 @@
 
 #include "distrib/decomposition.hpp"
 #include "distrib/ghost.hpp"
+#include "kernels/backend.hpp"
 #include "mesh/mesh.hpp"
 #include "runtime/fallback.hpp"
 #include "runtime/strategy.hpp"
@@ -79,6 +81,11 @@ struct ClusterConfig {
   /// single-device engine: DFGEN_RESIDENT_POOL forces on,
   /// DFGEN_NO_RESIDENT_POOL forces off (and wins).
   bool resident_pool = false;
+  /// Execution backend armed on every rank's device (and replacement
+  /// devices). Unset defers to DFGEN_BACKEND. The straggler budget prices
+  /// its reference estimate at the same backend's compute efficiency, so a
+  /// uniformly jit cluster does not flag every block as slow or fast.
+  std::optional<kernels::BackendKind> backend;
 };
 
 struct DistributedReport {

@@ -7,6 +7,7 @@
 
 #include "kernels/optimizer.hpp"
 #include "kernels/primitives.hpp"
+#include "kernels/rewrites.hpp"
 #include "support/error.hpp"
 
 namespace dfg::kernels {
@@ -191,6 +192,21 @@ Program generate_fused(const dataflow::Network& network,
 FusedPipeline generate_fused_pipeline(const dataflow::Network& network,
                                       const std::string& kernel_name,
                                       bool optimize) {
+  if (optimize) {
+    // Pre-codegen rewrite pass: algebraic, bit-exact simplifications on
+    // the network itself, shared by every backend the generated programs
+    // later run under. Node ids are preserved, so stage resolution and
+    // materialised-parameter naming downstream are unaffected; the
+    // recursion terminates because a rewritten spec rewrites to zero
+    // further edge moves.
+    NetworkRewriteStats rewrites;
+    dataflow::NetworkSpec rewritten =
+        rewrite_network(network.spec(), &rewrites);
+    if (rewrites.total() > 0) {
+      return generate_fused_pipeline(dataflow::Network(std::move(rewritten)),
+                                     kernel_name, optimize);
+    }
+  }
   const std::set<int> barriers = materialization_barriers(network);
   FusedPipeline pipeline;
   // Materialise barrier values in dependency order (topo order restricted

@@ -1,7 +1,9 @@
 #include "kernels/program.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 
 namespace dfg::kernels {
@@ -354,6 +356,28 @@ Program Program::assemble(std::string name, std::vector<Instr> code,
     prog.flops_per_item_ += op_flops(instr.op);
     prog.global_bytes_per_item_ += op_global_bytes(instr.op);
   }
+
+  // Content fingerprint: every identity-relevant field, names excluded
+  // (buffers bind positionally, so a rename cannot change the emitted
+  // kernel). Fields hash individually rather than as raw struct bytes so
+  // padding never leaks into the digest.
+  std::uint64_t fp = support::kFnvOffsetBasis;
+  const auto mix = [&fp](std::uint64_t value) {
+    fp = support::fnv1a(&value, sizeof(value), fp);
+  };
+  mix(prog.code_.size());
+  for (const Instr& instr : prog.code_) {
+    mix(static_cast<std::uint64_t>(instr.op));
+    mix(instr.dst);
+    for (const std::uint16_t arg : instr.args) mix(arg);
+    mix(std::bit_cast<std::uint32_t>(instr.imm));
+  }
+  mix(prog.params_.size());
+  for (const BufferParam& param : prog.params_) {
+    mix(param.is_vec ? 1 : 0);
+  }
+  mix(static_cast<std::uint64_t>(prog.out_components_));
+  prog.fingerprint_ = fp;
 
   // Register-pressure scan: definition point and last use per register,
   // widths propagated through vector-valued ops, peak live scalars.

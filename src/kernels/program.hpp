@@ -56,6 +56,16 @@ class Program {
   std::uint64_t flops_per_item() const { return flops_per_item_; }
   std::uint64_t global_bytes_per_item() const { return global_bytes_per_item_; }
 
+  /// Content fingerprint of the executable semantics: an FNV-1a hash over
+  /// the instruction sequence (opcodes, registers, immediate bits), the
+  /// parameter shapes (count and is_vec flags — names excluded, buffers
+  /// bind positionally) and the output shape. Two programs share a
+  /// fingerprint exactly when a code generator would emit identical
+  /// kernels for them, so it keys the jit module cache: structurally
+  /// identical programs reuse one compiled object regardless of how their
+  /// buffers are named. Computed once at assemble().
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   friend class ProgramBuilder;
   /// The optimizer's register coalescing renames registers in place while
@@ -72,6 +82,7 @@ class Program {
   int out_components_ = 1;
   std::uint64_t flops_per_item_ = 0;
   std::uint64_t global_bytes_per_item_ = 0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Incrementally assembles a Program. Registers are SSA-like: each emit_*

@@ -1,10 +1,14 @@
 #include "kernels/program_cache.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <utility>
 
 #include "kernels/primitives.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "support/checksum.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
 
@@ -34,10 +38,21 @@ void count_evictions(const char* cache, std::size_t dropped) {
           dropped);
 }
 
+// Flat (unlabeled) jit counters — the engine registers the full set
+// eagerly so metrics goldens stay schema-complete even for runs that never
+// touch the jit backend.
+void count_jit(const char* name, std::uint64_t delta = 1) {
+  if (delta == 0) return;
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.add(reg.counter(name), delta);
+}
+
 }  // namespace
 
 ProgramCache::ProgramCache()
-    : caching_enabled_(!support::env::get_flag("DFGEN_NO_PROGRAM_CACHE")),
+    : jit_capacity_(static_cast<std::size_t>(
+          std::max(0, support::env::get_int("DFGEN_JIT_CACHE_CAP", 64)))),
+      caching_enabled_(!support::env::get_flag("DFGEN_NO_PROGRAM_CACHE")),
       optimizer_enabled_(!support::env::get_flag("DFGEN_NO_VM_OPTIMIZER")) {}
 
 ProgramCache& ProgramCache::instance() {
@@ -111,6 +126,112 @@ std::shared_ptr<const Program> ProgramCache::standalone(
   return program;
 }
 
+std::shared_ptr<const jit::Module> ProgramCache::jit_module(
+    const Program& program) {
+  // Key by compiler command as well as fingerprint: flipping DFGEN_JIT_CC
+  // must both invalidate modules built by another toolchain and retry
+  // negative-cached failures from a broken one.
+  const std::string cc = jit::compiler_command();
+  const std::uint64_t key =
+      program.fingerprint() ^ support::fnv1a(cc.data(), cc.size());
+
+  std::unique_lock lock(mutex_);
+  if (!jit_reaped_) {
+    jit_reaped_ = true;
+    lock.unlock();
+    jit::reap_stale_artifacts();
+    lock.lock();
+  }
+  ++jit_tick_;
+  const auto it = jit_modules_.find(key);
+  if (it != jit_modules_.end()) {
+    it->second.last_use = jit_tick_;
+    ++jit_stats_.hits;
+    count_jit("dfgen_jit_cache_hits_total");
+    // A racing thread may still be compiling this slot; get() blocks until
+    // it publishes. Copy the future out so the wait happens unlocked.
+    const auto ready = it->second.ready;
+    lock.unlock();
+    return ready.get();
+  }
+
+  ++jit_stats_.misses;
+  ++jit_stats_.compiles;
+  count_jit("dfgen_jit_cache_misses_total");
+  count_jit("dfgen_jit_compiles_total");
+  std::promise<std::shared_ptr<const jit::Module>> promise;
+  JitSlot& slot = jit_modules_[key];
+  slot.ready = promise.get_future().share();
+  slot.last_use = jit_tick_;
+  slot.in_flight = true;
+  lock.unlock();
+
+  // The toolchain invocation runs outside the lock (it dominates any
+  // cache operation by orders of magnitude); the in-flight slot already in
+  // the map makes racing requests join this compile instead of starting
+  // their own. Charged as a one-time span so traces show compile latency
+  // separated from launch time.
+  std::shared_ptr<const jit::Module> module;
+  std::string failure;
+  {
+    obs::Span span("jit_compile:" + program.name(), "compile");
+    try {
+      module = jit::compile(program);
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+  }
+  promise.set_value(module);
+
+  lock.lock();
+  const auto mine = jit_modules_.find(key);
+  if (mine != jit_modules_.end()) mine->second.in_flight = false;
+  if (module == nullptr) {
+    ++jit_stats_.compile_failures;
+    count_jit("dfgen_jit_compile_failures_total");
+  }
+  evict_jit_locked();
+  lock.unlock();
+
+  if (!failure.empty()) {
+    std::fprintf(stderr, "[dfgen] %s\n", failure.c_str());
+  }
+  return module;
+}
+
+std::size_t ProgramCache::jit_capacity() const {
+  std::scoped_lock lock(mutex_);
+  return jit_capacity_;
+}
+
+void ProgramCache::set_jit_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  jit_capacity_ = capacity;
+  evict_jit_locked();
+}
+
+JitCacheStats ProgramCache::jit_stats() const {
+  std::scoped_lock lock(mutex_);
+  return jit_stats_;
+}
+
+void ProgramCache::evict_jit_locked() {
+  while (jit_modules_.size() > jit_capacity_) {
+    auto victim = jit_modules_.end();
+    for (auto it = jit_modules_.begin(); it != jit_modules_.end(); ++it) {
+      if (it->second.in_flight) continue;
+      if (victim == jit_modules_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == jit_modules_.end()) break;  // every slot is compiling
+    jit_modules_.erase(victim);
+    ++jit_stats_.evictions;
+    count_jit("dfgen_jit_cache_evictions_total");
+  }
+}
+
 ProgramCacheStats ProgramCache::stats() const {
   std::scoped_lock lock(mutex_);
   return stats_;
@@ -143,6 +264,20 @@ void ProgramCache::clear() {
   count_evictions("standalone", standalones_.size());
   pipelines_.clear();
   standalones_.clear();
+  // Jit modules are dropped too (kernels holding a module keep it loaded
+  // until they finish); in-flight slots stay — erasing one would detach a
+  // compile that is about to publish into it.
+  std::size_t dropped = 0;
+  for (auto it = jit_modules_.begin(); it != jit_modules_.end();) {
+    if (it->second.in_flight) {
+      ++it;
+    } else {
+      it = jit_modules_.erase(it);
+      ++dropped;
+    }
+  }
+  jit_stats_.evictions += dropped;
+  count_jit("dfgen_jit_cache_evictions_total", dropped);
 }
 
 void ProgramCache::set_caching_enabled(bool enabled) {

@@ -9,13 +9,20 @@
 // memoised the same way, keyed by primitive kind / component / constant
 // bits.
 //
+// The cache also owns the process's compiled jit modules (jit_module):
+// shared objects are expensive to produce (a full toolchain invocation),
+// so they are memoised by program fingerprint + compiler command with LRU
+// eviction over a bounded capacity — compile-once, run-many.
+//
 // Environment knobs (read once at first use):
 //   DFGEN_NO_PROGRAM_CACHE=1  — generate fresh programs on every request
 //   DFGEN_NO_VM_OPTIMIZER=1   — cache raw (unoptimized) pipelines
+//   DFGEN_JIT_CACHE_CAP=N     — max resident jit modules (default 64)
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +31,7 @@
 
 #include "dataflow/network.hpp"
 #include "kernels/generator.hpp"
+#include "kernels/jit.hpp"
 #include "kernels/program.hpp"
 
 namespace dfg::kernels {
@@ -35,6 +43,19 @@ struct ProgramCacheStats {
   std::uint64_t pipeline_misses = 0;
   std::uint64_t standalone_hits = 0;
   std::uint64_t standalone_misses = 0;
+};
+
+/// Monotonic totals for the jit module cache (process-wide; the same
+/// figures feed the dfgen_jit_* metrics counters). A "hit" includes joining
+/// a compile already in flight on another thread and re-reading a
+/// negative-cached failure; "compiles" counts toolchain invocations, so
+/// hits + misses ≥ compiles and misses == compiles.
+struct JitCacheStats {
+  std::uint64_t compiles = 0;
+  std::uint64_t compile_failures = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
 };
 
 class ProgramCache {
@@ -64,6 +85,25 @@ class ProgramCache {
   std::shared_ptr<const Program> standalone(const std::string& kind,
                                             int component = 0,
                                             float value = 0.0f);
+
+  /// The compiled jit module for `program`, or nullptr when compilation
+  /// failed (failures are negative-cached, so a broken toolchain costs one
+  /// compiler invocation per program, not one per launch). Entries are
+  /// keyed by Program::fingerprint() xor a hash of the compiler command:
+  /// changing DFGEN_JIT_CC both invalidates stale successes and retries
+  /// past failures. Concurrent requests for the same key join one
+  /// in-flight compile (it runs outside the cache lock; joiners block on a
+  /// shared future and count as hits). At most jit_capacity() modules stay
+  /// resident — least-recently-used entries are evicted first, and an
+  /// evicted module's shared object is unloaded once the last outstanding
+  /// kernel drops its reference. The first call also reaps artifacts
+  /// abandoned by dead processes (jit::reap_stale_artifacts).
+  std::shared_ptr<const jit::Module> jit_module(const Program& program);
+
+  std::size_t jit_capacity() const;
+  /// Shrinking below the resident count evicts immediately (LRU first).
+  void set_jit_capacity(std::size_t capacity);
+  JitCacheStats jit_stats() const;
 
   ProgramCacheStats stats() const;
 
@@ -98,10 +138,30 @@ class ProgramCache {
   using PipelineKey = std::tuple<std::uint64_t, std::string, bool>;
   using StandaloneKey = std::tuple<std::string, int, std::uint32_t>;
 
+  /// One jit cache slot. `ready` resolves to the module (nullptr for a
+  /// negative-cached failure); while the compile is still running on the
+  /// inserting thread the slot is already in the map so racing requests
+  /// dedup onto the same future.
+  struct JitSlot {
+    std::shared_future<std::shared_ptr<const jit::Module>> ready;
+    std::uint64_t last_use = 0;
+    bool in_flight = false;
+  };
+
+  /// Evicts LRU jit slots until at most jit_capacity_ remain. In-flight
+  /// slots are pinned (evicting one would recompile what is already being
+  /// compiled). Requires mutex_ held.
+  void evict_jit_locked();
+
   mutable std::mutex mutex_;
   std::map<PipelineKey, std::shared_ptr<const FusedPipeline>> pipelines_;
   std::map<StandaloneKey, std::shared_ptr<const Program>> standalones_;
+  std::map<std::uint64_t, JitSlot> jit_modules_;
+  std::uint64_t jit_tick_ = 0;
+  std::size_t jit_capacity_ = 64;
+  bool jit_reaped_ = false;
   ProgramCacheStats stats_;
+  JitCacheStats jit_stats_;
   bool caching_enabled_ = true;
   bool optimizer_enabled_ = true;
 };

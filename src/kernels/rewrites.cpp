@@ -1,0 +1,86 @@
+#include "kernels/rewrites.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace dfg::kernels {
+
+namespace {
+
+bool is_filter_kind(const dataflow::SpecNode& node, const char* kind) {
+  return node.type == dataflow::NodeType::filter && node.kind == kind;
+}
+
+}  // namespace
+
+dataflow::NetworkSpec rewrite_network(const dataflow::NetworkSpec& spec,
+                                      NetworkRewriteStats* stats) {
+  dataflow::NetworkSpec out = spec;
+  const std::vector<dataflow::SpecNode>& nodes = out.nodes();
+  NetworkRewriteStats local;
+
+  // rep[id]: the node that provides id's value after rewriting — id
+  // itself unless id heads a neg(neg(...)) or abs(abs(...)) pattern.
+  // rep_rule remembers which rule moved it, for stats classification.
+  // Ascending id order (ids are construction order, producers first)
+  // makes each producer's rep final before any consumer reads it, so one
+  // pass reaches the fixed point.
+  enum : char { kNone = 0, kDoubleNeg, kNestedAbs };
+  std::vector<int> rep(nodes.size());
+  std::vector<char> rep_rule(nodes.size(), kNone);
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    rep[id] = static_cast<int>(id);
+  }
+
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const dataflow::SpecNode& node = nodes[id];
+    if (node.type != dataflow::NodeType::filter) continue;
+
+    if (is_filter_kind(node, "neg")) {
+      const dataflow::SpecNode& producer = nodes[rep[node.inputs[0]]];
+      if (is_filter_kind(producer, "neg")) {
+        // neg(neg(x)) -> x: consumers skip both sign flips. The node
+        // itself stays intact (it may be the network output, which is
+        // never eliminated).
+        rep[id] = rep[producer.inputs[0]];
+        rep_rule[id] = kDoubleNeg;
+      }
+    }
+
+    // Redirect every input edge through the finished reps. grad3d is
+    // exempt: its field operand defines materialisation barriers, and
+    // moving one would shift the stage partitioning under the strategies.
+    if (node.kind == "grad3d") continue;
+    for (std::size_t arg = 0; arg < node.inputs.size(); ++arg) {
+      const int original = node.inputs[arg];
+      int desired = rep[original];
+      bool hopped_neg = false;
+      if (is_filter_kind(node, "abs")) {
+        const dataflow::SpecNode& producer = nodes[desired];
+        if (is_filter_kind(producer, "abs")) {
+          // abs(abs(x)) -> abs(x): this node's value *is* the inner abs.
+          rep[id] = desired;
+          rep_rule[id] = kNestedAbs;
+        } else if (is_filter_kind(producer, "neg")) {
+          // abs(neg(x)) -> abs(x): the sign flip is discarded anyway.
+          desired = rep[producer.inputs[0]];
+          hopped_neg = true;
+        }
+      }
+      if (desired == original) continue;
+      if (hopped_neg) {
+        ++local.abs_of_negation;
+      } else if (rep_rule[original] == kNestedAbs) {
+        ++local.nested_abs;
+      } else {
+        ++local.double_negation;
+      }
+      out.rewire_input(static_cast<int>(id), arg, desired);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace dfg::kernels

@@ -1,0 +1,53 @@
+// Kernel layer: pre-codegen network rewrites.
+//
+// A small algebraic rewrite pass over the dataflow DAG, run before kernel
+// generation so *every* execution backend — the tiled VM, the scalar
+// oracle replays in tests, and the jit's native code — sees the same
+// simplified program. Only rewrites that are bit-exact in IEEE float
+// arithmetic are admitted (sign-bit manipulations, absorption of
+// idempotent ops); anything value-changing (reassociation, distribution)
+// stays out, because the backends' bit-identical contract is checked by
+// the fuzzer.
+//
+// Rules:
+//   neg(neg(x))  -> x        (two sign flips cancel, all inputs, NaN safe)
+//   abs(abs(x))  -> abs(x)   (abs is idempotent)
+//   abs(neg(x))  -> abs(x)   (abs discards the sign bit)
+//
+// The pass rewires consumer input edges in place and never adds, removes
+// or renumbers nodes: pipeline-stage resolution and materialised-parameter
+// naming key on node ids, so ids are load-bearing. Orphaned producers stay
+// in the spec — the bytecode optimizer's dead-code elimination drops their
+// instructions. grad3d consumers are left untouched: their field-operand
+// edges define materialisation barriers, and moving one would shift the
+// stage partitioning out from under the strategies.
+#pragma once
+
+#include <cstddef>
+
+#include "dataflow/spec.hpp"
+
+namespace dfg::kernels {
+
+struct NetworkRewriteStats {
+  /// Consumer edges redirected past a neg(neg(x)) chain.
+  std::size_t double_negation = 0;
+  /// abs-of-abs edges collapsed onto the inner abs.
+  std::size_t nested_abs = 0;
+  /// abs inputs hopped over a neg producer.
+  std::size_t abs_of_negation = 0;
+
+  std::size_t total() const {
+    return double_negation + nested_abs + abs_of_negation;
+  }
+};
+
+/// Returns a copy of `spec` with the rules above applied to a fixed point
+/// (one ascending pass suffices: ids are construction order, so every
+/// producer is fully resolved before its consumers are visited). Stats,
+/// when requested, count actual edge rewires — zero means the returned
+/// spec is structurally identical to the input.
+dataflow::NetworkSpec rewrite_network(const dataflow::NetworkSpec& spec,
+                                      NetworkRewriteStats* stats = nullptr);
+
+}  // namespace dfg::kernels

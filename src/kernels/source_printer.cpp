@@ -1,9 +1,15 @@
 #include "kernels/source_printer.hpp"
 
+#include <bit>
+#include <cstdint>
+#include <cstdio>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "kernels/primitives.hpp"
+#include "kernels/vm.hpp"
 #include "support/string_util.hpp"
 
 namespace dfg::kernels {
@@ -187,6 +193,412 @@ std::string to_opencl_source(const Program& program) {
     }
   }
   os << to_opencl_body(program);
+  return os.str();
+}
+
+namespace {
+
+// ---- C translation-unit emission (jit backend) ----------------------------
+//
+// Bit-exactness discipline: every statement below mirrors one interpreter
+// operation operand-for-operand. The float libm entry points (sqrtf, powf,
+// fminf, ...) are the functions the C++ std:: float overloads resolve to,
+// so the compiled object and the interpreters execute the same library
+// code; division, comparison and negation are IEEE-defined; the gradient
+// spans replicate the tiled VM's row loop including its boundary peeling.
+// Compilation passes -ffp-contract=off so no statement fuses into an fma
+// the interpreters would not perform.
+
+std::string c_lane(std::uint16_t r, int lane) {
+  return "r" + std::to_string(r) + "_" + std::to_string(lane);
+}
+
+std::string c_buf(std::uint16_t slot) { return "b" + std::to_string(slot); }
+
+/// Exact float literal as a bit pattern: format_float round-trips decimals,
+/// but a bit cast can never be misread by a foreign compiler's strtof, and
+/// it represents NaN/inf immediates too.
+std::string c_const(float value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "dfgen_bits(0x%08xu) /* %s */",
+                std::bit_cast<std::uint32_t>(value),
+                support::format_float(value).c_str());
+  return buf;
+}
+
+const char* c_unary_fn(Op op) {
+  switch (op) {
+    case Op::sqrt:
+      return "sqrtf";
+    case Op::abs:
+      return "fabsf";
+    case Op::sin:
+      return "sinf";
+    case Op::cos:
+      return "cosf";
+    case Op::tan:
+      return "tanf";
+    case Op::exp:
+      return "expf";
+    case Op::log:
+      return "logf";
+    case Op::tanh:
+      return "tanhf";
+    case Op::floor:
+      return "floorf";
+    case Op::ceil:
+      return "ceilf";
+    default:
+      return nullptr;
+  }
+}
+
+const char* c_binary_fn(Op op) {
+  switch (op) {
+    case Op::min:
+      return "fminf";
+    case Op::max:
+      return "fmaxf";
+    case Op::pow:
+      return "powf";
+    default:
+      return nullptr;
+  }
+}
+
+/// The axis_derivative + row-span helpers, verbatim ports of the VM's
+/// gradient path. d0/d1/d2 are null for dead lanes.
+constexpr const char* kGradHelpers = R"(
+static float dfgen_axis(const float* field, const float* coords, size_t idx,
+                        size_t n, size_t stride, size_t base) {
+  size_t lo_i, hi_i;
+  float df, dc;
+  if (n == 1) return 0.0f;
+  if (idx == 0) {
+    lo_i = 0; hi_i = 1;
+  } else if (idx == n - 1) {
+    lo_i = n - 2; hi_i = n - 1;
+  } else {
+    lo_i = idx - 1; hi_i = idx + 1;
+  }
+  df = field[base + hi_i * stride] - field[base + lo_i * stride];
+  dc = coords[base + hi_i * stride] - coords[base + lo_i * stride];
+  return dc == 0.0f ? 0.0f : df / dc;
+}
+
+static void dfgen_grad_rows(const float* field, const float* x,
+                            const float* y, const float* z,
+                            size_t nx, size_t ny, size_t nz,
+                            size_t t0, size_t count,
+                            float* restrict d0, float* restrict d1,
+                            float* restrict d2) {
+  const size_t plane = nx * ny;
+  size_t i = t0 % nx;
+  size_t j = (t0 / nx) % ny;
+  size_t k = t0 / plane;
+  size_t e = 0;
+  while (e < count) {
+    const size_t rem = count - e;
+    const size_t row_len = rem < nx - i ? rem : nx - i;
+    const size_t row_base = j * nx + k * plane;
+    if (d0 != 0) {
+      if (nx == 1) {
+        for (size_t t = 0; t < row_len; ++t) d0[e + t] = 0.0f;
+      } else {
+        const float* f = field + row_base;
+        const float* cx = x + row_base;
+        const size_t t_end = (i + row_len == nx) ? row_len - 1 : row_len;
+        size_t t = 0;
+        if (i == 0) {
+          d0[e] = dfgen_axis(field, x, 0, nx, 1, row_base);
+          t = 1;
+        }
+        for (; t < t_end; ++t) {
+          const size_t ii = i + t;
+          const float df = f[ii + 1] - f[ii - 1];
+          const float dc = cx[ii + 1] - cx[ii - 1];
+          d0[e + t] = dc == 0.0f ? 0.0f : df / dc;
+        }
+        if (t_end < row_len) {
+          d0[e + row_len - 1] = dfgen_axis(field, x, nx - 1, nx, 1, row_base);
+        }
+      }
+    }
+    if (d1 != 0) {
+      if (ny == 1) {
+        for (size_t t = 0; t < row_len; ++t) d1[e + t] = 0.0f;
+      } else {
+        const size_t lo_j = j - (j > 0 ? 1 : 0);
+        const size_t hi_j = j + (j < ny - 1 ? 1 : 0);
+        const float* fhi = field + k * plane + hi_j * nx + i;
+        const float* flo = field + k * plane + lo_j * nx + i;
+        const float* chi = y + k * plane + hi_j * nx + i;
+        const float* clo = y + k * plane + lo_j * nx + i;
+        for (size_t t = 0; t < row_len; ++t) {
+          const float df = fhi[t] - flo[t];
+          const float dc = chi[t] - clo[t];
+          d1[e + t] = dc == 0.0f ? 0.0f : df / dc;
+        }
+      }
+    }
+    if (d2 != 0) {
+      if (nz == 1) {
+        for (size_t t = 0; t < row_len; ++t) d2[e + t] = 0.0f;
+      } else {
+        const size_t lo_k = k - (k > 0 ? 1 : 0);
+        const size_t hi_k = k + (k < nz - 1 ? 1 : 0);
+        const float* fhi = field + j * nx + hi_k * plane + i;
+        const float* flo = field + j * nx + lo_k * plane + i;
+        const float* chi = z + j * nx + hi_k * plane + i;
+        const float* clo = z + j * nx + lo_k * plane + i;
+        for (size_t t = 0; t < row_len; ++t) {
+          const float df = fhi[t] - flo[t];
+          const float dc = chi[t] - clo[t];
+          d2[e + t] = dc == 0.0f ? 0.0f : df / dc;
+        }
+      }
+    }
+    e += row_len;
+    i = 0;
+    ++j;
+    if (j == ny) {
+      j = 0;
+      ++k;
+    }
+  }
+}
+)";
+
+/// Emits one fused-loop statement per live lane of `in`. Ordering inside
+/// an instruction mirrors the tiled VM where aliasing matters: select
+/// lanes descend so the condition local (which register coalescing may
+/// alias with the destination) is consumed before lane 0 overwrites it,
+/// and the lane-0 value of a scalar producer is written before its high
+/// lanes are zeroed.
+void emit_c_instr(std::ostringstream& os, const Instr& in,
+                  std::uint8_t mask) {
+  const auto stmt = [&os](const std::string& text) {
+    os << "      " << text << "\n";
+  };
+  const auto zero_high = [&](std::uint16_t r) {
+    for (int lane = 1; lane < 4; ++lane) {
+      if (mask & (1u << lane)) stmt(c_lane(r, lane) + " = 0.0f;");
+    }
+  };
+  if (const char* op = [&]() -> const char* {
+        switch (in.op) {
+          case Op::add:
+            return "+";
+          case Op::sub:
+            return "-";
+          case Op::mul:
+            return "*";
+          case Op::div:
+            return "/";
+          default:
+            return nullptr;
+        }
+      }()) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      stmt(c_lane(in.dst, lane) + " = " + c_lane(in.args[0], lane) + " " +
+           op + " " + c_lane(in.args[1], lane) + ";");
+    }
+    return;
+  }
+  if (const char* fn = c_binary_fn(in.op)) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      stmt(c_lane(in.dst, lane) + " = " + fn + "(" +
+           c_lane(in.args[0], lane) + ", " + c_lane(in.args[1], lane) + ");");
+    }
+    return;
+  }
+  if (in.op == Op::neg) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      stmt(c_lane(in.dst, lane) + " = -" + c_lane(in.args[0], lane) + ";");
+    }
+    return;
+  }
+  if (const char* fn = c_unary_fn(in.op)) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      stmt(c_lane(in.dst, lane) + " = " + fn + "(" +
+           c_lane(in.args[0], lane) + ");");
+    }
+    return;
+  }
+  if (const char* cmp = comparison_operator(in.op)) {
+    if (mask & 0x1) {
+      stmt(c_lane(in.dst, 0) + " = (" + c_lane(in.args[0], 0) + " " + cmp +
+           " " + c_lane(in.args[1], 0) + ") ? 1.0f : 0.0f;");
+    }
+    zero_high(in.dst);
+    return;
+  }
+  switch (in.op) {
+    case Op::load_global:
+      if (mask & 0x1) {
+        stmt(c_lane(in.dst, 0) + " = " + c_buf(in.args[0]) + "[gid];");
+      }
+      zero_high(in.dst);
+      break;
+    case Op::load_global_vec:
+      for (int lane = 0; lane < 4; ++lane) {
+        if (!(mask & (1u << lane))) continue;
+        stmt(c_lane(in.dst, lane) + " = " + c_buf(in.args[0]) + "[gid * 4 + " +
+             std::to_string(lane) + "];");
+      }
+      break;
+    case Op::load_const:
+      if (mask & 0x1) {
+        stmt(c_lane(in.dst, 0) + " = " + c_const(in.imm) + ";");
+      }
+      zero_high(in.dst);
+      break;
+    case Op::component:
+      if (mask & 0x1) {
+        stmt(c_lane(in.dst, 0) + " = " +
+             c_lane(in.args[0], static_cast<int>(in.args[1])) + ";");
+      }
+      zero_high(in.dst);
+      break;
+    case Op::select:
+      for (int lane = 3; lane >= 0; --lane) {
+        if (!(mask & (1u << lane))) continue;
+        stmt(c_lane(in.dst, lane) + " = (" + c_lane(in.args[0], 0) +
+             " != 0.0f) ? " + c_lane(in.args[1], lane) + " : " +
+             c_lane(in.args[2], lane) + ";");
+      }
+      break;
+    case Op::store:
+      stmt("out[gid] = " + c_lane(in.args[0], 0) + ";");
+      break;
+    case Op::store_vec:
+      for (int lane = 0; lane < 4; ++lane) {
+        stmt("out[gid * 4 + " + std::to_string(lane) + "] = " +
+             c_lane(in.args[0], lane) + ";");
+      }
+      break;
+    default:
+      break;  // grad3d is hoisted to the tile preamble
+  }
+}
+
+}  // namespace
+
+std::string to_c_source(const Program& program) {
+  const std::vector<std::uint8_t> masks = live_lane_masks(program);
+  const std::vector<Instr>& code = program.code();
+
+  bool uses_grad = false;
+  bool uses_const = false;
+  bool uses_libm = false;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (masks[pc] == 0 && op_defines_register(code[pc].op)) continue;
+    if (code[pc].op == Op::grad3d) uses_grad = true;
+    if (code[pc].op == Op::load_const) uses_const = true;
+    if (c_unary_fn(code[pc].op) != nullptr ||
+        c_binary_fn(code[pc].op) != nullptr) {
+      uses_libm = true;
+    }
+  }
+
+  std::ostringstream os;
+  os << "/* generated by dfgen jit backend: kernel '" << program.name()
+     << "', fingerprint 0x" << std::hex << program.fingerprint() << std::dec
+     << " */\n";
+  os << "#include <stddef.h>\n";
+  if (uses_const) os << "#include <string.h>\n";
+  if (uses_libm) os << "#include <math.h>\n";
+  os << "\n#define DFGEN_TILE " << kTileSize << "\n";
+  if (uses_const) {
+    os << R"(
+static float dfgen_bits(unsigned int u) {
+  float f;
+  memcpy(&f, &u, sizeof(f));
+  return f;
+}
+)";
+  }
+  if (uses_grad) os << kGradHelpers;
+
+  os << "\nvoid " << kJitEntryName
+     << "(const float* const* restrict bufs, float* restrict out,\n"
+     << "     size_t begin, size_t end) {\n";
+  // Hoist the slot loads: read-only inputs, so restrict stays valid even
+  // when the resident pool hands two parameter names the same buffer.
+  for (std::size_t slot = 0; slot < program.params().size(); ++slot) {
+    os << "  const float* restrict " << c_buf(static_cast<std::uint16_t>(slot))
+       << " = bufs[" << slot << "]; /* " << program.params()[slot].name
+       << " */\n";
+  }
+
+  os << "  for (size_t t0 = begin; t0 < end; t0 += DFGEN_TILE) {\n"
+     << "    const size_t count =\n"
+     << "        end - t0 < DFGEN_TILE ? end - t0 : (size_t)DFGEN_TILE;\n";
+
+  // Tile preamble: every live gradient fills per-tile SoA columns through
+  // the row-span helper before the fused element loop runs.
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    if (in.op != Op::grad3d || masks[pc] == 0) continue;
+    const std::string g = "g" + std::to_string(pc) + "_";
+    std::string args;
+    for (int lane = 0; lane < 3; ++lane) {
+      if (masks[pc] & (1u << lane)) {
+        os << "    float " << g << lane << "[DFGEN_TILE];\n";
+        args += ", " + g + std::to_string(lane);
+      } else {
+        args += ", (float*)0";
+      }
+    }
+    os << "    {\n"
+       << "      const float* dims = " << c_buf(in.args[1]) << ";\n"
+       << "      dfgen_grad_rows(" << c_buf(in.args[0]) << ", "
+       << c_buf(in.args[2]) << ", " << c_buf(in.args[3]) << ", "
+       << c_buf(in.args[4]) << ",\n"
+       << "                      (size_t)dims[0], (size_t)dims[1], "
+       << "(size_t)dims[2],\n"
+       << "                      t0, count" << args << ");\n"
+       << "    }\n";
+  }
+
+  os << "    for (size_t e = 0; e < count; ++e) {\n"
+     << "      const size_t gid = t0 + e;\n";
+  // Declare every (register, lane) local some live definition writes.
+  // Registers are reused after coalescing, so declarations precede all
+  // statements instead of annotating first definitions.
+  std::set<std::pair<std::uint16_t, int>> locals;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (!op_defines_register(code[pc].op)) continue;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (masks[pc] & (1u << lane)) locals.insert({code[pc].dst, lane});
+    }
+  }
+  for (const auto& [r, lane] : locals) {
+    os << "      float " << c_lane(r, lane) << ";\n";
+  }
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    if (masks[pc] == 0 && op_defines_register(in.op)) continue;
+    if (in.op == Op::grad3d) {
+      const std::string g = "g" + std::to_string(pc) + "_";
+      for (int lane = 0; lane < 3; ++lane) {
+        if (masks[pc] & (1u << lane)) {
+          os << "      " << c_lane(in.dst, lane) << " = " << g << lane
+             << "[e];\n";
+        }
+      }
+      if (masks[pc] & 0x8) {
+        os << "      " << c_lane(in.dst, 3) << " = 0.0f;\n";
+      }
+      continue;
+    }
+    emit_c_instr(os, in, masks[pc]);
+  }
+  os << "    }\n  }\n}\n";
   return os.str();
 }
 

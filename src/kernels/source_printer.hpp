@@ -21,4 +21,24 @@ std::string to_opencl_source(const Program& program);
 /// Just the kernel body (no device-function preamble); used by tests.
 std::string to_opencl_body(const Program& program);
 
+/// Name of the entry point to_c_source exports.
+inline constexpr const char* kJitEntryName = "dfgen_kernel";
+
+/// The same program as a self-contained C translation unit for the jit
+/// backend: tile-loop outer structure (kernels::kTileSize), grad3d hoisted
+/// to per-tile SoA column arrays filled by the VM's row-wise spans, and
+/// every remaining instruction fused into one per-element loop over scalar
+/// locals (live lanes only, from live_lane_masks). Exported entry point:
+///
+///   void dfgen_kernel(const float* const* bufs, float* out,
+///                     size_t begin, size_t end);
+///
+/// `bufs` holds one pointer per buffer parameter, in slot order; `out` is
+/// indexed with absolute global ids times out_stride(). Arithmetic is
+/// operand-for-operand what the interpreters perform (same libm entry
+/// points, same evaluation order, same boundary peeling), so the compiled
+/// object is bit-identical to run()/run_scalar() — the fuzzer enforces
+/// this across backends.
+std::string to_c_source(const Program& program);
+
 }  // namespace dfg::kernels

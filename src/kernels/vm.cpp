@@ -156,6 +156,29 @@ inline Vec4 eval_grad(const GradContext& ctx, std::size_t gid) {
   return g;
 }
 
+template <typename F>
+inline Vec4 lanewise(const Vec4& a, const Vec4& b, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i], b[i]);
+  return r;
+}
+
+template <typename F>
+inline Vec4 lanewise1(const Vec4& a, F f) {
+  Vec4 r;
+  for (int i = 0; i < 4; ++i) r[i] = f(a[i]);
+  return r;
+}
+
+}  // namespace
+
+void validate_launch(const Program& program,
+                     std::span<const BufferBinding> inputs,
+                     std::size_t out_elements, std::size_t begin,
+                     std::size_t end) {
+  (void)prevalidate(program, inputs, out_elements, begin, end);
+}
+
 /// Exact backward lane-liveness, one 4-bit mask per instruction: bit l set
 /// when some later consumer can observe lane l of the value this
 /// instruction defines. Unlike the optimizer's SSA-only analysis this
@@ -218,22 +241,6 @@ std::vector<std::uint8_t> live_lane_masks(const Program& program) {
   }
   return masks;
 }
-
-template <typename F>
-inline Vec4 lanewise(const Vec4& a, const Vec4& b, F f) {
-  Vec4 r;
-  for (int i = 0; i < 4; ++i) r[i] = f(a[i], b[i]);
-  return r;
-}
-
-template <typename F>
-inline Vec4 lanewise1(const Vec4& a, F f) {
-  Vec4 r;
-  for (int i = 0; i < 4; ++i) r[i] = f(a[i]);
-  return r;
-}
-
-}  // namespace
 
 void run(const Program& program, std::span<const BufferBinding> inputs,
          float* out, std::size_t out_elements, std::size_t begin,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -59,5 +60,22 @@ void run_scalar(const Program& program, std::span<const BufferBinding> inputs,
 /// Convenience wrapper executing the whole NDRange serially (used by tests).
 void run_all(const Program& program, std::span<const BufferBinding> inputs,
              std::span<float> out, std::size_t ndrange);
+
+/// The launch-argument validation both interpreters perform before
+/// executing (argument counts, buffer extents, grad3d dims/coordinate
+/// shape), without running anything. Throws KernelError exactly when
+/// run()/run_scalar() would; the jit backend calls this so a compiled
+/// kernel rejects malformed launches identically to the VM.
+void validate_launch(const Program& program,
+                     std::span<const BufferBinding> inputs,
+                     std::size_t out_elements, std::size_t begin,
+                     std::size_t end);
+
+/// Exact backward lane-liveness, one 4-bit mask per instruction: bit l set
+/// when some later consumer can observe lane l of the value the
+/// instruction defines (stores carry 0xF). Exact for coalesced
+/// register-reusing code, not just SSA. Shared by the tiled VM (skips dead
+/// lanes) and the C code generator (emits live lanes only).
+std::vector<std::uint8_t> live_lane_masks(const Program& program);
 
 }  // namespace dfg::kernels

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "kernels/generator.hpp"
 #include "kernels/primitives.hpp"
 #include "kernels/program_cache.hpp"
@@ -14,6 +15,15 @@
 namespace dfg::runtime {
 
 namespace {
+
+/// Resolves the 0 = "process default" sentinel of the public estimators:
+/// an engine-less caller executes launch_program under the DFGEN_BACKEND
+/// backend, so that is the efficiency its measured simulated time carries.
+double resolve_efficiency(double requested) {
+  if (requested > 0.0) return requested;
+  return kernels::backend_for(kernels::default_backend_kind())
+      ->compute_efficiency();
+}
 
 /// True when `residency` marks the node as a warm field input (its device
 /// buffer already exists, so a strategy neither allocates nor uploads it).
@@ -177,7 +187,7 @@ std::size_t streamed_high_water(const dataflow::Network& network,
 double fusion_sim_seconds(const dataflow::Network& network,
                           const FieldBindings& bindings,
                           std::size_t elements, const vcl::CostModel& cost,
-                          const Residency* residency) {
+                          const Residency* residency, double efficiency) {
   const std::shared_ptr<const kernels::FusedPipeline> pipeline =
       kernels::ProgramCache::instance().fused_pipeline(network);
   std::set<std::string> fields;
@@ -195,7 +205,7 @@ double fusion_sim_seconds(const dataflow::Network& network,
     seconds += cost.kernel_seconds(
         stage.program.flops_per_item() * elements,
         stage.program.global_bytes_per_item() * elements,
-        stage.program.max_live_scalar_registers());
+        stage.program.max_live_scalar_registers(), efficiency);
     if (stage.node_id == network.output_id()) {
       final_stride = stage.program.out_stride();
     }
@@ -210,7 +220,7 @@ double fusion_sim_seconds(const dataflow::Network& network,
 double staged_sim_seconds(const dataflow::Network& network,
                           const FieldBindings& bindings,
                           std::size_t elements, const vcl::CostModel& cost,
-                          const Residency* residency) {
+                          const Residency* residency, double efficiency) {
   const auto& spec = network.spec();
   std::vector<bool> materialised(spec.nodes().size(), false);
   double seconds = 0.0;
@@ -230,7 +240,7 @@ double staged_sim_seconds(const dataflow::Network& network,
       seconds += cost.kernel_seconds(
           fill->flops_per_item() * elements,
           fill->global_bytes_per_item() * elements,
-          fill->max_live_scalar_registers());
+          fill->max_live_scalar_registers(), efficiency);
     }
   };
 
@@ -248,7 +258,7 @@ double staged_sim_seconds(const dataflow::Network& network,
     seconds += cost.kernel_seconds(
         program->flops_per_item() * elements,
         program->global_bytes_per_item() * elements,
-        program->max_live_scalar_registers());
+        program->max_live_scalar_registers(), efficiency);
     materialised[id] = true;
   }
 
@@ -266,7 +276,7 @@ double roundtrip_sim_seconds(const dataflow::Network& network,
                              const FieldBindings& bindings,
                              std::size_t elements,
                              const vcl::CostModel& cost,
-                             const Residency* residency) {
+                             const Residency* residency, double efficiency) {
   const auto& spec = network.spec();
   double seconds = 0.0;
   for (const int id : network.topo_order()) {
@@ -284,7 +294,7 @@ double roundtrip_sim_seconds(const dataflow::Network& network,
     seconds += cost.kernel_seconds(
         program->flops_per_item() * elements,
         program->global_bytes_per_item() * elements,
-        program->max_live_scalar_registers());
+        program->max_live_scalar_registers(), efficiency);
     seconds += cost.transfer_seconds(elements * program->out_stride() *
                                      sizeof(float));
   }
@@ -296,7 +306,8 @@ double roundtrip_sim_seconds(const dataflow::Network& network,
 std::vector<vcl::ChunkCost> streamed_chunk_costs(
     const dataflow::Network& network, const FieldBindings& bindings,
     std::size_t elements, const vcl::DeviceSpec& spec,
-    std::size_t chunk_cells) {
+    std::size_t chunk_cells, double compute_efficiency) {
+  const double efficiency = resolve_efficiency(compute_efficiency);
   const std::shared_ptr<const kernels::Program> program_ptr =
       kernels::ProgramCache::instance().fused_single(network);
   const kernels::Program& program = *program_ptr;
@@ -326,7 +337,7 @@ std::vector<vcl::ChunkCost> streamed_chunk_costs(
     chunk.kernel = cost.kernel_seconds(
         program.flops_per_item() * slab_cells,
         program.global_bytes_per_item() * slab_cells,
-        program.max_live_scalar_registers());
+        program.max_live_scalar_registers(), efficiency);
     chunk.read = cost.transfer_seconds(slab_cells * program.out_stride() *
                                        sizeof(float));
     chunks.push_back(chunk);
@@ -375,23 +386,26 @@ double estimate_sim_seconds(const dataflow::Network& network,
                             std::size_t elements, const vcl::DeviceSpec& spec,
                             StrategyKind kind,
                             std::size_t streamed_chunk_cells,
-                            const Residency* residency) {
+                            const Residency* residency,
+                            double compute_efficiency) {
+  const double efficiency = resolve_efficiency(compute_efficiency);
   const vcl::CostModel cost(spec);
   switch (kind) {
     case StrategyKind::fusion:
-      return fusion_sim_seconds(network, bindings, elements, cost,
-                                residency);
+      return fusion_sim_seconds(network, bindings, elements, cost, residency,
+                                efficiency);
     case StrategyKind::staged:
-      return staged_sim_seconds(network, bindings, elements, cost,
-                                residency);
+      return staged_sim_seconds(network, bindings, elements, cost, residency,
+                                efficiency);
     case StrategyKind::roundtrip:
       return roundtrip_sim_seconds(network, bindings, elements, cost,
-                                   residency);
+                                   residency, efficiency);
     case StrategyKind::streamed:
       try {
         double seconds = 0.0;
-        for (const vcl::ChunkCost& chunk : streamed_chunk_costs(
-                 network, bindings, elements, spec, streamed_chunk_cells)) {
+        for (const vcl::ChunkCost& chunk :
+             streamed_chunk_costs(network, bindings, elements, spec,
+                                  streamed_chunk_cells, efficiency)) {
           seconds += chunk.upload + chunk.kernel + chunk.read;
         }
         return seconds;
@@ -399,7 +413,7 @@ double estimate_sim_seconds(const dataflow::Network& network,
         // Streamed cannot execute this network; the ladder would land on a
         // neighbouring rung, whose cost is close enough for budgeting.
         return fusion_sim_seconds(network, bindings, elements, cost,
-                                  residency);
+                                  residency, efficiency);
       }
   }
   throw Error("unknown strategy kind");
@@ -437,7 +451,9 @@ StrategyKind select_fastest_strategy(const dataflow::Network& network,
                                      const FieldBindings& bindings,
                                      std::size_t elements,
                                      const vcl::Device& device,
-                                     const Residency* residency) {
+                                     const Residency* residency,
+                                     double compute_efficiency) {
+  const double efficiency = resolve_efficiency(compute_efficiency);
   const std::size_t free_bytes = device.effective_available();
   bool found = false;
   StrategyKind best = StrategyKind::roundtrip;
@@ -459,8 +475,9 @@ StrategyKind select_fastest_strategy(const dataflow::Network& network,
       smallest = std::min(smallest, needed);
       continue;
     }
-    const double seconds = estimate_sim_seconds(
-        network, bindings, elements, device.spec(), kind, 0, residency);
+    const double seconds =
+        estimate_sim_seconds(network, bindings, elements, device.spec(), kind,
+                             0, residency, efficiency);
     if (!found || seconds < best_seconds) {
       found = true;
       best = kind;

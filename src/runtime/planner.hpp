@@ -63,10 +63,18 @@ std::size_t estimate_high_water(const dataflow::Network& network,
 /// The serial sum of these costs equals the streamed strategy's simulated
 /// time on that device exactly (same cost model, same event sequence).
 /// `chunk_cells` = 0 chunks one plane at a time.
+///
+/// `compute_efficiency` (here and in estimate_sim_seconds /
+/// select_fastest_strategy below) is the executing backend's fraction of
+/// peak flop rate; 0 resolves the process-default backend (DFGEN_BACKEND),
+/// which is what an engine-less caller executes under — so default-arg
+/// estimates stay bit-exact against measured simulated time whichever
+/// backend the environment names. Engines pass their device's pinned
+/// backend explicitly.
 std::vector<vcl::ChunkCost> streamed_chunk_costs(
     const dataflow::Network& network, const FieldBindings& bindings,
     std::size_t elements, const vcl::DeviceSpec& spec,
-    std::size_t chunk_cells);
+    std::size_t chunk_cells, double compute_efficiency = 0.0);
 
 /// Predicted simulated duration (seconds) of executing `network` over
 /// `elements` cells under `kind` on a device described by `spec` —
@@ -83,7 +91,8 @@ double estimate_sim_seconds(const dataflow::Network& network,
                             std::size_t elements, const vcl::DeviceSpec& spec,
                             StrategyKind kind,
                             std::size_t streamed_chunk_cells = 0,
-                            const Residency* residency = nullptr);
+                            const Residency* residency = nullptr,
+                            double compute_efficiency = 0.0);
 
 /// The fastest strategy whose predicted working set fits the device's
 /// *free* memory, in preference order fusion > streamed > staged >
@@ -104,6 +113,7 @@ StrategyKind select_fastest_strategy(const dataflow::Network& network,
                                      const FieldBindings& bindings,
                                      std::size_t elements,
                                      const vcl::Device& device,
-                                     const Residency* residency = nullptr);
+                                     const Residency* residency = nullptr,
+                                     double compute_efficiency = 0.0);
 
 }  // namespace dfg::runtime

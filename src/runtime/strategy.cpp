@@ -1,7 +1,9 @@
 #include "runtime/strategy.hpp"
 
+#include <memory>
 #include <utility>
 
+#include "kernels/backend.hpp"
 #include "kernels/vm.hpp"
 #include "support/error.hpp"
 
@@ -60,6 +62,13 @@ StagedInput stage_input(vcl::CommandQueue& queue, std::span<const float> host,
 void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
                     std::vector<kernels::BufferBinding> inputs,
                     std::span<float> out, std::size_t elements) {
+  // Preparation happens before the launch is enqueued: a jit backend's
+  // one-time compile (or its decision to degrade this program to the VM)
+  // is charged as its own span, never against the kernel-exec command the
+  // watchdog deadlines.
+  kernels::ExecutionBackend& backend = queue.device().backend();
+  std::shared_ptr<const kernels::CompiledKernel> kernel =
+      backend.prepare(program);
   vcl::KernelLaunch launch;
   launch.label = program.name();
   launch.ndrange = elements;
@@ -67,11 +76,13 @@ void launch_program(vcl::CommandQueue& queue, const kernels::Program& program,
   launch.global_bytes = program.global_bytes_per_item() * elements;
   launch.registers_used = program.max_live_scalar_registers();
   launch.grain = kernels::kTileSize;
+  launch.compute_efficiency = backend.compute_efficiency();
   float* out_data = out.data();
   const std::size_t out_elements = out.size();
-  launch.body = [&program, bindings = std::move(inputs), out_data,
+  launch.body = [&program, kernel = std::move(kernel),
+                 bindings = std::move(inputs), out_data,
                  out_elements](std::size_t begin, std::size_t end) {
-    kernels::run(program, bindings, out_data, out_elements, begin, end);
+    kernel->run(program, bindings, out_data, out_elements, begin, end);
   };
   queue.launch(launch);
 }

@@ -465,6 +465,7 @@ void EvalService::execute_batch(std::size_t device_index,
   EngineOptions engine_options;
   engine_options.strategy = leader->request.strategy;
   engine_options.resident_pool = options_.resident_pool;
+  engine_options.backend = options_.backend;
   engine_options.fallback = options_.fallback;
   engine_options.fallback.deadline_factor =
       leader->request.deadline_factor > 0.0 ? leader->request.deadline_factor

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -180,6 +181,9 @@ struct ServiceOptions {
   /// submissions must bump its tag (vcl::note_host_mutation). The per-
   /// evaluation env overrides still apply (DFGEN_NO_RESIDENT_POOL wins).
   bool resident_pool = false;
+  /// Execution backend for every worker engine's device. Unset defers to
+  /// DFGEN_BACKEND (resolved per evaluation).
+  std::optional<kernels::BackendKind> backend;
 
   /// Defaults overlaid with DFGEN_SERVICE_QUEUE_DEPTH,
   /// DFGEN_SERVICE_QUOTA_MB, DFGEN_SERVICE_BACKLOG_MB,

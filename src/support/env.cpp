@@ -30,6 +30,9 @@ std::set<std::string>& known_registry() {
       "DFGEN_SMOKE",
       "DFGEN_NO_PROGRAM_CACHE",
       "DFGEN_NO_VM_OPTIMIZER",
+      "DFGEN_BACKEND",
+      "DFGEN_JIT_CC",
+      "DFGEN_JIT_CACHE_CAP",
       "DFGEN_SERVICE_QUEUE_DEPTH",
       "DFGEN_SERVICE_QUOTA_MB",
       "DFGEN_SERVICE_BACKLOG_MB",

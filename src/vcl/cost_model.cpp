@@ -15,10 +15,10 @@ double CostModel::transfer_seconds(std::size_t bytes) const {
 }
 
 double CostModel::kernel_seconds(std::uint64_t flops, std::size_t global_bytes,
-                                 int registers_used) const {
+                                 int registers_used,
+                                 double efficiency) const {
   const double compute =
-      static_cast<double>(flops) /
-      (spec_->gflops * kGiga * kComputeEfficiency);
+      static_cast<double>(flops) / (spec_->gflops * kGiga * efficiency);
   double effective_bytes = static_cast<double>(global_bytes);
   const int spilled = registers_used - spec_->register_budget;
   if (spilled > 0 && global_bytes > 0) {

@@ -30,9 +30,14 @@ class CostModel {
 
   /// Simulated duration of one kernel dispatch touching `global_bytes` of
   /// device global memory and executing `flops` floating point operations
-  /// with `registers_used` live per-work-item registers.
+  /// with `registers_used` live per-work-item registers. `efficiency` is
+  /// the fraction of peak flop rate the launch's execution backend
+  /// achieves (kernels::kInterpretedEfficiency / kCompiledEfficiency); the
+  /// default keeps the historical interpreted derate for callers that
+  /// price launches without naming a backend.
   double kernel_seconds(std::uint64_t flops, std::size_t global_bytes,
-                        int registers_used) const;
+                        int registers_used,
+                        double efficiency = kComputeEfficiency) const;
 
   /// Fraction of peak flops a generated (non hand-tuned) kernel achieves.
   static constexpr double kComputeEfficiency = 0.35;

@@ -1,6 +1,20 @@
 #include "vcl/device.hpp"
 
+#include "kernels/backend.hpp"
+
 // Device::allocate is defined in buffer.cpp next to the Buffer
 // implementation to keep the allocation/release pairing in one translation
-// unit. This file exists so the device model owns a TU of its own if it
-// grows non-inline behaviour.
+// unit.
+
+namespace dfg::vcl {
+
+kernels::ExecutionBackend& Device::backend() const {
+  if (backend_ != nullptr) return *backend_;
+  // Unpinned devices follow the process default on every call, so a
+  // harness flipping DFGEN_BACKEND between evaluations takes effect
+  // immediately. backend_for returns process-lifetime singletons, so the
+  // reference stays valid.
+  return *kernels::backend_for(kernels::default_backend_kind());
+}
+
+}  // namespace dfg::vcl

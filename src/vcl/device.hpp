@@ -17,12 +17,17 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "support/error.hpp"
 #include "vcl/fault.hpp"
 #include "vcl/resident_pool.hpp"
+
+namespace dfg::kernels {
+class ExecutionBackend;
+}  // namespace dfg::kernels
 
 namespace dfg::vcl {
 
@@ -215,6 +220,16 @@ class Device {
   ResidentPool& resident() { return resident_; }
   const ResidentPool& resident() const { return resident_; }
 
+  /// The execution backend realizing this device's kernel launches. Unset
+  /// (the default), backend() resolves the process default on every call —
+  /// DFGEN_BACKEND, vm when absent — so a harness flipping the variable
+  /// between evaluations is honoured without re-arming each device. The
+  /// engines pin an explicit backend here when their options name one.
+  void set_backend(std::shared_ptr<kernels::ExecutionBackend> backend) {
+    backend_ = std::move(backend);
+  }
+  kernels::ExecutionBackend& backend() const;
+
   /// Allocates a device buffer of `elements` float32 values. Throws
   /// DeviceOutOfMemory if the device capacity would be exceeded. When the
   /// capacity wall is hit, unpinned resident buffers are evicted LRU-first
@@ -228,6 +243,7 @@ class Device {
   FaultInjector fault_;
   RetryPolicy retry_;
   double watchdog_factor_ = 8.0;
+  std::shared_ptr<kernels::ExecutionBackend> backend_;
   /// Declared last: destroyed first, while the tracker is still alive to
   /// account the released resident bytes.
   ResidentPool resident_;

@@ -197,7 +197,7 @@ void CommandQueue::launch(const KernelLaunch& launch) {
       EventKind::kernel_exec, launch.label, launch.global_bytes,
       launch.flops,
       cost_.kernel_seconds(launch.flops, launch.global_bytes,
-                           launch.registers_used),
+                           launch.registers_used, launch.compute_efficiency),
       nullptr,  // kernel output integrity is covered by the readback
       [&]() -> std::span<float> {
         support::parallel_for(launch.ndrange, launch.body, launch.grain);

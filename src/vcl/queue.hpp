@@ -53,6 +53,13 @@ struct KernelLaunch {
   /// kernels::kTileSize so the tiled VM only ever sees whole tiles; the
   /// default of 1 reproduces plain ceil(n/workers) chunking.
   std::size_t grain = 1;
+  /// Fraction of peak flop rate the cost model credits this launch — set
+  /// from the executing backend (interpreted dispatch keeps the historical
+  /// CostModel::kComputeEfficiency; jit-compiled launches run at
+  /// kernels::kCompiledEfficiency). The watchdog estimate uses the same
+  /// value, so switching backends rescales estimate and charge together
+  /// and never trips a deadline by itself.
+  double compute_efficiency = CostModel::kComputeEfficiency;
   std::function<void(std::size_t, std::size_t)> body;
 };
 

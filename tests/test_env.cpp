@@ -93,6 +93,26 @@ TEST(Env, ShardVariablesAreKnown) {
   }
 }
 
+TEST(Env, BackendVariablesAreKnown) {
+  ScopedEnv a("DFGEN_BACKEND", "jit");
+  ScopedEnv b("DFGEN_JIT_CC", "cc");
+  ScopedEnv c("DFGEN_JIT_CACHE_CAP", "8");
+  const auto unknowns = env::unknown_variables();
+  for (const char* name :
+       {"DFGEN_BACKEND", "DFGEN_JIT_CC", "DFGEN_JIT_CACHE_CAP"}) {
+    EXPECT_EQ(std::find(unknowns.begin(), unknowns.end(), name),
+              unknowns.end())
+        << name << " must be pre-registered";
+  }
+}
+
+TEST(Env, BackendTypoSuggestionsNameTheNearestKnob) {
+  EXPECT_EQ(env::suggestion_for("DFGEN_BACKEN"), "DFGEN_BACKEND");
+  EXPECT_EQ(env::suggestion_for("DFGEN_JIT_CCC"), "DFGEN_JIT_CC");
+  EXPECT_EQ(env::suggestion_for("DFGEN_JIT_CACHECAP"),
+            "DFGEN_JIT_CACHE_CAP");
+}
+
 TEST(Env, TypoSuggestionsNameTheNearestKnob) {
   EXPECT_EQ(env::suggestion_for("DFGEN_SHARD_QUEUE_DEPT"),
             "DFGEN_SHARD_QUEUE_DEPTH");

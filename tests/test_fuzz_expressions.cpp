@@ -2,10 +2,12 @@
 //
 // Generates random expression scripts (depth-bounded, covering every
 // expression-language operation including grad3d), executes each through
-// all four execution strategies, and requires every strategy to be
-// bit-exact against the scalar-interpreter reference (the NaN-class rule
-// of tests/bitwise.hpp). Input fields carry NaN / infinity / signed-zero
-// specials so non-finite propagation is exercised on every path.
+// all four execution strategies crossed with all three execution backends
+// (scalar interpreter, tiled VM, jit-compiled native code), and requires
+// every combination to be bit-exact against the scalar-interpreter
+// reference (the NaN-class rule of tests/bitwise.hpp). Input fields carry
+// NaN / infinity / signed-zero specials so non-finite propagation is
+// exercised on every path — including through the jit's generated C.
 //
 // On a failure the script is greedily shrunk — statements dropped, nodes
 // replaced by their children or by a constant — while it still fails, and
@@ -26,6 +28,7 @@
 #include "core/engine.hpp"
 #include "dataflow/builder.hpp"
 #include "dataflow/network.hpp"
+#include "kernels/backend.hpp"
 #include "kernels/generator.hpp"
 #include "kernels/program.hpp"
 #include "kernels/vm.hpp"
@@ -361,6 +364,14 @@ const runtime::StrategyKind kStrategies[] = {
     runtime::StrategyKind::roundtrip, runtime::StrategyKind::staged,
     runtime::StrategyKind::fusion, runtime::StrategyKind::streamed};
 
+/// The backend dimension: every strategy must reproduce the reference bits
+/// no matter how launch bodies execute. The jit entry degrades to the VM
+/// when the toolchain is missing, which is itself a correct run (the
+/// fallback path must stay bit-exact too).
+const kernels::BackendKind kBackends[] = {kernels::BackendKind::scalar,
+                                          kernels::BackendKind::vm,
+                                          kernels::BackendKind::jit};
+
 /// Residency state each iteration drives through every strategy: whether
 /// the resident-buffer pool is on, how many warm re-evaluations run before
 /// the result is compared again, and an optional in-place host mutation
@@ -397,12 +408,14 @@ std::string check(const std::string& text, Fixture& fx,
     return std::string("reference failed: ") + e.what();
   }
   std::vector<float>* fields[] = {&fx.u, &fx.v, &fx.w};
+  for (const kernels::BackendKind backend : kBackends)
   for (const runtime::StrategyKind kind : kStrategies) {
     std::string failure;
     try {
       EngineOptions options;
       options.strategy = kind;
       options.resident_pool = sched.pool;
+      options.backend = backend;
       Engine engine(fx.device, options);
       engine.bind_mesh(fx.mesh);
       engine.bind("u", fx.u);
@@ -414,7 +427,8 @@ std::string check(const std::string& text, Fixture& fx,
         const std::size_t mismatch =
             test::first_bit_mismatch(report.values, expect);
         if (mismatch != static_cast<std::size_t>(-1)) {
-          failure = std::string(runtime::strategy_name(kind)) + " (" + phase +
+          failure = std::string(runtime::strategy_name(kind)) + " on the " +
+                    kernels::backend_name(backend) + " backend (" + phase +
                     ") diverges from the scalar reference at element " +
                     std::to_string(mismatch);
           return false;
@@ -445,7 +459,8 @@ std::string check(const std::string& text, Fixture& fx,
         vcl::note_host_mutation(field.data());
       }
     } catch (const std::exception& e) {
-      failure = std::string(runtime::strategy_name(kind)) + " threw: " + e.what();
+      failure = std::string(runtime::strategy_name(kind)) + " on the " +
+                kernels::backend_name(backend) + " backend threw: " + e.what();
     }
     if (!failure.empty()) return failure;
   }

@@ -65,6 +65,11 @@ std::string table2_snapshot(runtime::StrategyKind kind) {
   vcl::Device device{vcl::xeon_x5660_scaled()};
   EngineOptions options;
   options.strategy = kind;
+  // Pin the VM backend: the goldens' sim timings are priced at the
+  // interpreter's compute efficiency, and running this suite under
+  // DFGEN_BACKEND=jit must not perturb byte-pinned snapshots (jit runs
+  // would also add compile spans and cache-counter traffic).
+  options.backend = kernels::BackendKind::vm;
   Engine engine(device, options);
   engine.bind_mesh(mesh);
   engine.bind("u", field.u);
