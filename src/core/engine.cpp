@@ -120,11 +120,16 @@ void Engine::invalidate(const std::string& name) {
 
 EvaluationReport Engine::evaluate(std::string_view expression,
                                   std::size_t elements) {
+  const dataflow::Network network(
+      dataflow::build_network(expression, options_.spec_options));
+  return evaluate_network(network, elements);
+}
+
+EvaluationReport Engine::evaluate_network(const dataflow::Network& network,
+                                          std::size_t elements) {
   if (elements == 0) {
     throw Error("evaluate requires a positive element count");
   }
-  dataflow::Network network(
-      dataflow::build_network(expression, options_.spec_options));
 
   // Arm (or disarm) the device's resident pool for this evaluation. The
   // env overrides are read per evaluate so a differential harness can flip

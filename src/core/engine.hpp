@@ -160,6 +160,13 @@ class Engine {
   /// Evaluates an expression script over an explicit output element count.
   EvaluationReport evaluate(std::string_view expression, std::size_t elements);
 
+  /// Evaluates a pre-built network over an explicit output element count.
+  /// evaluate(expression, elements) is this after parsing; the memo layer
+  /// calls it directly with rewritten networks (extracted subtrees,
+  /// spliced consumers) that have no expression-string form.
+  EvaluationReport evaluate_network(const dataflow::Network& network,
+                                    std::size_t elements);
+
   /// Evaluates using the mesh cell count when a mesh is bound, otherwise
   /// the extent of the first bound field the expression uses.
   EvaluationReport evaluate(std::string_view expression);

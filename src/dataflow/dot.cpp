@@ -1,7 +1,9 @@
 #include "dataflow/dot.hpp"
 
+#include <cstdio>
 #include <sstream>
 
+#include "dataflow/network.hpp"
 #include "support/string_util.hpp"
 
 namespace dfg::dataflow {
@@ -34,16 +36,30 @@ std::string node_label(const SpecNode& node) {
   return "?";
 }
 
+/// Short hex tag of a subtree fingerprint (low 32 bits — plenty to make
+/// shared subtrees visually matchable in a rendered diagram).
+std::string short_hex(std::uint64_t fp) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                static_cast<unsigned>(fp & 0xffffffffu));
+  return buf;
+}
+
 }  // namespace
 
 std::string to_dot(const NetworkSpec& spec, const DotOptions& options) {
+  std::vector<std::uint64_t> fps;
+  if (options.subtree_fingerprints) fps = subtree_fingerprints(spec);
   std::ostringstream os;
   os << "digraph \"" << escape(options.graph_name) << "\" {\n";
   os << "  rankdir=TB;\n";
   os << "  node [fontsize=10];\n";
   for (const SpecNode& node : spec.nodes()) {
-    os << "  n" << node.id << " [label=\"" << escape(node_label(node))
-       << "\"";
+    std::string label = node_label(node);
+    if (options.subtree_fingerprints) {
+      label += "\\n#" + short_hex(fps[static_cast<std::size_t>(node.id)]);
+    }
+    os << "  n" << node.id << " [label=\"" << escape(label) << "\"";
     switch (node.type) {
       case NodeType::field_source:
         os << ", shape=ellipse, style=filled, fillcolor=lightblue";

@@ -18,6 +18,11 @@ struct DotOptions {
   /// Label edges with the argument position for filters taking more than
   /// one input (distinguishes a-b from b-a at a glance).
   bool label_argument_positions = true;
+  /// Append each node's subtree fingerprint (short hex) to its label, so
+  /// subtrees shared across networks are visually identifiable — two nodes
+  /// with the same #tag compute the same value given the same bound
+  /// arrays (the cross-request memoizer's unit of work).
+  bool subtree_fingerprints = true;
 };
 
 /// Returns the DOT source for the network (pipe through `dot -Tsvg`).

@@ -39,6 +39,35 @@ std::uint64_t fingerprint_spec(const NetworkSpec& spec) {
 
 }  // namespace
 
+std::vector<std::uint64_t> subtree_fingerprints(const NetworkSpec& spec) {
+  std::vector<std::uint64_t> fps(spec.nodes().size(), 0);
+  for (const SpecNode& node : spec.nodes()) {
+    std::uint64_t hash = support::kFnvOffsetBasis;
+    const auto mix_int = [&hash](std::int64_t value) {
+      hash = support::fnv1a(&value, sizeof(value), hash);
+    };
+    const auto mix_str = [&hash](const std::string& text) {
+      const std::size_t size = text.size();
+      hash = support::fnv1a(&size, sizeof(size), hash);
+      hash = support::fnv1a(text.data(), text.size(), hash);
+    };
+    mix_int(static_cast<std::int64_t>(node.type));
+    mix_str(node.kind);
+    mix_str(node.field_name);
+    mix_int(static_cast<std::int64_t>(
+        std::bit_cast<std::uint64_t>(node.const_value)));
+    mix_int(node.component);
+    mix_int(node.components);
+    mix_int(static_cast<std::int64_t>(node.inputs.size()));
+    for (const int input : node.inputs) {
+      mix_int(static_cast<std::int64_t>(
+          fps[static_cast<std::size_t>(input)]));
+    }
+    fps[static_cast<std::size_t>(node.id)] = hash;
+  }
+  return fps;
+}
+
 Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   if (spec_.output_id() < 0) {
     throw NetworkError("network has no output; call set_output first");
@@ -79,6 +108,7 @@ Network::Network(NetworkSpec spec) : spec_(std::move(spec)) {
   }
 
   fingerprint_ = fingerprint_spec(spec_);
+  subtree_fingerprints_ = dataflow::subtree_fingerprints(spec_);
 }
 
 }  // namespace dfg::dataflow

@@ -41,11 +41,35 @@ class Network {
   /// serves as the fused-program cache key. Computed once at construction.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Per-node *subtree* fingerprint: names the canonical value node `id`
+  /// computes given the same bound inputs (see subtree_fingerprints below).
+  /// Computed once at construction alongside fingerprint().
+  std::uint64_t subtree_fingerprint(int id) const {
+    return subtree_fingerprints_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<std::uint64_t>& subtree_fingerprints() const {
+    return subtree_fingerprints_;
+  }
+
  private:
   NetworkSpec spec_;
   std::vector<int> topo_order_;
   std::vector<int> use_counts_;
   std::uint64_t fingerprint_ = 0;
+  std::vector<std::uint64_t> subtree_fingerprints_;
 };
+
+/// Per-node subtree fingerprints of a spec, indexed by node id: an FNV-1a
+/// hash over each node's identity-relevant fields (type, kind, bound field
+/// name, constant bits, component selection, component count) combined
+/// with its inputs' subtree fingerprints in argument order. Unlike the
+/// whole-network fingerprint, labels are deliberately excluded — two
+/// differently named nodes computing the same value share a subtree
+/// fingerprint, which is exactly what cross-request memoization keys on:
+/// two networks containing equal subtree fingerprints compute the same
+/// value at those roots whenever the same host arrays are bound to the
+/// subtree's field leaves. Node ids are construction order (producers
+/// precede consumers), so a single forward pass suffices.
+std::vector<std::uint64_t> subtree_fingerprints(const NetworkSpec& spec);
 
 }  // namespace dfg::dataflow

@@ -45,6 +45,14 @@ obs::MetricId incidents_counter(const std::string& svc, const char* kind) {
                      {{"kind", kind}});
 }
 
+/// Resolves ServiceOptions::memo against the env overrides per batch
+/// (DFGEN_MEMO forces on, DFGEN_NO_MEMO forces off — the latter wins, and
+/// is the differential tests' kill switch), mirroring the resident pool.
+bool memo_enabled(const ServiceOptions& options) {
+  if (support::env::get_flag("DFGEN_NO_MEMO", false)) return false;
+  return options.memo || support::env::get_flag("DFGEN_MEMO", false);
+}
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -122,6 +130,11 @@ ServiceOptions ServiceOptions::from_env() {
       support::env::get_flag("DFGEN_SERVICE_COALESCE", options.coalescing);
   options.resident_pool = support::env::get_flag(
       "DFGEN_SERVICE_RESIDENT_POOL", options.resident_pool);
+  options.memo = support::env::get_flag("DFGEN_MEMO", options.memo);
+  const int memo_cap_mb = support::env::get_int("DFGEN_MEMO_CAP", 0);
+  if (memo_cap_mb > 0) {
+    options.memo_cap_bytes = static_cast<std::size_t>(memo_cap_mb) << 20;
+  }
   return options;
 }
 
@@ -141,6 +154,29 @@ EvalService::EvalService(std::vector<vcl::Device*> devices,
   for (const vcl::Device* device : devices_) {
     resident_baseline_.push_back(device->resident().stats());
   }
+  // The memoizer exists whether or not memoization is on: its index feeds
+  // the near-miss counter (the hit-rate ceiling a memo-off deployment can
+  // chart before enabling), and eager construction keeps this service's
+  // dfgen_memo_* series schema-stable.
+  memo::Memoizer::Options memo_options;
+  memo_options.svc = svc_;
+  std::size_t memo_cap = options_.memo_cap_bytes;
+  if (memo_cap == 0) {
+    const int cap_mb = support::env::get_int("DFGEN_MEMO_CAP", 0);
+    if (cap_mb > 0) memo_cap = static_cast<std::size_t>(cap_mb) << 20;
+  }
+  if (memo_cap == 0) {
+    // Default: a quarter of the largest device's memory, so cached
+    // intermediates never crowd out the working set the MemoryTracker and
+    // ResidentPool watermarks are sized for.
+    std::size_t best_capacity = 0;
+    for (const vcl::Device* device : devices_) {
+      best_capacity = std::max(best_capacity, device->memory().capacity());
+    }
+    memo_cap = best_capacity / 4;
+  }
+  memo_options.capacity_bytes = memo_cap;
+  memo_ = std::make_unique<memo::Memoizer>(std::move(memo_options));
   workers_.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     workers_.emplace_back([this, i] { worker(i); });
@@ -254,6 +290,7 @@ Ticket EvalService::submit(Request request) {
   }
 
   std::size_t floor = kNoFloor;
+  memo::EvalContext memo_ctx;
   if (failure.empty()) {
     runtime::FieldBindings probe;
     if (request.mesh != nullptr) probe.bind_mesh(*request.mesh);
@@ -262,6 +299,16 @@ Ticket EvalService::submit(Request request) {
     }
     floor = projected_floor_bytes(*network, probe, elements, request.strategy,
                                   options_.fallback.enabled);
+    // Snapshot the request's identity for the memoizer before std::move
+    // below; only the admitted path uses it.
+    memo_ctx.network = network.get();
+    memo_ctx.mesh = request.mesh;
+    memo_ctx.elements = elements;
+    memo_ctx.fields.reserve(request.fields.size());
+    for (const FieldRef& field : request.fields) {
+      memo_ctx.fields.push_back(
+          {field.name, field.values.data(), field.values.size()});
+    }
   }
 
   std::vector<std::shared_ptr<Pending>> batch_to_notify;
@@ -329,6 +376,7 @@ Ticket EvalService::submit(Request request) {
 
     auto pending = std::make_shared<Pending>();
     pending->key = make_coalesce_key(request, *network, elements);
+    pending->network = network;
     pending->request = std::move(request);
     pending->elements = elements;
     pending->floor_bytes = floor == kNoFloor ? 0 : floor;
@@ -342,6 +390,11 @@ Ticket EvalService::submit(Request request) {
         std::max(snapshot_.max_queue_depth_seen, queued_count_);
     note_queue_depth_locked();
   }
+  // Feed the memoizer's subgraph index outside the lock (it is internally
+  // synchronized): every *admitted* request contributes its subtree
+  // fingerprints, and cross-network sharing bumps the near-miss counter —
+  // the failure and reject paths returned above.
+  memo_->observe(memo_ctx);
   work_cv_.notify_one();
   return ticket;
 }
@@ -473,15 +526,13 @@ void EvalService::execute_batch(std::size_t device_index,
   if (quota_bytes > 0) {
     // Size streamed chunks to the quota, not the device's free memory.
     try {
-      const dataflow::Network network(dataflow::build_network(
-          leader->request.expression, {}));
       runtime::FieldBindings probe;
       if (leader->request.mesh != nullptr) probe.bind_mesh(*leader->request.mesh);
       for (const FieldRef& field : leader->request.fields) {
         probe.bind(field.name, field.values);
       }
       engine_options.streamed_chunk_cells = quota_chunk_cells(
-          network, probe, leader->elements, quota_bytes);
+          *leader->network, probe, leader->elements, quota_bytes);
     } catch (const std::exception&) {
       // Planning is advisory: fall through to auto-sizing on any failure.
     }
@@ -496,6 +547,12 @@ void EvalService::execute_batch(std::size_t device_index,
 
   std::shared_ptr<const EvaluationReport> evaluation;
   std::string error;
+  // Merged profiling for the whole batch: the memo path runs several
+  // evaluations (sub-materializations plus the rewritten consumer), and
+  // the engine clears its log per evaluation. The memo-off path appends
+  // its single evaluation's log, so its content is byte-identical to
+  // engine.log().
+  vcl::ProfilingLog merged_log;
   {
     // Every device byte this batch reserves is charged to the leading
     // session; a veto surfaces as DeviceOutOfMemory inside evaluate and
@@ -503,14 +560,32 @@ void EvalService::execute_batch(std::size_t device_index,
     SessionQuotaGuard guard(session_id, quota_bytes, *usage);
     ScopedAllocationHook scoped(device.memory(), &guard);
     try {
-      evaluation = std::make_shared<const EvaluationReport>(
-          engine.evaluate(leader->request.expression, leader->elements));
+      if (memo_enabled(options_)) {
+        memo::EvalContext ctx;
+        ctx.network = leader->network.get();
+        ctx.mesh = leader->request.mesh;
+        ctx.elements = leader->elements;
+        ctx.fields.reserve(leader->request.fields.size());
+        for (const FieldRef& field : leader->request.fields) {
+          ctx.fields.push_back(
+              {field.name, field.values.data(), field.values.size()});
+        }
+        evaluation = std::make_shared<const EvaluationReport>(
+            memo_->evaluate(engine, ctx, &merged_log));
+      } else {
+        evaluation = std::make_shared<const EvaluationReport>(
+            engine.evaluate_network(*leader->network, leader->elements));
+        merged_log.append(engine.log());
+      }
     } catch (const std::exception& e) {
       error = e.what();
+      // The failing evaluation's partial log still carries its device
+      // events (timeouts, faults) for the incident counters below.
+      merged_log.append(engine.log());
     }
   }
 
-  batch_span.add_sim_seconds(engine.log().total_sim_seconds());
+  batch_span.add_sim_seconds(merged_log.total_sim_seconds());
 
   {
     std::scoped_lock lock(mutex_);
@@ -518,7 +593,7 @@ void EvalService::execute_batch(std::size_t device_index,
     reg.add(svc_counter(svc_, "dfgen_svc_evaluations_total"));
     reg.observe(reg.histogram("dfgen_svc_coalesce_fanout", {{"svc", svc_}}),
                 batch.size());
-    device_logs_[device_index].append(engine.log());
+    device_logs_[device_index].append(merged_log);
     SessionStats& leader_stats = snapshot_.sessions[session_id];
     ++leader_stats.evaluations;
     leader_stats.quota_high_water_bytes =
@@ -538,7 +613,7 @@ void EvalService::execute_batch(std::size_t device_index,
     } else {
       // The failed evaluation left no report; its device events still count.
       reg.add(incidents_counter(svc_, "timeout"),
-              engine.log().count(vcl::EventKind::timeout));
+              merged_log.count(vcl::EventKind::timeout));
       reg.add(incidents_counter(svc_, "fault"), device.fault().run_faults());
     }
     for (const std::shared_ptr<Pending>& pending : batch) {
@@ -605,6 +680,19 @@ ServiceSnapshot EvalService::snapshot() const {
   copy.command_timeouts = value(incidents_counter(svc_, "timeout"));
   copy.command_retries = value(incidents_counter(svc_, "retry"));
   copy.injected_faults = value(incidents_counter(svc_, "fault"));
+  const auto memo_value = [&](const char* name) {
+    return value(svc_counter(svc_, name));
+  };
+  copy.memo_hits = memo_value("dfgen_memo_hits_total");
+  copy.memo_misses = memo_value("dfgen_memo_misses_total");
+  copy.memo_admits = memo_value("dfgen_memo_admits_total");
+  copy.memo_evictions = memo_value("dfgen_memo_evictions_total");
+  copy.memo_invalidations = memo_value("dfgen_memo_invalidations_total");
+  copy.memo_bytes_saved = memo_value("dfgen_memo_bytes_saved_total");
+  copy.memo_recompute_saved_nanos =
+      memo_value("dfgen_memo_recompute_saved_nanos_total");
+  copy.memo_candidate_requests =
+      memo_value("dfgen_svc_memo_candidates_total");
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const vcl::ResidentPool::Stats now = devices_[i]->resident().stats();
     const vcl::ResidentPool::Stats& base = resident_baseline_[i];

@@ -148,6 +148,23 @@ struct ServiceSnapshot {
   std::size_t resident_evictions = 0;
   std::size_t resident_invalidations = 0;
   std::size_t resident_upload_bytes_saved = 0;
+  /// Cross-request subgraph memoizer traffic (views over the service's
+  /// dfgen_memo_* registry series; all zero while memoization is off).
+  /// A hit is a shared subtree served from the materialized-intermediate
+  /// cache instead of recomputed; bytes/recompute-saved total what those
+  /// hits avoided (materialized bytes, planner-estimated sim time).
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  std::size_t memo_admits = 0;
+  std::size_t memo_evictions = 0;
+  std::size_t memo_invalidations = 0;
+  std::size_t memo_bytes_saved = 0;
+  std::size_t memo_recompute_saved_nanos = 0;
+  /// Coalescer near-misses: admitted requests whose whole-network
+  /// fingerprint differs from every queued/seen request's but which share
+  /// at least one non-leaf subtree fingerprint — the memo hit-rate
+  /// ceiling, counted whether or not memoization is enabled.
+  std::size_t memo_candidate_requests = 0;
   std::map<std::string, SessionStats> sessions;
 };
 
@@ -184,10 +201,21 @@ struct ServiceOptions {
   /// Execution backend for every worker engine's device. Unset defers to
   /// DFGEN_BACKEND (resolved per evaluation).
   std::optional<kernels::BackendKind> backend;
+  /// Memoize shared subtrees across *different* tenants' networks: batch
+  /// leaders' plans are rewritten to serve repeated subtrees from a
+  /// device-resident materialized-intermediate cache (memo::Memoizer).
+  /// Off by default — the off path is byte-identical to previous
+  /// releases. Env overrides, read per batch: DFGEN_MEMO=1 forces on,
+  /// DFGEN_NO_MEMO=1 forces off (and wins).
+  bool memo = false;
+  /// Materialized-intermediate cache capacity in bytes. 0 = DFGEN_MEMO_CAP
+  /// (megabytes) when set, else a quarter of the largest device's memory.
+  std::size_t memo_cap_bytes = 0;
 
   /// Defaults overlaid with DFGEN_SERVICE_QUEUE_DEPTH,
   /// DFGEN_SERVICE_QUOTA_MB, DFGEN_SERVICE_BACKLOG_MB,
-  /// DFGEN_SERVICE_COALESCE and DFGEN_SERVICE_RESIDENT_POOL.
+  /// DFGEN_SERVICE_COALESCE, DFGEN_SERVICE_RESIDENT_POOL and DFGEN_MEMO /
+  /// DFGEN_MEMO_CAP.
   static ServiceOptions from_env();
 };
 

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "memo/memoizer.hpp"
 #include "service/coalescer.hpp"
 #include "service/quota.hpp"
 #include "service/report.hpp"
@@ -126,6 +127,9 @@ class EvalService {
  private:
   struct Pending {
     Request request;
+    /// The parsed network (admission already built it for projection); the
+    /// memoizer and the quota chunk sizing reuse it at dispatch.
+    std::shared_ptr<const dataflow::Network> network;
     std::size_t elements = 0;
     CoalesceKey key;
     /// Planner-projected memory floor, for backlog accounting.
@@ -184,6 +188,11 @@ class EvalService {
   /// Per-device resident-pool stats at construction; snapshot() reports
   /// deltas against these so pre-existing pool traffic is excluded.
   std::vector<vcl::ResidentPool::Stats> resident_baseline_;
+  /// Cross-request subgraph memoizer (memo/). Constructed always — its
+  /// SubgraphIndex feeds the near-miss counter even with memoization off —
+  /// but execute_batch only routes evaluations through it when
+  /// ServiceOptions::memo (or DFGEN_MEMO, minus DFGEN_NO_MEMO) says so.
+  std::unique_ptr<memo::Memoizer> memo_;
 
   std::vector<std::thread> workers_;
 };

@@ -44,6 +44,9 @@ std::set<std::string>& known_registry() {
       "DFGEN_RESIDENT_POOL",
       "DFGEN_NO_RESIDENT_POOL",
       "DFGEN_RESIDENT_WATERMARK",
+      "DFGEN_MEMO",
+      "DFGEN_NO_MEMO",
+      "DFGEN_MEMO_CAP",
       "DFGEN_METRICS",
       "DFGEN_METRICS_OUT",
       "DFGEN_FUZZ_SEED",

@@ -23,7 +23,8 @@ TEST(Dot, RendersSourcesFiltersAndEdges) {
   const NetworkSpec spec = build_network("r = sqrt(u*u + v*v)");
   const std::string dot = to_dot(spec);
   EXPECT_NE(dot.find("digraph \"dataflow\""), std::string::npos);
-  EXPECT_NE(dot.find("label=\"u\""), std::string::npos);
+  // Labels carry the subtree-fingerprint annotation by default.
+  EXPECT_NE(dot.find("label=\"u\\\\n#"), std::string::npos);
   EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
   EXPECT_NE(dot.find("shape=box"), std::string::npos);
   // u*u contributes two parallel edges from the same source.
@@ -72,7 +73,36 @@ TEST(Dot, QCriterionNetworkRendersFigure4) {
   EXPECT_EQ(count_occurrences(dot, "shape="), spec.nodes().size());
   EXPECT_EQ(count_occurrences(dot, "grad3d"), 3u);
   // Constants are rendered with their literal value.
-  EXPECT_NE(dot.find("label=\"0.5\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"0.5\\\\n#"), std::string::npos);
+}
+
+TEST(Dot, SubtreeFingerprintAnnotationsToggle) {
+  const NetworkSpec spec = build_network("r = sqrt(u*u + v*v)");
+  // Every node label carries its subtree fingerprint as #<8 hex digits>.
+  const std::string dot = to_dot(spec);
+  EXPECT_EQ(count_occurrences(dot, "\\n#"), spec.nodes().size());
+  DotOptions options;
+  options.subtree_fingerprints = false;
+  const std::string plain = to_dot(spec, options);
+  EXPECT_EQ(plain.find("\\n#"), std::string::npos);
+  EXPECT_NE(plain.find("label=\"u\""), std::string::npos);
+}
+
+TEST(Dot, IdenticalSubtreesShareFingerprintAnnotation) {
+  // a and b are label-distinct but structurally identical over the same
+  // leaf, so their nodes render the same fingerprint hash (CSE disabled so
+  // both mult nodes actually exist).
+  SpecOptions no_cse;
+  no_cse.cse = false;
+  const NetworkSpec spec =
+      build_network("a = u*u\nb = u*u\nr = a + b", no_cse);
+  const std::string dot = to_dot(spec);
+  const std::size_t mult = dot.find("label=\"mult");
+  ASSERT_NE(mult, std::string::npos);
+  const std::size_t pos = dot.find("\\n#", mult);
+  ASSERT_NE(pos, std::string::npos);
+  const std::string hash = dot.substr(pos, 3 + 8);  // "\n#" + 8 hex digits
+  EXPECT_GE(count_occurrences(dot, hash), 2u);
 }
 
 }  // namespace

@@ -106,6 +106,25 @@ TEST(Env, BackendVariablesAreKnown) {
   }
 }
 
+TEST(Env, MemoVariablesAreKnown) {
+  ScopedEnv a("DFGEN_MEMO", "1");
+  ScopedEnv b("DFGEN_NO_MEMO", "1");
+  ScopedEnv c("DFGEN_MEMO_CAP", "64");
+  const auto unknowns = env::unknown_variables();
+  for (const char* name :
+       {"DFGEN_MEMO", "DFGEN_NO_MEMO", "DFGEN_MEMO_CAP"}) {
+    EXPECT_EQ(std::find(unknowns.begin(), unknowns.end(), name),
+              unknowns.end())
+        << name << " must be pre-registered";
+  }
+}
+
+TEST(Env, MemoTypoSuggestionsNameTheNearestKnob) {
+  EXPECT_EQ(env::suggestion_for("DFGEN_MEMMO"), "DFGEN_MEMO");
+  EXPECT_EQ(env::suggestion_for("DFGEN_NO_MEM"), "DFGEN_NO_MEMO");
+  EXPECT_EQ(env::suggestion_for("DFGEN_MEMO_CAPS"), "DFGEN_MEMO_CAP");
+}
+
 TEST(Env, BackendTypoSuggestionsNameTheNearestKnob) {
   EXPECT_EQ(env::suggestion_for("DFGEN_BACKEN"), "DFGEN_BACKEND");
   EXPECT_EQ(env::suggestion_for("DFGEN_JIT_CCC"), "DFGEN_JIT_CC");

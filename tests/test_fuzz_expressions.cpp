@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <random>
@@ -34,6 +35,7 @@
 #include "kernels/vm.hpp"
 #include "mesh/mesh.hpp"
 #include "runtime/bindings.hpp"
+#include "service/service.hpp"
 #include "support/env.hpp"
 #include "vcl/device.hpp"
 #include "vcl/resident_pool.hpp"
@@ -603,6 +605,141 @@ TEST(FuzzExpressions, HarnessAcceptsFullGrammar) {
       "t3 = floor(t2) + ceil(t2) + (t2 == t1) + (t2 != t0) + (t1 <= t0) + "
       "(t1 < t0) + sqrt(abs(t2)) + tan(t2)\n";
   EXPECT_EQ(check(text, fx), "");
+}
+
+// ----- overlapping-request schedules (cross-request memoization) -----
+
+struct ScopedEnv {
+  std::string name;
+  ScopedEnv(const std::string& n, const std::string& value) : name(n) {
+    ::setenv(name.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+/// Submits K scripts that share a common prelude through an EvalService —
+/// two rounds, so round one can materialize shared subtrees and round two
+/// can serve them from the intermediate cache — and requires every
+/// ticket's values to be bit-exact (the NaN-class rule) against that
+/// script's scalar reference. Returns "" on success, the first divergence
+/// otherwise. With memo on and off the references are the same, so a pass
+/// in both modes is byte-for-byte memo-on == memo-off.
+std::string check_overlapping(const std::vector<std::string>& scripts,
+                              Fixture& fx, bool memo,
+                              std::size_t* hits_out = nullptr) {
+  std::vector<std::vector<float>> wants;
+  for (const std::string& text : scripts) {
+    try {
+      wants.push_back(reference(text, fx));
+    } catch (const std::exception& e) {
+      return std::string("reference failed: ") + e.what();
+    }
+  }
+  service::ServiceOptions options;
+  options.start_paused = true;
+  options.memo = memo;
+  service::EvalService svc({&fx.device}, options);
+  std::vector<service::Ticket> tickets;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t k = 0; k < scripts.size(); ++k) {
+      service::Request request;
+      request.expression = scripts[k];
+      request.mesh = &fx.mesh;
+      request.fields = {{"u", fx.u}, {"v", fx.v}, {"w", fx.w}};
+      request.session = "tenant-" + std::to_string(k);
+      tickets.push_back(svc.submit(request));
+    }
+    if (round == 0) svc.resume();
+    svc.drain();
+  }
+  if (hits_out != nullptr) *hits_out = svc.snapshot().memo_hits;
+  for (std::size_t t = 0; t < tickets.size(); ++t) {
+    const service::ServiceReport& report = tickets[t].wait();
+    if (report.status != service::RequestStatus::completed) {
+      return "request " + std::to_string(t) + " failed: " + report.error;
+    }
+    const std::vector<float>& want = wants[t % scripts.size()];
+    const std::size_t mismatch =
+        test::first_bit_mismatch(report.evaluation->values, want);
+    if (mismatch != static_cast<std::size_t>(-1)) {
+      return std::string(memo ? "memo" : "no-memo") +
+             " service diverges from the scalar reference on request " +
+             std::to_string(t) + " at element " + std::to_string(mismatch);
+    }
+  }
+  return {};
+}
+
+TEST(FuzzExpressions, OverlappingRequestsMatchUnderMemo) {
+  const std::uint64_t base_seed = static_cast<std::uint64_t>(
+      support::env::get_int("DFGEN_FUZZ_SEED", 20260805));
+  // Each iteration runs 2x(K+1) service evaluations plus K references;
+  // scale the count down against the single-engine fuzz loop.
+  const int iterations = std::max(
+      1, support::env::get_int("DFGEN_FUZZ_ITERATIONS", 40) / 4);
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed =
+        (base_seed + static_cast<std::uint64_t>(i)) ^ 0x5eed5eedull;
+    Generator gen(seed);
+    Fixture fx(seed);
+    // A shared prelude every variant includes, plus a per-variant output
+    // statement anchored on the prelude's last temp — K different
+    // networks guaranteed to share non-leaf subtrees.
+    const FScript prelude = gen.script(static_cast<std::size_t>(i));
+    std::vector<std::string> temps;
+    for (const Stmt& stmt : prelude) temps.push_back(stmt.name);
+    std::vector<std::string> scripts;
+    const std::size_t variants = 2 + gen.pick(2);
+    for (std::size_t k = 0; k < variants; ++k) {
+      FScript variant = clone(prelude);
+      auto anchor = std::make_unique<FNode>();
+      anchor->kind = FKind::infix;
+      anchor->text = "+";
+      auto ref = std::make_unique<FNode>();
+      ref->kind = FKind::ref;
+      ref->text = temps.back();
+      anchor->kids.push_back(std::move(ref));
+      anchor->kids.push_back(gen.expr(2, temps));
+      variant.push_back({"out", std::move(anchor)});
+      scripts.push_back(render(variant));
+    }
+
+    std::string failure = check_overlapping(scripts, fx, true);
+    if (failure.empty()) {
+      // The kill switch must reproduce plain service behaviour bit-for-bit.
+      ScopedEnv off("DFGEN_NO_MEMO", "1");
+      failure = check_overlapping(scripts, fx, true);
+    }
+    if (failure.empty()) continue;
+
+    std::string corpus;
+    for (std::size_t k = 0; k < scripts.size(); ++k) {
+      corpus += "--- script " + std::to_string(k) + " ---\n" + scripts[k];
+    }
+    ADD_FAILURE() << "overlapping-request fuzzer found a divergence (seed "
+                  << seed << "): " << failure << "\n" << corpus
+                  << "replay with DFGEN_FUZZ_SEED=" << base_seed
+                  << " DFGEN_FUZZ_ITERATIONS=" << ((i + 1) * 4);
+    return;
+  }
+}
+
+// Deterministic guard that the overlapping harness works end to end: two
+// networks over a shared heavy subtree must hit the intermediate cache
+// while staying bit-exact, and the kill switch must pass the same check.
+TEST(FuzzExpressions, HarnessAcceptsOverlappingSchedules) {
+  Fixture fx(13);
+  const std::vector<std::string> scripts = {
+      "t0 = u*u + v*v + w*w\nout = sqrt(t0)",
+      "t0 = u*u + v*v + w*w\nout = t0 * 0.5 + u",
+  };
+  std::size_t hits = 0;
+  EXPECT_EQ(check_overlapping(scripts, fx, true, &hits), "");
+  EXPECT_GE(hits, 1u);
+  ScopedEnv off("DFGEN_NO_MEMO", "1");
+  EXPECT_EQ(check_overlapping(scripts, fx, true, &hits), "");
+  EXPECT_EQ(hits, 0u);
 }
 
 // Same guard under a fixed worst-case residency schedule: warm

@@ -1,0 +1,410 @@
+// The cross-request subgraph memoizer: subtree fingerprints are value
+// identities (label-insensitive, constant- and component-sensitive), the
+// spec rewrites round-trip bit-exactly, the IntermediateCache admits,
+// evicts by LRU-with-cost and invalidates on dependency mutation, and —
+// the load-bearing property — a memo-enabled service serves overlapping
+// requests bit-identically to plain evaluation while actually hitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataflow/builder.hpp"
+#include "dataflow/network.hpp"
+#include "memo/intermediate_cache.hpp"
+#include "memo/subgraph.hpp"
+#include "mesh/generators.hpp"
+#include "service/service.hpp"
+#include "vcl/catalog.hpp"
+#include "vcl/resident_pool.hpp"
+
+namespace {
+
+using namespace dfg;
+using service::EvalService;
+using service::Request;
+using service::RequestStatus;
+using service::ServiceOptions;
+using service::ServiceReport;
+using service::ServiceSnapshot;
+using service::Ticket;
+
+struct ScopedEnv {
+  std::string name;
+  ScopedEnv(const std::string& n, const std::string& value) : name(n) {
+    ::setenv(name.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name.c_str()); }
+};
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const bool nan = std::isnan(want[i]);
+    ASSERT_EQ(std::isnan(got[i]), nan) << "cell " << i;
+    if (!nan) ASSERT_EQ(got[i], want[i]) << "cell " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subtree fingerprints
+
+TEST(SubtreeFingerprint, SharedAcrossDifferentNetworks) {
+  const dataflow::Network a(
+      dataflow::build_network("ke = u*u + v*v\nr = sqrt(ke)"));
+  const dataflow::Network b(
+      dataflow::build_network("ke = u*u + v*v\nr = ke * 0.5"));
+  ASSERT_NE(a.fingerprint(), b.fingerprint());
+  // The shared ke subtree fingerprints identically in both.
+  std::uint64_t ke_a = 0;
+  for (const auto& node : a.spec().nodes()) {
+    if (node.label == "ke") ke_a = a.subtree_fingerprint(node.id);
+  }
+  std::uint64_t ke_b = 0;
+  for (const auto& node : b.spec().nodes()) {
+    if (node.label == "ke") ke_b = b.subtree_fingerprint(node.id);
+  }
+  ASSERT_NE(ke_a, 0u);
+  EXPECT_EQ(ke_a, ke_b);
+}
+
+TEST(SubtreeFingerprint, LabelInsensitiveConstantAndComponentSensitive) {
+  const auto fp_of_output = [](const std::string& script) {
+    const dataflow::Network net(dataflow::build_network(script));
+    return net.subtree_fingerprint(net.output_id());
+  };
+  // Same structure under different assignment names: same fingerprint
+  // (value identity, not program identity)...
+  EXPECT_EQ(fp_of_output("a = u*u"), fp_of_output("b = u*u"));
+  // ...but different constants and different vector components differ.
+  EXPECT_NE(fp_of_output("r = u * 2"), fp_of_output("r = u * 3"));
+  EXPECT_NE(fp_of_output("du = grad3d(u, dims, x, y, z)\nr = du[0]"),
+            fp_of_output("du = grad3d(u, dims, x, y, z)\nr = du[1]"));
+}
+
+// ---------------------------------------------------------------------------
+// Candidate enumeration and spec rewrites
+
+TEST(SubgraphCandidates, EnumeratesBoundScalarNonOutputSubtrees) {
+  const dataflow::Network net(
+      dataflow::build_network("r = sqrt(u*u + v*v)"));
+  std::vector<float> u(16, 1.0f), v(16, 2.0f);
+  memo::EvalContext ctx;
+  ctx.network = &net;
+  ctx.elements = 16;
+  ctx.fields = {{"u", u.data(), u.size()}, {"v", v.data(), v.size()}};
+  const std::vector<memo::Candidate> candidates =
+      memo::enumerate_candidates(ctx);
+  // The only subtree with >= 2 filters that is not the output: the add.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].filters, 3u);
+  EXPECT_EQ(candidates[0].deps.size(), 2u);
+
+  // An unbound leaf disqualifies every subtree through it.
+  memo::EvalContext unbound = ctx;
+  unbound.fields = {{"u", u.data(), u.size()}};
+  EXPECT_TRUE(memo::enumerate_candidates(unbound).empty());
+}
+
+TEST(SubgraphCandidates, KeyTracksContentIdentity) {
+  const dataflow::Network net(
+      dataflow::build_network("r = sqrt(u*u + v*v)"));
+  std::vector<float> u(16, 1.0f), v(16, 2.0f), other(16, 3.0f);
+  memo::EvalContext ctx;
+  ctx.network = &net;
+  ctx.elements = 16;
+  ctx.fields = {{"u", u.data(), u.size()}, {"v", v.data(), v.size()}};
+  const auto base = memo::enumerate_candidates(ctx);
+  // Same arrays -> same key; a different backing array -> different key.
+  EXPECT_EQ(memo::enumerate_candidates(ctx)[0].key, base[0].key);
+  ctx.fields[1] = {"v", other.data(), other.size()};
+  EXPECT_NE(memo::enumerate_candidates(ctx)[0].key, base[0].key);
+}
+
+TEST(SubgraphRewrites, ExtractAndSpliceRoundTripBitExactly) {
+  const std::string script =
+      "ke = u*u + v*v + w*w\nr = sqrt(ke) * 0.5 + u";
+  const dataflow::Network full(dataflow::build_network(script));
+  int ke_root = -1;
+  for (const auto& node : full.spec().nodes()) {
+    if (node.label == "ke") ke_root = node.id;
+  }
+  ASSERT_GE(ke_root, 0);
+
+  const mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({6, 5, 4});
+  const mesh::VectorField field = mesh::rayleigh_taylor_flow(mesh, 7);
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  Engine engine(device);
+  engine.bind_mesh(mesh);
+  engine.bind("u", field.u);
+  engine.bind("v", field.v);
+  engine.bind("w", field.w);
+
+  const std::vector<float> want =
+      engine.evaluate_network(full, mesh.cell_count()).values;
+
+  // Materialize the subtree standalone, splice it back as a field source.
+  const dataflow::Network subtree(
+      memo::extract_subtree(full.spec(), ke_root));
+  const std::vector<float> ke =
+      engine.evaluate_network(subtree, mesh.cell_count()).values;
+  const dataflow::Network spliced(memo::splice_materialized(
+      full.spec(), {{ke_root, std::string("_memo_test")}}));
+  engine.bind("_memo_test", ke);
+  const std::vector<float> got =
+      engine.evaluate_network(spliced, mesh.cell_count()).values;
+  expect_bitwise_equal(got, want);
+  // The spliced network really lost the subtree interior.
+  EXPECT_LT(spliced.spec().nodes().size(), full.spec().nodes().size());
+}
+
+// ---------------------------------------------------------------------------
+// IntermediateCache
+
+TEST(IntermediateCache, AdmitLookupAndOversizeRefusal) {
+  memo::IntermediateCache cache({1024});
+  EXPECT_EQ(cache.lookup(1), nullptr);  // miss
+  const auto entry = cache.admit(1, std::vector<float>(8, 2.0f), 0.5, {});
+  ASSERT_NE(entry, nullptr);
+  const auto hit = cache.lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->values[0], 2.0f);
+  // A value larger than the whole cache is refused outright.
+  EXPECT_EQ(cache.admit(2, std::vector<float>(1024, 0.0f), 9.0, {}), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.admits, 1u);
+  EXPECT_EQ(cache.resident_bytes(), 8 * sizeof(float));
+}
+
+TEST(IntermediateCache, EvictsLeastRecomputeSavedPerByte) {
+  // Capacity fits exactly two 8-float entries.
+  memo::IntermediateCache cache({2 * 8 * sizeof(float)});
+  ASSERT_NE(cache.admit(1, std::vector<float>(8, 1.0f), 0.001, {}), nullptr);
+  ASSERT_NE(cache.admit(2, std::vector<float>(8, 2.0f), 9.0, {}), nullptr);
+  // Admitting a third evicts the cheapest-to-recompute entry (key 1).
+  ASSERT_NE(cache.admit(3, std::vector<float>(8, 3.0f), 1.0, {}), nullptr);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(IntermediateCache, DependencyMutationInvalidatesOnLookup) {
+  std::vector<float> input(8, 1.0f);
+  memo::IntermediateCache cache({1024});
+  const std::uint64_t generation = vcl::host_generation(input.data());
+  ASSERT_NE(cache.admit(7, std::vector<float>(8, 2.0f), 1.0,
+                        {{input.data(), generation}}),
+            nullptr);
+  ASSERT_NE(cache.lookup(7), nullptr);
+  // The host mutates the dependency: the cached value is stale.
+  input[0] = 42.0f;
+  vcl::note_host_mutation(input.data());
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(IntermediateCache, InvalidateDependentsDropsEagerly) {
+  std::vector<float> a(8, 1.0f), b(8, 2.0f);
+  memo::IntermediateCache cache({1024});
+  cache.admit(1, std::vector<float>(8, 0.0f), 1.0,
+              {{a.data(), vcl::host_generation(a.data())}});
+  cache.admit(2, std::vector<float>(8, 0.0f), 1.0,
+              {{b.data(), vcl::host_generation(b.data())}});
+  cache.invalidate_dependents(a.data());
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_NE(cache.lookup(2), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SubgraphIndex
+
+TEST(SubgraphIndex, PopularityCountsDistinctNetworks) {
+  const dataflow::Network a(
+      dataflow::build_network("ke = u*u + v*v\nr = sqrt(ke)"));
+  const dataflow::Network b(
+      dataflow::build_network("ke = u*u + v*v\nr = ke * 0.5"));
+  std::vector<float> u(16, 1.0f), v(16, 2.0f);
+  const auto ctx_for = [&](const dataflow::Network& net) {
+    memo::EvalContext ctx;
+    ctx.network = &net;
+    ctx.elements = 16;
+    ctx.fields = {{"u", u.data(), u.size()}, {"v", v.data(), v.size()}};
+    return ctx;
+  };
+  memo::SubgraphIndex index;
+  const auto cand_a = memo::enumerate_candidates(ctx_for(a));
+  ASSERT_FALSE(cand_a.empty());
+  // First sighting: nothing to share with yet.
+  EXPECT_FALSE(index.observe(a, cand_a));
+  EXPECT_EQ(index.popularity(cand_a[0].key).networks, 1u);
+  // The same network again is not a near-miss (the coalescer's case)...
+  EXPECT_FALSE(index.observe(a, cand_a));
+  EXPECT_EQ(index.popularity(cand_a[0].key).networks, 1u);
+  // ...but a *different* network sharing the ke subtree is.
+  const auto cand_b = memo::enumerate_candidates(ctx_for(b));
+  EXPECT_TRUE(index.observe(b, cand_b));
+  std::uint64_t shared_key = 0;
+  for (const auto& candidate : cand_b) {
+    for (const auto& other : cand_a) {
+      if (candidate.key == other.key) shared_key = candidate.key;
+    }
+  }
+  ASSERT_NE(shared_key, 0u);
+  EXPECT_EQ(index.popularity(shared_key).networks, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Service end-to-end
+
+struct ServiceFixture {
+  mesh::RectilinearMesh mesh = mesh::RectilinearMesh::uniform({12, 10, 8});
+  mesh::VectorField field;
+  // Two different networks hanging off the same heavy subtree.
+  std::string shared = "ke = u*u + v*v + w*w\n";
+  std::string expr_a = shared + "r = sqrt(ke)";
+  std::string expr_b = shared + "r = ke * 0.5 + u";
+
+  ServiceFixture() : field(mesh::rayleigh_taylor_flow(mesh, 7)) {}
+
+  Request request(const std::string& expression,
+                  const std::string& session) const {
+    Request r;
+    r.expression = expression;
+    r.mesh = &mesh;
+    r.fields = {{"u", field.u}, {"v", field.v}, {"w", field.w}};
+    r.session = session;
+    return r;
+  }
+
+  std::vector<float> reference(const std::string& expression) const {
+    vcl::Device device(vcl::xeon_x5660_scaled());
+    Engine engine(device);
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+};
+
+TEST(MemoService, OverlappingRequestsHitBitExactly) {
+  ServiceFixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.memo = true;
+  EvalService svc({&device}, options);
+
+  // Both requests are observed at admission, so by the time the first
+  // batch runs the ke subtree is popular across two distinct networks:
+  // the first batch materializes it, the second serves it from cache.
+  const Ticket ta = svc.submit(fx.request(fx.expr_a, "alice"));
+  const Ticket tb = svc.submit(fx.request(fx.expr_b, "bob"));
+  svc.resume();
+  svc.drain();
+
+  const ServiceReport& ra = ta.wait();
+  const ServiceReport& rb = tb.wait();
+  ASSERT_EQ(ra.status, RequestStatus::completed) << ra.error;
+  ASSERT_EQ(rb.status, RequestStatus::completed) << rb.error;
+  expect_bitwise_equal(ra.evaluation->values, fx.reference(fx.expr_a));
+  expect_bitwise_equal(rb.evaluation->values, fx.reference(fx.expr_b));
+
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_GE(snap.memo_admits, 1u);
+  EXPECT_GE(snap.memo_hits, 1u);
+  EXPECT_GT(snap.memo_bytes_saved, 0u);
+  EXPECT_GE(snap.memo_candidate_requests, 1u);
+}
+
+TEST(MemoService, NoMemoKillSwitchWins) {
+  ScopedEnv no_memo("DFGEN_NO_MEMO", "1");
+  ServiceFixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.memo = true;  // env must override the option
+  EvalService svc({&device}, options);
+  const Ticket ta = svc.submit(fx.request(fx.expr_a, "alice"));
+  const Ticket tb = svc.submit(fx.request(fx.expr_b, "bob"));
+  svc.resume();
+  svc.drain();
+  expect_bitwise_equal(ta.wait().evaluation->values,
+                       fx.reference(fx.expr_a));
+  expect_bitwise_equal(tb.wait().evaluation->values,
+                       fx.reference(fx.expr_b));
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_EQ(snap.memo_hits, 0u);
+  EXPECT_EQ(snap.memo_admits, 0u);
+  // The near-miss counter observes regardless: memo-off deployments can
+  // chart the hit-rate ceiling before enabling.
+  EXPECT_GE(snap.memo_candidate_requests, 1u);
+}
+
+TEST(MemoService, HostMutationInvalidatesCachedIntermediates) {
+  ServiceFixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.start_paused = true;
+  options.memo = true;
+  EvalService svc({&device}, options);
+  {
+    const Ticket ta = svc.submit(fx.request(fx.expr_a, "alice"));
+    const Ticket tb = svc.submit(fx.request(fx.expr_b, "bob"));
+    svc.resume();
+    svc.drain();
+    ASSERT_EQ(ta.wait().status, RequestStatus::completed);
+    ASSERT_EQ(tb.wait().status, RequestStatus::completed);
+  }
+  ASSERT_GE(svc.snapshot().memo_admits, 1u);
+
+  // The host mutates a shared input in place and declares it. Cached
+  // intermediates derived from it must not be served again.
+  for (float& value : fx.field.u) value += 1.0f;
+  vcl::note_host_mutation(fx.field.u.data());
+
+  const Ticket ta = svc.submit(fx.request(fx.expr_a, "alice"));
+  const Ticket tb = svc.submit(fx.request(fx.expr_b, "bob"));
+  svc.drain();
+  const ServiceReport& ra = ta.wait();
+  const ServiceReport& rb = tb.wait();
+  ASSERT_EQ(ra.status, RequestStatus::completed) << ra.error;
+  ASSERT_EQ(rb.status, RequestStatus::completed) << rb.error;
+  // References computed from the mutated arrays.
+  expect_bitwise_equal(ra.evaluation->values, fx.reference(fx.expr_a));
+  expect_bitwise_equal(rb.evaluation->values, fx.reference(fx.expr_b));
+}
+
+TEST(MemoService, RepeatTrafficServesFromCacheAcrossRounds) {
+  ServiceFixture fx;
+  vcl::Device device(vcl::xeon_x5660_scaled());
+  ServiceOptions options;
+  options.memo = true;
+  EvalService svc({&device}, options);
+  // Sequential rounds (no pause): after the warm-up round the subtree is
+  // materialized and every later round hits it.
+  for (int round = 0; round < 3; ++round) {
+    const Ticket ta = svc.submit(fx.request(fx.expr_a, "alice"));
+    const Ticket tb = svc.submit(fx.request(fx.expr_b, "bob"));
+    svc.drain();
+    expect_bitwise_equal(ta.wait().evaluation->values,
+                         fx.reference(fx.expr_a));
+    expect_bitwise_equal(tb.wait().evaluation->values,
+                         fx.reference(fx.expr_b));
+  }
+  const ServiceSnapshot snap = svc.snapshot();
+  EXPECT_GE(snap.memo_hits, 3u);
+  EXPECT_GT(snap.memo_recompute_saved_nanos, 0u);
+}
+
+}  // namespace
