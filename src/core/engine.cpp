@@ -233,6 +233,44 @@ EvaluationReport Engine::evaluate_network(const dataflow::Network& network,
   return report;
 }
 
+SeriesReport Engine::evaluate_series(std::string_view expression,
+                                     std::size_t elements,
+                                     std::size_t timesteps,
+                                     const SeriesAdvanceFn& advance) {
+  if (timesteps == 0) {
+    throw Error("evaluate_series requires a positive timestep count");
+  }
+  // Parse and translate once; every step evaluates the same network. The
+  // process-wide ProgramCache already deduplicates codegen across steps,
+  // so this mainly pins down the contract: the expression cannot change
+  // mid-series, only the bound host data can.
+  const dataflow::Network network(
+      dataflow::build_network(expression, options_.spec_options));
+
+  SeriesReport series;
+  series.steps.reserve(timesteps);
+  for (std::size_t step = 0; step < timesteps; ++step) {
+    if (step > 0 && advance) {
+      // The callback mutates bound host arrays in place and names them;
+      // invalidating exactly those is what makes re-upload incremental —
+      // every unnamed binding keeps its resident device copy.
+      for (const std::string& name : advance(step)) {
+        invalidate(name);
+        ++series.fields_invalidated;
+      }
+    }
+    EvaluationReport report = evaluate_network(network, elements);
+    series.total_dev_writes += report.dev_writes;
+    series.total_kernel_execs += report.kernel_execs;
+    series.total_upload_bytes += log_.bytes(vcl::EventKind::host_to_device);
+    series.total_resident_hits += report.resident_hits;
+    series.total_upload_bytes_saved += report.resident_upload_bytes_saved;
+    series.total_sim_seconds += report.sim_seconds;
+    series.steps.push_back(std::move(report));
+  }
+  return series;
+}
+
 EvaluationReport Engine::evaluate(std::string_view expression) {
   if (default_elements_ != 0) {
     return evaluate(expression, default_elements_);

@@ -81,6 +81,26 @@ w_z = dv[0] - du[1]
 ens = 0.5 * (w_x*w_x + w_y*w_y + w_z*w_z)
 )";
 
+/// The CFD operator library spellings of the same quantities: each
+/// builtin expands in the translator to the grad3d/decompose graph its
+/// hand-written counterpart above builds, with the three velocity
+/// gradients shared across operators by construction. kCurlZ picks one
+/// component of the vector-valued curl with the usual [i] postfix.
+inline constexpr const char* kOpDivergence =
+    "div_v = divergence(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpVorticityMagnitude =
+    "w_mag = vorticity_mag(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpQCriterion =
+    "q = qcriterion(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpEnstrophy =
+    "ens = enstrophy(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpHelicity =
+    "h = helicity(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpLambda2 =
+    "l2 = lambda2(u, v, w, dims, x, y, z)";
+inline constexpr const char* kOpCurlZ =
+    "w_z = curl(u, v, w, dims, x, y, z)[2]";
+
 /// Gradient magnitude of velocity magnitude — a second-derivative front
 /// detector that exercises the partitioned fusion pipeline (gradient of a
 /// computed value).

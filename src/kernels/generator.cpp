@@ -146,6 +146,12 @@ class FusionEmitter {
       const std::uint16_t else_value = reg_of(node.inputs[2]);
       return builder_.emit_select(cond, then_value, else_value);
     }
+    if (kind == "pack3") {
+      const std::uint16_t a = reg_of(node.inputs[0]);
+      const std::uint16_t b = reg_of(node.inputs[1]);
+      const std::uint16_t c = reg_of(node.inputs[2]);
+      return builder_.emit_pack(a, b, c);
+    }
     const PrimitiveInfo* info = find_primitive(kind);
     if (info != nullptr && info->arity == 1) {
       return builder_.emit_unary(unary_opcode_for(kind),

@@ -57,6 +57,15 @@ std::vector<std::uint8_t> observed_lanes(const std::vector<Instr>& code,
           observed[in.args[2]] |= observed[in.dst];
         }
         break;
+      case Op::pack:
+        // Lane l of a pack exposes lane 0 of operand l; the constant zero
+        // in lane 3 observes nothing.
+        for (int l = 0; l < 3; ++l) {
+          if (observed[in.dst] & (1u << l)) {
+            observed[in.args[static_cast<std::size_t>(l)]] |= 0x1;
+          }
+        }
+        break;
       default:
         if (op_is_binary(in.op)) {
           observed[in.args[0]] |= observed[in.dst];
@@ -144,6 +153,12 @@ std::optional<Vec4> fold_value(
     case Op::tan:
       if (!k(0)) return std::nullopt;
       return lanewise1(*k(0), [](float a) { return std::tan(a); });
+    case Op::acos:
+      if (!k(0)) return std::nullopt;
+      return lanewise1(*k(0), [](float a) { return std::acos(a); });
+    case Op::pack:
+      if (!k(0) || !k(1) || !k(2)) return std::nullopt;
+      return Vec4{{(*k(0))[0], (*k(1))[0], (*k(2))[0], 0.0f}};
     case Op::exp:
       if (!k(0)) return std::nullopt;
       return lanewise1(*k(0), [](float a) { return std::exp(a); });

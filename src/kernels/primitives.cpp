@@ -109,6 +109,7 @@ std::vector<PrimitiveInfo> make_registry() {
   unary_builtin("sin", "sin");
   unary_builtin("cos", "cos");
   unary_builtin("tan", "tan");
+  unary_builtin("acos", "acos");
   unary_builtin("exp", "exp");
   unary_builtin("log", "log");
   unary_builtin("tanh", "tanh");
@@ -118,6 +119,10 @@ std::vector<PrimitiveInfo> make_registry() {
       "select", 3, 1, {1, 1, 1},
       "inline float select_(float c, float t, float e)\n"
       "{ return (c != 0.0f) ? t : e; }\n"});
+  prims.push_back(PrimitiveInfo{
+      "pack3", 3, 3, {1, 1, 1},
+      "inline float4 pack3(float a, float b, float c)\n"
+      "{ return (float4)(a, b, c, 0.0f); }\n"});
   prims.push_back(PrimitiveInfo{
       "decompose", 1, 1, {3},
       "/* decompose selects one lane of a float4 value; the fused kernel\n"
@@ -150,6 +155,7 @@ Op unary_opcode_for(const std::string& kind) {
   if (kind == "sin") return Op::sin;
   if (kind == "cos") return Op::cos;
   if (kind == "tan") return Op::tan;
+  if (kind == "acos") return Op::acos;
   if (kind == "exp") return Op::exp;
   if (kind == "log") return Op::log;
   if (kind == "tanh") return Op::tanh;
@@ -218,9 +224,14 @@ Program make_standalone_program(const std::string& kind, int component,
     const std::uint16_t e = b.emit_load_global(b.add_param("in2"));
     return b.finish(b.emit_select(c, t, e), 1);
   }
+  if (kind == "pack3") {
+    const std::uint16_t a = b.emit_load_global(b.add_param("in0"));
+    const std::uint16_t c = b.emit_load_global(b.add_param("in1"));
+    const std::uint16_t d = b.emit_load_global(b.add_param("in2"));
+    return b.finish(b.emit_pack(a, c, d), 3);
+  }
   if (info->arity == 1) {
     const std::uint16_t a = b.emit_load_global(b.add_param("in0"));
-    Op op;
     return b.finish(b.emit_unary(unary_opcode_for(kind), a), 1);
   }
   if (info->arity == 2) {

@@ -33,6 +33,8 @@ std::uint64_t op_flops(Op op) {
     case Op::cmp_ne:
     case Op::select:
       return 1;
+    case Op::pack:
+      return 0;
     case Op::sqrt:
       return 4;  // sqrt costs several fma-equivalents on both targets
     case Op::floor:
@@ -41,6 +43,7 @@ std::uint64_t op_flops(Op op) {
     case Op::sin:
     case Op::cos:
     case Op::tan:
+    case Op::acos:
     case Op::exp:
     case Op::log:
     case Op::tanh:
@@ -106,6 +109,8 @@ const char* op_name(Op op) {
       return "cos";
     case Op::tan:
       return "tan";
+    case Op::acos:
+      return "acos";
     case Op::exp:
       return "exp";
     case Op::log:
@@ -138,6 +143,8 @@ const char* op_name(Op op) {
       return "cmp_ne";
     case Op::select:
       return "select";
+    case Op::pack:
+      return "pack";
     case Op::grad3d:
       return "grad3d";
   }
@@ -173,6 +180,7 @@ bool op_is_unary(Op op) {
     case Op::sin:
     case Op::cos:
     case Op::tan:
+    case Op::acos:
     case Op::exp:
     case Op::log:
     case Op::tanh:
@@ -190,7 +198,7 @@ int instr_register_operands(const Instr& instr) {
       instr.op == Op::store || instr.op == Op::store_vec) {
     return 1;
   }
-  if (instr.op == Op::select) return 3;
+  if (instr.op == Op::select || instr.op == Op::pack) return 3;
   return 0;
 }
 
@@ -206,6 +214,7 @@ int result_width(const Instr& instr, const std::vector<int>& widths) {
   switch (instr.op) {
     case Op::grad3d:
     case Op::load_global_vec:
+    case Op::pack:
       return 3;
     case Op::select:
       return std::max(widths[instr.args[1]], widths[instr.args[2]]);
@@ -223,6 +232,7 @@ int result_width(const Instr& instr, const std::vector<int>& widths) {
     case Op::sin:
     case Op::cos:
     case Op::tan:
+    case Op::acos:
     case Op::exp:
     case Op::log:
     case Op::tanh:
@@ -306,6 +316,13 @@ std::uint16_t ProgramBuilder::emit_select(std::uint16_t cond,
                                           std::uint16_t else_value) {
   const std::uint16_t dst = fresh_reg();
   code_.push_back(Instr{Op::select, dst, {cond, then_value, else_value}, 0.0f});
+  return dst;
+}
+
+std::uint16_t ProgramBuilder::emit_pack(std::uint16_t a, std::uint16_t b,
+                                        std::uint16_t c) {
+  const std::uint16_t dst = fresh_reg();
+  code_.push_back(Instr{Op::pack, dst, {a, b, c}, 0.0f});
   return dst;
 }
 

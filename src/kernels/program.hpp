@@ -104,6 +104,9 @@ class ProgramBuilder {
   std::uint16_t emit_component(std::uint16_t a, int component);
   std::uint16_t emit_select(std::uint16_t cond, std::uint16_t then_value,
                             std::uint16_t else_value);
+  /// Packs three scalar registers into one vector register (lanes s0..s2,
+  /// s3 zeroed).
+  std::uint16_t emit_pack(std::uint16_t a, std::uint16_t b, std::uint16_t c);
   /// args: field, dims, x, y, z parameter slots.
   std::uint16_t emit_grad3d(std::uint16_t field_slot, std::uint16_t dims_slot,
                             std::uint16_t x_slot, std::uint16_t y_slot,

@@ -25,7 +25,7 @@ dataflow::NetworkSpec rewrite_network(const dataflow::NetworkSpec& spec,
   // Ascending id order (ids are construction order, producers first)
   // makes each producer's rep final before any consumer reads it, so one
   // pass reaches the fixed point.
-  enum : char { kNone = 0, kDoubleNeg, kNestedAbs };
+  enum : char { kNone = 0, kDoubleNeg, kNestedAbs, kPackLane };
   std::vector<int> rep(nodes.size());
   std::vector<char> rep_rule(nodes.size(), kNone);
   for (std::size_t id = 0; id < nodes.size(); ++id) {
@@ -44,6 +44,20 @@ dataflow::NetworkSpec rewrite_network(const dataflow::NetworkSpec& spec,
         // never eliminated).
         rep[id] = rep[producer.inputs[0]];
         rep_rule[id] = kDoubleNeg;
+      }
+    }
+
+    if (is_filter_kind(node, "decompose")) {
+      const dataflow::SpecNode& producer = nodes[rep[node.inputs[0]]];
+      if (is_filter_kind(producer, "pack3")) {
+        // decompose(pack3(a,b,c), i) -> operand i: lane i of a pack holds
+        // exactly the scalar that was packed into it, so consumers read
+        // the operand directly and both the pack and the decompose become
+        // dead code unless something else (e.g. a store_vec of the whole
+        // pack) still needs them.
+        rep[id] =
+            rep[producer.inputs[static_cast<std::size_t>(node.component)]];
+        rep_rule[id] = kPackLane;
       }
     }
 
@@ -72,6 +86,8 @@ dataflow::NetworkSpec rewrite_network(const dataflow::NetworkSpec& spec,
         ++local.abs_of_negation;
       } else if (rep_rule[original] == kNestedAbs) {
         ++local.nested_abs;
+      } else if (rep_rule[original] == kPackLane) {
+        ++local.decompose_of_pack;
       } else {
         ++local.double_negation;
       }

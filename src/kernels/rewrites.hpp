@@ -13,6 +13,10 @@
 //   neg(neg(x))  -> x        (two sign flips cancel, all inputs, NaN safe)
 //   abs(abs(x))  -> abs(x)   (abs is idempotent)
 //   abs(neg(x))  -> abs(x)   (abs discards the sign bit)
+//   decompose(pack3(a,b,c), i) -> {a,b,c}[i]
+//                             (lane i of a pack *is* operand i, bitwise —
+//                              this is what fuses curl components back
+//                              into the scalar expressions around them)
 //
 // The pass rewires consumer input edges in place and never adds, removes
 // or renumbers nodes: pipeline-stage resolution and materialised-parameter
@@ -36,9 +40,12 @@ struct NetworkRewriteStats {
   std::size_t nested_abs = 0;
   /// abs inputs hopped over a neg producer.
   std::size_t abs_of_negation = 0;
+  /// Consumer edges redirected past a decompose-of-pack3 pair onto the
+  /// packed scalar operand.
+  std::size_t decompose_of_pack = 0;
 
   std::size_t total() const {
-    return double_negation + nested_abs + abs_of_negation;
+    return double_negation + nested_abs + abs_of_negation + decompose_of_pack;
   }
 };
 

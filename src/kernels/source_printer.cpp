@@ -107,6 +107,7 @@ void print_instr(std::ostringstream& os, const Program& program,
       case Op::sin:
       case Op::cos:
       case Op::tan:
+      case Op::acos:
       case Op::exp:
       case Op::log:
       case Op::tanh:
@@ -136,6 +137,10 @@ void print_instr(std::ostringstream& os, const Program& program,
         os << dst << " = (" << reg(in.args[0])
            << ".s0 != 0.0f) ? " << reg(in.args[1]) << " : " << reg(in.args[2])
            << ";";
+        break;
+      case Op::pack:
+        os << dst << " = (float4)(" << reg(in.args[0]) << ".s0, "
+           << reg(in.args[1]) << ".s0, " << reg(in.args[2]) << ".s0, 0.0f);";
         break;
       case Op::grad3d:
         os << dst << " = grad3d("
@@ -238,6 +243,8 @@ const char* c_unary_fn(Op op) {
       return "cosf";
     case Op::tan:
       return "tanf";
+    case Op::acos:
+      return "acosf";
     case Op::exp:
       return "expf";
     case Op::log:
@@ -470,6 +477,16 @@ void emit_c_instr(std::ostringstream& os, const Instr& in,
         stmt(c_lane(in.dst, lane) + " = (" + c_lane(in.args[0], 0) +
              " != 0.0f) ? " + c_lane(in.args[1], lane) + " : " +
              c_lane(in.args[2], lane) + ";");
+      }
+      break;
+    case Op::pack:
+      // Descending lanes: the lane-0 operand locals (which coalescing may
+      // alias with dst lane 0) are consumed before lane 0 is overwritten.
+      if (mask & 0x8) stmt(c_lane(in.dst, 3) + " = 0.0f;");
+      for (int lane = 2; lane >= 0; --lane) {
+        if (!(mask & (1u << lane))) continue;
+        stmt(c_lane(in.dst, lane) + " = " +
+             c_lane(in.args[static_cast<std::size_t>(lane)], 0) + ";");
       }
       break;
     case Op::store:

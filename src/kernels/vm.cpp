@@ -228,6 +228,13 @@ std::vector<std::uint8_t> live_lane_masks(const Program& program) {
         live[in.args[1]] |= m;
         live[in.args[2]] |= m;
         break;
+      case Op::pack:
+        // Lane l of the packed value comes from lane 0 of operand l; lane 3
+        // is a constant zero and observes nothing.
+        for (int l = 0; l < 3; ++l) {
+          if (m & (1u << l)) live[in.args[static_cast<std::size_t>(l)]] |= 0x1;
+        }
+        break;
       default:
         if (op_is_binary(in.op)) {
           live[in.args[0]] |= m;
@@ -377,6 +384,9 @@ void run(const Program& program, std::span<const BufferBinding> inputs,
         case Op::tan:
           unary(in, mask, [](float a) { return std::tan(a); });
           break;
+        case Op::acos:
+          unary(in, mask, [](float a) { return std::acos(a); });
+          break;
         case Op::exp:
           unary(in, mask, [](float a) { return std::exp(a); });
           break;
@@ -432,6 +442,22 @@ void run(const Program& program, std::span<const BufferBinding> inputs,
             for (std::size_t e = 0; e < count; ++e) {
               d[e] = c0[e] != 0.0f ? tv[e] : ev[e];
             }
+          }
+          break;
+        }
+        case Op::pack: {
+          // Descending lanes (like select): lane L of dst reads lane 0 of
+          // operand L, so writing high lanes first keeps the lane-0 source
+          // columns intact when coalescing makes dst alias an operand; the
+          // lane-0 pass itself reads before it writes.
+          if (mask & 0x8) {
+            std::memset(col(in.dst, 3), 0, count * sizeof(float));
+          }
+          for (int lane = 2; lane >= 0; --lane) {
+            if (!(mask & (1u << lane))) continue;
+            const float* a = col(in.args[static_cast<std::size_t>(lane)], 0);
+            float* d = col(in.dst, lane);
+            for (std::size_t e = 0; e < count; ++e) d[e] = a[e];
           }
           break;
         }
@@ -622,6 +648,10 @@ void run_scalar(const Program& program, std::span<const BufferBinding> inputs,
           regs[in.dst] =
               lanewise1(regs[in.args[0]], [](float a) { return std::tan(a); });
           break;
+        case Op::acos:
+          regs[in.dst] =
+              lanewise1(regs[in.args[0]], [](float a) { return std::acos(a); });
+          break;
         case Op::exp:
           regs[in.dst] =
               lanewise1(regs[in.args[0]], [](float a) { return std::exp(a); });
@@ -694,6 +724,12 @@ void run_scalar(const Program& program, std::span<const BufferBinding> inputs,
           const Vec4 picked = regs[in.args[0]][0] != 0.0f ? regs[in.args[1]]
                                                           : regs[in.args[2]];
           regs[in.dst] = picked;
+          break;
+        }
+        case Op::pack: {
+          const Vec4 packed{{regs[in.args[0]][0], regs[in.args[1]][0],
+                             regs[in.args[2]][0], 0.0f}};
+          regs[in.dst] = packed;
           break;
         }
         case Op::grad3d:

@@ -211,6 +211,14 @@ void EvalService::drain() {
   drain_cv_.wait(lock, [&] { return queued_count_ == 0 && in_flight_ == 0; });
 }
 
+void EvalService::note_host_mutation(const void* ptr) {
+  // The generation bump is the authoritative signal (memo intermediates
+  // and any pool check it lazily); dropping the per-device resident
+  // entries eagerly also frees their device memory right away.
+  vcl::note_host_mutation(ptr);
+  for (vcl::Device* device : devices_) device->resident().invalidate(ptr);
+}
+
 void EvalService::configure_session(const std::string& id,
                                     SessionConfig config) {
   std::scoped_lock lock(mutex_);

@@ -116,6 +116,16 @@ class EvalService {
   /// Blocks until every admitted request has resolved.
   void drain();
 
+  /// Declares that the host mutated the array at `ptr` (a time-series
+  /// driver stepping the simulation between submit bursts): bumps its
+  /// generation tag and drops resident copies on *every* device, so
+  /// whichever worker the next request lands on re-uploads. The memo
+  /// layer's intermediate cache needs no explicit call — it re-checks
+  /// generation tags on every lookup. Callers must drain() (or otherwise
+  /// know the array's requests resolved) before mutating the host data
+  /// itself; this call only publishes the mutation.
+  void note_host_mutation(const void* ptr);
+
   ServiceSnapshot snapshot() const;
 
   /// Merged Chrome trace of every device's profiling events since

@@ -1,0 +1,509 @@
+// Analytic validation of the CFD operator library: every vector-field
+// builtin (divergence/curl/vorticity_mag/enstrophy/helicity/qcriterion/
+// lambda2) checked against closed-form references on two classical flows —
+// the ABC (Arnold–Beltrami–Childress) flow, whose curl equals its velocity,
+// and the Taylor–Green vortex. References are derived from the analytic
+// velocity Jacobian in double precision, so the suite pins down both the
+// operator definitions (convergence under grid refinement) and the
+// backend/strategy contract (bit-identical results on scalar, vm and jit
+// under all four strategies, boundary rows included).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bitwise.hpp"
+#include "core/engine.hpp"
+#include "core/expressions.hpp"
+#include "kernels/backend.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/mesh.hpp"
+#include "support/error.hpp"
+#include "vcl/catalog.hpp"
+
+namespace {
+
+using namespace dfg;
+
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+/// Analytic velocity Jacobian J[r][c] = d(v_r)/d(x_c) in double precision.
+using JacobianFn = void (*)(double x, double y, double z, double J[3][3]);
+using VelocityFn = void (*)(double x, double y, double z, double v[3]);
+
+// ABC flow with the unit coefficients abc_flow defaults to:
+//   u = sin z + cos y,  v = sin x + cos z,  w = sin y + cos x.
+void abc_velocity(double x, double y, double z, double v[3]) {
+  v[0] = std::sin(z) + std::cos(y);
+  v[1] = std::sin(x) + std::cos(z);
+  v[2] = std::sin(y) + std::cos(x);
+}
+
+void abc_jacobian(double x, double y, double z, double J[3][3]) {
+  J[0][0] = 0.0;
+  J[0][1] = -std::sin(y);
+  J[0][2] = std::cos(z);
+  J[1][0] = std::cos(x);
+  J[1][1] = 0.0;
+  J[1][2] = -std::sin(z);
+  J[2][0] = -std::sin(x);
+  J[2][1] = std::cos(y);
+  J[2][2] = 0.0;
+}
+
+// Taylor–Green vortex (the t = 0 slice of the decaying solution):
+//   u = sin x cos y cos z,  v = -cos x sin y cos z,  w = 0.
+void taylor_green_velocity(double x, double y, double z, double v[3]) {
+  v[0] = std::sin(x) * std::cos(y) * std::cos(z);
+  v[1] = -std::cos(x) * std::sin(y) * std::cos(z);
+  v[2] = 0.0;
+}
+
+void taylor_green_jacobian(double x, double y, double z, double J[3][3]) {
+  J[0][0] = std::cos(x) * std::cos(y) * std::cos(z);
+  J[0][1] = -std::sin(x) * std::sin(y) * std::cos(z);
+  J[0][2] = -std::sin(x) * std::cos(y) * std::sin(z);
+  J[1][0] = std::sin(x) * std::sin(y) * std::cos(z);
+  J[1][1] = -std::cos(x) * std::cos(y) * std::cos(z);
+  J[1][2] = std::cos(x) * std::sin(y) * std::sin(z);
+  J[2][0] = 0.0;
+  J[2][1] = 0.0;
+  J[2][2] = 0.0;
+}
+
+/// Middle eigenvalue of A = S^2 + Omega^2 for the Jacobian J, computed in
+/// double with the same trigonometric closed form the builtin lowers to —
+/// the reference the float pipeline must converge to.
+double lambda2_ref(const double J[3][3]) {
+  double S[3][3], O[3][3], A[3][3];
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      S[r][c] = 0.5 * (J[r][c] + J[c][r]);
+      O[r][c] = 0.5 * (J[r][c] - J[c][r]);
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      A[r][c] = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        A[r][c] += S[r][k] * S[k][c] + O[r][k] * O[k][c];
+      }
+    }
+  }
+  const double q = (A[0][0] + A[1][1] + A[2][2]) / 3.0;
+  const double p1 =
+      A[0][1] * A[0][1] + A[0][2] * A[0][2] + A[1][2] * A[1][2];
+  const double p2 = (A[0][0] - q) * (A[0][0] - q) +
+                    (A[1][1] - q) * (A[1][1] - q) +
+                    (A[2][2] - q) * (A[2][2] - q) + 2.0 * p1;
+  if (p2 == 0.0) return q;
+  const double p = std::sqrt(p2 / 6.0);
+  double B[3][3];
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      B[r][c] = (A[r][c] - (r == c ? q : 0.0)) / p;
+    }
+  }
+  const double detb =
+      B[0][0] * (B[1][1] * B[2][2] - B[1][2] * B[1][2]) -
+      B[0][1] * (B[0][1] * B[2][2] - B[1][2] * B[0][2]) +
+      B[0][2] * (B[0][1] * B[1][2] - B[1][1] * B[0][2]);
+  const double r = std::max(-1.0, std::min(1.0, 0.5 * detb));
+  const double phi = std::acos(r) / 3.0;
+  const double eig1 = q + 2.0 * p * std::cos(phi);
+  const double eig3 =
+      q + 2.0 * p * std::cos(phi + 2.0 * 3.14159265358979323846 / 3.0);
+  return 3.0 * q - eig1 - eig3;
+}
+
+/// Per-point double-precision reference for a named operator.
+double operator_ref(const std::string& op, VelocityFn vel, JacobianFn jac,
+                    double x, double y, double z) {
+  double v[3], J[3][3];
+  vel(x, y, z, v);
+  jac(x, y, z, J);
+  const double wx = J[2][1] - J[1][2];
+  const double wy = J[0][2] - J[2][0];
+  const double wz = J[1][0] - J[0][1];
+  if (op == "divergence") return J[0][0] + J[1][1] + J[2][2];
+  if (op == "curl_x") return wx;
+  if (op == "curl_y") return wy;
+  if (op == "curl_z") return wz;
+  if (op == "vorticity_mag") return std::sqrt(wx * wx + wy * wy + wz * wz);
+  if (op == "enstrophy") return 0.5 * (wx * wx + wy * wy + wz * wz);
+  if (op == "helicity") return v[0] * wx + v[1] * wy + v[2] * wz;
+  if (op == "qcriterion") {
+    double s_norm = 0.0, o_norm = 0.0;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        const double s = 0.5 * (J[r][c] + J[c][r]);
+        const double o = 0.5 * (J[r][c] - J[c][r]);
+        s_norm += s * s;
+        o_norm += o * o;
+      }
+    }
+    return 0.5 * (o_norm - s_norm);
+  }
+  return lambda2_ref(J);
+}
+
+struct FlowFixture {
+  FlowFixture(std::size_t n, VelocityFn vel, JacobianFn jac)
+      : mesh(mesh::RectilinearMesh::uniform({n, n, n}, kTwoPi, kTwoPi,
+                                            kTwoPi)),
+        velocity(vel),
+        jacobian(jac) {
+    const std::size_t cells = mesh.cell_count();
+    field.u.resize(cells);
+    field.v.resize(cells);
+    field.w.resize(cells);
+    const auto& d = mesh.dims();
+    for (std::size_t k = 0; k < d.nz; ++k) {
+      for (std::size_t j = 0; j < d.ny; ++j) {
+        for (std::size_t i = 0; i < d.nx; ++i) {
+          double v[3];
+          vel(mesh.x_center(i), mesh.y_center(j), mesh.z_center(k), v);
+          const std::size_t idx = mesh.cell_index(i, j, k);
+          field.u[idx] = static_cast<float>(v[0]);
+          field.v[idx] = static_cast<float>(v[1]);
+          field.w[idx] = static_cast<float>(v[2]);
+        }
+      }
+    }
+  }
+
+  std::vector<float> evaluate(const std::string& expression,
+                              EngineOptions options = {}) {
+    vcl::Device device(vcl::xeon_x5660());
+    Engine engine(device, options);
+    engine.bind_mesh(mesh);
+    engine.bind("u", field.u);
+    engine.bind("v", field.v);
+    engine.bind("w", field.w);
+    return engine.evaluate(expression).values;
+  }
+
+  /// Max error over interior cells (boundary cells use one-sided
+  /// first-order differences; convergence is a statement about the
+  /// second-order interior stencil).
+  double max_interior_error(const std::vector<float>& values,
+                            const std::string& op) {
+    double max_err = 0.0;
+    const auto& d = mesh.dims();
+    for (std::size_t k = 1; k + 1 < d.nz; ++k) {
+      for (std::size_t j = 1; j + 1 < d.ny; ++j) {
+        for (std::size_t i = 1; i + 1 < d.nx; ++i) {
+          const double exact =
+              operator_ref(op, velocity, jacobian, mesh.x_center(i),
+                           mesh.y_center(j), mesh.z_center(k));
+          max_err = std::max(
+              max_err,
+              std::fabs(values[mesh.cell_index(i, j, k)] - exact));
+        }
+      }
+    }
+    return max_err;
+  }
+
+  mesh::RectilinearMesh mesh;
+  mesh::VectorField field;
+  VelocityFn velocity;
+  JacobianFn jacobian;
+};
+
+std::string operator_expression(const std::string& op) {
+  if (op == "curl_x") return "f = curl(u, v, w, dims, x, y, z)[0]";
+  if (op == "curl_y") return "f = curl(u, v, w, dims, x, y, z)[1]";
+  if (op == "curl_z") return "f = curl(u, v, w, dims, x, y, z)[2]";
+  return "f = " + op + "(u, v, w, dims, x, y, z)";
+}
+
+/// Coarse-vs-fine refinement check: the 32^3 error must be well under the
+/// 16^3 error (central differences are second order, so the ideal ratio is
+/// 4; 3 leaves headroom for float rounding), plus an absolute sanity bound
+/// on the coarse grid.
+void expect_converges(const std::string& op, VelocityFn vel, JacobianFn jac,
+                      double coarse_bound) {
+  FlowFixture coarse(16, vel, jac);
+  FlowFixture fine(32, vel, jac);
+  const std::string expr = operator_expression(op);
+  const double err_coarse =
+      coarse.max_interior_error(coarse.evaluate(expr), op);
+  const double err_fine = fine.max_interior_error(fine.evaluate(expr), op);
+  EXPECT_LT(err_coarse, coarse_bound) << op;
+  EXPECT_LT(err_fine, err_coarse / 3.0)
+      << op << ": expected ~2nd-order convergence, got " << err_coarse
+      << " -> " << err_fine;
+}
+
+// --- Exact identities -------------------------------------------------------
+
+TEST(CfdOperators, AbcDivergenceIsBitwiseZeroEverywhere) {
+  // Each ABC velocity component is constant along its own derivative axis
+  // (u has no x dependence, v no y, w no z), so every finite difference the
+  // divergence sums — one-sided boundary stencils included — subtracts
+  // equal floats: the discrete divergence is +0.0 at every cell, not just
+  // small.
+  FlowFixture fx(16, abc_velocity, abc_jacobian);
+  const auto values = fx.evaluate(operator_expression("divergence"));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(values[i]), 0u)
+        << "cell " << i << " = " << values[i];
+  }
+}
+
+TEST(CfdOperators, DivAtSevenArgumentsIsDivergence) {
+  // "div" stays scalar division at two arguments and reads as the
+  // divergence operator at the 7-argument vector signature.
+  FlowFixture fx(8, abc_velocity, abc_jacobian);
+  const auto named = fx.evaluate("f = divergence(u, v, w, dims, x, y, z)");
+  const auto brief = fx.evaluate("f = div(u, v, w, dims, x, y, z)");
+  test::expect_bits_equal(brief, named, "div vs divergence");
+  const auto ratio = fx.evaluate("f = div(u, v)");
+  ASSERT_EQ(ratio.size(), fx.mesh.cell_count());
+}
+
+TEST(CfdOperators, OperatorMacrosMatchHandwrittenScripts) {
+  // The builtins expand to the same graphs the library's hand-written
+  // Figure-3-style scripts build (same association order, same grad3d
+  // sharing), so the results are bit-identical — the macro layer adds no
+  // numerics of its own.
+  FlowFixture fx(12, taylor_green_velocity, taylor_green_jacobian);
+  test::expect_bits_equal(fx.evaluate(expressions::kOpDivergence),
+                          fx.evaluate(expressions::kDivergence),
+                          "divergence");
+  test::expect_bits_equal(fx.evaluate(expressions::kOpVorticityMagnitude),
+                          fx.evaluate(expressions::kVorticityMagnitude),
+                          "vorticity_mag");
+  test::expect_bits_equal(fx.evaluate(expressions::kOpEnstrophy),
+                          fx.evaluate(expressions::kEnstrophy), "enstrophy");
+  test::expect_bits_equal(fx.evaluate(expressions::kOpHelicity),
+                          fx.evaluate(expressions::kHelicity), "helicity");
+}
+
+TEST(CfdOperators, AbcIsBeltramiCurlEqualsVelocity) {
+  // curl(v) = v for the unit-coefficient ABC flow; compare each component
+  // of the packed curl against the bound velocity arrays.
+  FlowFixture fx(32, abc_velocity, abc_jacobian);
+  const std::array<const std::vector<float>*, 3> vel = {
+      &fx.field.u, &fx.field.v, &fx.field.w};
+  for (int comp = 0; comp < 3; ++comp) {
+    const auto values = fx.evaluate(
+        "f = curl(u, v, w, dims, x, y, z)[" + std::to_string(comp) + "]");
+    double max_err = 0.0;
+    const auto& d = fx.mesh.dims();
+    for (std::size_t k = 1; k + 1 < d.nz; ++k) {
+      for (std::size_t j = 1; j + 1 < d.ny; ++j) {
+        for (std::size_t i = 1; i + 1 < d.nx; ++i) {
+          const std::size_t idx = fx.mesh.cell_index(i, j, k);
+          max_err = std::max(
+              max_err, static_cast<double>(std::fabs(
+                           values[idx] - (*vel[comp])[idx])));
+        }
+      }
+    }
+    EXPECT_LT(max_err, 0.05) << "curl component " << comp;
+  }
+}
+
+// --- Convergence under grid refinement --------------------------------------
+
+TEST(CfdOperators, CurlConvergesOnTaylorGreen) {
+  expect_converges("curl_x", taylor_green_velocity, taylor_green_jacobian,
+                   0.2);
+  expect_converges("curl_y", taylor_green_velocity, taylor_green_jacobian,
+                   0.2);
+  expect_converges("curl_z", taylor_green_velocity, taylor_green_jacobian,
+                   0.2);
+}
+
+TEST(CfdOperators, VorticityMagnitudeConvergesOnAbc) {
+  expect_converges("vorticity_mag", abc_velocity, abc_jacobian, 0.2);
+}
+
+TEST(CfdOperators, EnstrophyConvergesOnBothFlows) {
+  expect_converges("enstrophy", abc_velocity, abc_jacobian, 0.4);
+  expect_converges("enstrophy", taylor_green_velocity,
+                   taylor_green_jacobian, 0.4);
+}
+
+TEST(CfdOperators, HelicityConvergesOnAbc) {
+  // Beltrami: h = v . curl v = |v|^2.
+  expect_converges("helicity", abc_velocity, abc_jacobian, 0.5);
+}
+
+TEST(CfdOperators, TaylorGreenHelicityIsSmall) {
+  // w = 0 and curl has no z... rather: v and curl(v) are orthogonal for
+  // Taylor-Green (v_z = 0, and the in-plane curl components are odd where
+  // v is even), so helicity converges to zero.
+  FlowFixture fx(32, taylor_green_velocity, taylor_green_jacobian);
+  const auto values = fx.evaluate(operator_expression("helicity"));
+  EXPECT_LT(fx.max_interior_error(values, "helicity"), 0.05);
+}
+
+TEST(CfdOperators, QCriterionConvergesOnBothFlows) {
+  expect_converges("qcriterion", abc_velocity, abc_jacobian, 0.4);
+  expect_converges("qcriterion", taylor_green_velocity,
+                   taylor_green_jacobian, 0.4);
+}
+
+TEST(CfdOperators, QCriterionMatchesClosedFormAbcReference) {
+  // Cross-check operator_ref against the mesh library's independent
+  // abc_q_criterion closed form.
+  FlowFixture fx(24, abc_velocity, abc_jacobian);
+  const auto values = fx.evaluate(operator_expression("qcriterion"));
+  double max_err = 0.0;
+  const auto& d = fx.mesh.dims();
+  for (std::size_t k = 1; k + 1 < d.nz; ++k) {
+    for (std::size_t j = 1; j + 1 < d.ny; ++j) {
+      for (std::size_t i = 1; i + 1 < d.nx; ++i) {
+        const float exact = mesh::abc_q_criterion(
+            fx.mesh.x_center(i), fx.mesh.y_center(j), fx.mesh.z_center(k),
+            1.0f, 1.0f, 1.0f);
+        max_err = std::max(
+            max_err, static_cast<double>(std::fabs(
+                         values[fx.mesh.cell_index(i, j, k)] - exact)));
+      }
+    }
+  }
+  EXPECT_LT(max_err, 0.2);
+}
+
+TEST(CfdOperators, Lambda2ConvergesOnBothFlows) {
+  expect_converges("lambda2", abc_velocity, abc_jacobian, 0.5);
+  expect_converges("lambda2", taylor_green_velocity, taylor_green_jacobian,
+                   0.5);
+}
+
+TEST(CfdOperators, Lambda2IsExactOnUniformFlow) {
+  // A constant velocity field has J = 0, so A = 0 is isotropic: the
+  // closed-form eigensolve's select guard must return q = 0 exactly rather
+  // than evaluate the general branch's 0/0.
+  const std::size_t n = 8;
+  mesh::RectilinearMesh mesh =
+      mesh::RectilinearMesh::uniform({n, n, n}, kTwoPi, kTwoPi, kTwoPi);
+  std::vector<float> ones(mesh.cell_count(), 1.0f);
+  vcl::Device device(vcl::xeon_x5660());
+  Engine engine(device, {});
+  engine.bind_mesh(mesh);
+  engine.bind("u", ones);
+  engine.bind("v", ones);
+  engine.bind("w", ones);
+  const auto values =
+      engine.evaluate("f = lambda2(u, v, w, dims, x, y, z)").values;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], 0.0f) << "cell " << i;
+  }
+}
+
+// --- Backend and strategy bit-exactness -------------------------------------
+
+constexpr kernels::BackendKind kBackends[] = {kernels::BackendKind::scalar,
+                                              kernels::BackendKind::vm,
+                                              kernels::BackendKind::jit};
+constexpr runtime::StrategyKind kStrategies[] = {
+    runtime::StrategyKind::fusion, runtime::StrategyKind::streamed,
+    runtime::StrategyKind::staged, runtime::StrategyKind::roundtrip};
+
+TEST(CfdOperators, BitExactAcrossBackendsAndStrategies) {
+  // Every operator, every backend, every strategy: one bit pattern. The
+  // 19x7x5 grid keeps the cell count off the 1024-element tile size and
+  // exercises the grad3d x-boundary peel rows in every tile.
+  mesh::RectilinearMesh mesh =
+      mesh::RectilinearMesh::uniform({19, 7, 5}, kTwoPi, kTwoPi, kTwoPi);
+  mesh::VectorField field = mesh::abc_flow(mesh);
+
+  const char* kOps[] = {"divergence", "curl_y",    "vorticity_mag",
+                        "enstrophy",  "helicity",  "qcriterion",
+                        "lambda2"};
+  for (const char* op : kOps) {
+    const std::string expr = operator_expression(op);
+    std::vector<float> oracle;
+    for (const kernels::BackendKind backend : kBackends) {
+      for (const runtime::StrategyKind strategy : kStrategies) {
+        EngineOptions options;
+        options.strategy = strategy;
+        options.backend = backend;
+        vcl::Device device(vcl::xeon_x5660());
+        Engine engine(device, options);
+        engine.bind_mesh(mesh);
+        engine.bind("u", field.u);
+        engine.bind("v", field.v);
+        engine.bind("w", field.w);
+        std::vector<float> values = engine.evaluate(expr).values;
+        if (oracle.empty()) {
+          oracle = std::move(values);
+          continue;
+        }
+        test::expect_bits_equal(
+            values, oracle,
+            std::string(op) + " on " + kernels::backend_name(backend) +
+                "/" + runtime::strategy_name(strategy));
+      }
+    }
+  }
+}
+
+TEST(CfdOperators, BoundaryRowsMatchScalarOracle) {
+  // Regression pin for the grad3d x-boundary peel: lambda2 and the curl
+  // components at i = 0 and i = nx-1 (one-sided stencils) must come out of
+  // the tiled VM and the jit bit-identical to the scalar oracle. nx = 21
+  // keeps rows off any tile-size multiple so peeled spans straddle tile
+  // boundaries.
+  mesh::RectilinearMesh mesh =
+      mesh::RectilinearMesh::uniform({21, 9, 6}, kTwoPi, kTwoPi, kTwoPi);
+  mesh::VectorField field = mesh::abc_flow(mesh);
+
+  for (const char* op : {"lambda2", "curl_x", "curl_z"}) {
+    const std::string expr = operator_expression(op);
+    std::array<std::vector<float>, 3> results;
+    for (std::size_t b = 0; b < 3; ++b) {
+      EngineOptions options;
+      options.backend = kBackends[b];
+      vcl::Device device(vcl::xeon_x5660());
+      Engine engine(device, options);
+      engine.bind_mesh(mesh);
+      engine.bind("u", field.u);
+      engine.bind("v", field.v);
+      engine.bind("w", field.w);
+      results[b] = engine.evaluate(expr).values;
+    }
+    const auto& d = mesh.dims();
+    for (std::size_t k = 0; k < d.nz; ++k) {
+      for (std::size_t j = 0; j < d.ny; ++j) {
+        for (const std::size_t i : {std::size_t{0}, d.nx - 1}) {
+          const std::size_t idx = mesh.cell_index(i, j, k);
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(results[1][idx]),
+                    std::bit_cast<std::uint32_t>(results[0][idx]))
+              << op << " vm vs scalar at boundary cell (" << i << "," << j
+              << "," << k << ")";
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(results[2][idx]),
+                    std::bit_cast<std::uint32_t>(results[0][idx]))
+              << op << " jit vs scalar at boundary cell (" << i << "," << j
+              << "," << k << ")";
+        }
+      }
+    }
+    // The interior must agree too, of course — assert the full arrays.
+    test::expect_bits_equal(results[1], results[0],
+                            std::string(op) + " vm vs scalar");
+    test::expect_bits_equal(results[2], results[0],
+                            std::string(op) + " jit vs scalar");
+  }
+}
+
+TEST(CfdOperators, WrongArityIsRejected) {
+  vcl::Device device(vcl::xeon_x5660());
+  Engine engine(device, {});
+  std::vector<float> data(8, 1.0f);
+  engine.bind("u", data);
+  engine.bind("v", data);
+  engine.bind("w", data);
+  EXPECT_THROW(engine.evaluate("f = curl(u, v, w)", 8), NetworkError);
+  EXPECT_THROW(engine.evaluate("f = lambda2(u, v)", 8), NetworkError);
+}
+
+}  // namespace

@@ -59,12 +59,16 @@ enum class FKind {
   call,      ///< named scalar function (sqrt .. ceil, min/max/pow, select)
   neg,       ///< unary minus
   gradc,     ///< grad3d(field, dims, x, y, z)[component]
+  cfd,       ///< vector-field operator op(f1, f2, f3, dims, x, y, z)
 };
 
 struct FNode {
   FKind kind;
   std::string text;  ///< field/ref name, infix operator, or callee
   int component = 0;
+  /// cfd only: the three velocity-slot field names (host-bound arrays, the
+  /// same restriction gradc carries).
+  std::vector<std::string> fields;
   std::vector<FNodePtr> kids;
 };
 
@@ -81,12 +85,20 @@ const CallOp kCallOps[] = {{"sqrt", 1}, {"abs", 1},  {"sin", 1},
                            {"log", 1},  {"tanh", 1}, {"floor", 1},
                            {"ceil", 1}, {"min", 2},  {"max", 2},
                            {"pow", 2},  {"select", 3}};
+/// The CFD vector-field builtins, all at the 7-argument signature
+/// op(f1, f2, f3, dims, x, y, z). "div" doubles as scalar division at
+/// arity 2, so including it here exercises the arity dispatch; curl is the
+/// one vector-valued result and is always component-indexed.
+const char* kCfdOps[] = {"divergence", "div",       "curl",
+                         "vorticity_mag", "enstrophy", "helicity",
+                         "qcriterion", "lambda2"};
 
 FNodePtr clone(const FNode& node) {
   auto copy = std::make_unique<FNode>();
   copy->kind = node.kind;
   copy->text = node.text;
   copy->component = node.component;
+  copy->fields = node.fields;
   for (const FNodePtr& kid : node.kids) copy->kids.push_back(clone(*kid));
   return copy;
 }
@@ -122,6 +134,13 @@ void render(const FNode& node, std::string& out) {
     case FKind::gradc:
       out += "grad3d(" + node.text + ", dims, x, y, z)[" +
              std::to_string(node.component) + "]";
+      return;
+    case FKind::cfd:
+      out += node.text + "(" + node.fields[0] + ", " + node.fields[1] +
+             ", " + node.fields[2] + ", dims, x, y, z)";
+      if (node.text == "curl") {
+        out += "[" + std::to_string(node.component) + "]";
+      }
       return;
   }
 }
@@ -181,9 +200,23 @@ struct Generator {
     return node;
   }
 
+  FNodePtr cfd(std::size_t op_index) {
+    auto node = std::make_unique<FNode>();
+    node->kind = FKind::cfd;
+    node->text = kCfdOps[op_index];
+    // The three velocity slots draw independently (repeats allowed —
+    // lambda2(u, u, v, ...) is a legal, degenerate Jacobian) but must be
+    // host-bound fields, the same restriction gradc carries.
+    for (int i = 0; i < 3; ++i) {
+      node->fields.push_back(kFields[pick(std::size(kFields))]);
+    }
+    node->component = static_cast<int>(pick(3));
+    return node;
+  }
+
   FNodePtr expr(int depth, const std::vector<std::string>& temps) {
     if (depth <= 0) return leaf(temps);
-    switch (pick(10)) {
+    switch (pick(11)) {
       case 0:
       case 1:
       case 2: {  // infix
@@ -213,6 +246,10 @@ struct Generator {
       }
       case 6:
         return gradc();
+      case 7:  // stencil builtins keep composite weight: ~1 in 11 interior
+               // nodes is a CFD operator, so they appear nested inside
+               // larger scalar expressions, not only at statement roots.
+        return cfd(pick(std::size(kCfdOps)));
       default:
         return leaf(temps);
     }
@@ -223,7 +260,8 @@ struct Generator {
   FNodePtr forced(std::size_t index, const std::vector<std::string>& temps) {
     constexpr std::size_t infix_count = std::size(kInfixOps);
     constexpr std::size_t call_count = std::size(kCallOps);
-    index %= infix_count + call_count + 2;
+    constexpr std::size_t cfd_count = std::size(kCfdOps);
+    index %= infix_count + call_count + 2 + cfd_count;
     auto node = std::make_unique<FNode>();
     if (index < infix_count) {
       node->kind = FKind::infix;
@@ -241,11 +279,16 @@ struct Generator {
       }
       return node;
     }
-    return index - call_count == 0 ? gradc() : [&] {
+    index -= call_count;
+    if (index == 0) return gradc();
+    if (index == 1) {
       node->kind = FKind::neg;
       node->kids.push_back(leaf(temps));
-      return std::move(node);
-    }();
+      return node;
+    }
+    // The tail slots cycle through every CFD builtin, so a bounded corpus
+    // is guaranteed to execute each operator at least once.
+    return cfd(index - 2);
   }
 
   FScript script(std::size_t forced_index) {
@@ -605,6 +648,17 @@ TEST(FuzzExpressions, HarnessAcceptsFullGrammar) {
       "t3 = floor(t2) + ceil(t2) + (t2 == t1) + (t2 != t0) + (t1 <= t0) + "
       "(t1 < t0) + sqrt(abs(t2)) + tan(t2)\n";
   EXPECT_EQ(check(text, fx), "");
+  // The CFD builtins, composed into surrounding scalar arithmetic the way
+  // the generator splices them.
+  const std::string cfd_text =
+      "t0 = divergence(u, v, w, dims, x, y, z) + "
+      "curl(u, v, w, dims, x, y, z)[2] * enstrophy(u, v, w, dims, x, y, z)\n"
+      "t1 = helicity(u, v, w, dims, x, y, z) - "
+      "min(qcriterion(u, v, w, dims, x, y, z), t0)\n"
+      "t2 = select(t1 > t0, lambda2(u, v, w, dims, x, y, z), "
+      "vorticity_mag(w, v, u, dims, x, y, z)) + div(u, v) + "
+      "div(u, v, w, dims, x, y, z)\n";
+  EXPECT_EQ(check(cfd_text, fx), "");
 }
 
 // ----- overlapping-request schedules (cross-request memoization) -----
